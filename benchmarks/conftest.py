@@ -1,0 +1,48 @@
+"""Shared harness for the per-figure benchmark suite.
+
+Each ``benchmarks/test_*.py`` regenerates one paper table/figure via
+``repro.experiments`` and:
+
+* times the run with pytest-benchmark,
+* prints the reproduced rows plus the paper-vs-measured anchor checks,
+* saves the rendered output under ``benchmarks/results/``,
+* fails if any anchor check misses.
+
+Set ``REPRO_QUICK=1`` to run reduced sweeps (CI smoke mode).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_experiment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def quick_mode() -> bool:
+    return os.environ.get("REPRO_QUICK", "") not in ("", "0")
+
+
+@pytest.fixture
+def experiment(benchmark):
+    """Run an experiment under the benchmark timer and record output."""
+
+    def _run(exp_id: str):
+        quick = quick_mode()
+        result = benchmark.pedantic(
+            run_experiment, args=(exp_id,), kwargs={"quick": quick}, rounds=1, iterations=1
+        )
+        rendered = result.render()
+        print()
+        print(rendered)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{exp_id}.txt").write_text(rendered + "\n")
+        missing = [anchor.name for anchor in result.anchors if not anchor.holds]
+        assert not missing, f"{exp_id}: paper anchors missed: {missing}"
+        return result
+
+    return _run

@@ -1,0 +1,5 @@
+"""Benchmark — ablations: the mechanisms behind the paper's shapes."""
+
+
+def test_ablations(experiment):
+    experiment("ablations")

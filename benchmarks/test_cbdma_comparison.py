@@ -1,0 +1,5 @@
+"""Benchmark — Sec 4.2: DSA vs CBDMA average throughput ratio."""
+
+
+def test_cbdma_comparison(experiment):
+    experiment("cbdma")

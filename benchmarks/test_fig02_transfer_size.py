@@ -1,0 +1,5 @@
+"""Benchmark — Fig 2: speedup over software vs transfer size (sync/async)."""
+
+
+def test_fig02_transfer_size(experiment):
+    experiment("fig2")

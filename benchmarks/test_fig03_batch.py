@@ -1,0 +1,5 @@
+"""Benchmark — Fig 3: copy throughput vs transfer and batch size."""
+
+
+def test_fig03_batch(experiment):
+    experiment("fig3")

@@ -1,0 +1,5 @@
+"""Benchmark — Fig 4: async copy throughput vs WQ size."""
+
+
+def test_fig04_wq_size(experiment):
+    experiment("fig4")

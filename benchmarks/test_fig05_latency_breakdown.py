@@ -1,0 +1,5 @@
+"""Benchmark — Fig 5: offload latency breakdown vs batch size."""
+
+
+def test_fig05_latency_breakdown(experiment):
+    experiment("fig5")

@@ -1,0 +1,5 @@
+"""Benchmark — Fig 6: NUMA and CXL memory configurations."""
+
+
+def test_fig06_memory_configs(experiment):
+    experiment("fig6")

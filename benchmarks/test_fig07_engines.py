@@ -1,0 +1,5 @@
+"""Benchmark — Fig 7: throughput vs engines per group."""
+
+
+def test_fig07_engines(experiment):
+    experiment("fig7")

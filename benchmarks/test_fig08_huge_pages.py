@@ -1,0 +1,5 @@
+"""Benchmark — Fig 8: huge-page impact."""
+
+
+def test_fig08_huge_pages(experiment):
+    experiment("fig8")

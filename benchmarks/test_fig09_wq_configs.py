@@ -1,0 +1,5 @@
+"""Benchmark — Fig 9: DWQ batching vs multiple DWQs vs SWQ threads."""
+
+
+def test_fig09_wq_configs(experiment):
+    experiment("fig9")

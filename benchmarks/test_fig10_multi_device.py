@@ -1,0 +1,5 @@
+"""Benchmark — Fig 10: multi-instance scaling and leaky DMA."""
+
+
+def test_fig10_multi_device(experiment):
+    experiment("fig10")

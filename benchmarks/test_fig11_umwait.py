@@ -1,0 +1,5 @@
+"""Benchmark — Fig 11: cycles spent in UMWAIT."""
+
+
+def test_fig11_umwait(experiment):
+    experiment("fig11")

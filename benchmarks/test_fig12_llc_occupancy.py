@@ -1,0 +1,5 @@
+"""Benchmark — Fig 12: LLC occupancy under co-running copies."""
+
+
+def test_fig12_llc_occupancy(experiment):
+    experiment("fig12")

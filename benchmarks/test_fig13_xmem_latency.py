@@ -1,0 +1,5 @@
+"""Benchmark — Fig 13: X-Mem latency vs working-set size."""
+
+
+def test_fig13_xmem_latency(experiment):
+    experiment("fig13")

@@ -1,0 +1,5 @@
+"""Benchmark — Fig 14: equal-total transfer/batch trade-off."""
+
+
+def test_fig14_equal_work(experiment):
+    experiment("fig14")

@@ -1,0 +1,5 @@
+"""Benchmark — Fig 15: LLC vs DRAM buffer placement."""
+
+
+def test_fig15_llc_placement(experiment):
+    experiment("fig15")

@@ -1,0 +1,5 @@
+"""Benchmark — Fig 16: DPDK Vhost forwarding with DSA."""
+
+
+def test_fig16_vhost(experiment):
+    experiment("fig16")

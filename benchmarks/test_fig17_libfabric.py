@@ -1,0 +1,5 @@
+"""Benchmark — Fig 17: libfabric/MPI/BERT speedups."""
+
+
+def test_fig17_libfabric(experiment):
+    experiment("fig17")

@@ -1,0 +1,5 @@
+"""Benchmark — Fig 19: CacheBench with transparent offload."""
+
+
+def test_fig19_cachelib(experiment):
+    experiment("fig19")

@@ -1,0 +1,5 @@
+"""Benchmark — Fig 21: SPDK NVMe/TCP CRC32 offload."""
+
+
+def test_fig21_spdk(experiment):
+    experiment("fig21")

@@ -1,0 +1,5 @@
+"""Benchmark — Sec 6: guidelines G1-G6 validated against the model."""
+
+
+def test_guidelines_validation(experiment):
+    experiment("guidelines")

@@ -1,0 +1,5 @@
+"""Benchmark — Table 1: every DSA operation, functional + timed."""
+
+
+def test_table1_operations(experiment):
+    experiment("table1")

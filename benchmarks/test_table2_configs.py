@@ -1,0 +1,5 @@
+"""Benchmark — Table 2: ICX and SPR platform configurations."""
+
+
+def test_table2_configs(experiment):
+    experiment("table2")

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Storage path: end-to-end data integrity with DIF and CRC32 offload.
+
+Models what an NVMe/TCP storage target does with DSA (paper Table 1 +
+Appendix C): on the write path it *inserts* T10-DIF protection per
+512-byte block; on the read path it *checks and strips* the protection
+and computes the CRC32C data digest for the wire — all as DSA
+descriptors operating on real bytes, then cross-checked in software.
+
+Run:  python examples/storage_data_integrity.py
+"""
+
+import numpy as np
+
+from repro import Opcode, WorkDescriptor, spr_platform
+from repro.dsa.crc import crc32c
+from repro.dsa.dif import DifContext
+from repro.mem import AddressSpace
+from repro.sim import make_rng
+from repro.workloads.spdk import DigestMode, SpdkConfig, run_spdk_target
+
+KB = 1024
+
+
+def offload(platform, device, descriptor):
+    device.submit(descriptor)
+    platform.env.run()
+    return descriptor.completion
+
+
+def main() -> None:
+    platform = spr_platform()
+    device = platform.driver.device("dsa0")
+    space = AddressSpace()
+    device.attach_space(space)
+    ctx = DifContext(block_size=512, app_tag=0x10, ref_tag_seed=1000)
+
+    # Write path: raw user data -> protected blocks (512 -> 520).
+    payload = space.allocate(8 * KB, backed=True)
+    payload.fill_random(make_rng(11))
+    protected = space.allocate(9 * KB, backed=True)
+    record = offload(
+        platform,
+        device,
+        WorkDescriptor(
+            Opcode.DIF_INSERT,
+            pasid=space.pasid,
+            src=payload.va,
+            dst=protected.va,
+            size=8 * KB,
+            dif=ctx,
+        ),
+    )
+    protected_bytes = record.bytes_completed
+    print(f"DIF insert: {payload.size} B -> {protected_bytes} B protected "
+          f"({record.status.name})")
+
+    # Read path step 1: verify protection information.
+    record = offload(
+        platform,
+        device,
+        WorkDescriptor(
+            Opcode.DIF_CHECK,
+            pasid=space.pasid,
+            src=protected.va,
+            size=protected_bytes,
+            dif=ctx,
+        ),
+    )
+    print(f"DIF check: {record.result} blocks verified ({record.status.name})")
+
+    # Read path step 2: strip protection and compute the data digest.
+    stripped = space.allocate(8 * KB, backed=True)
+    offload(
+        platform,
+        device,
+        WorkDescriptor(
+            Opcode.DIF_STRIP,
+            pasid=space.pasid,
+            src=protected.va,
+            dst=stripped.va,
+            size=protected_bytes,
+            dif=ctx,
+        ),
+    )
+    assert np.array_equal(stripped.data, payload.data), "round trip corrupted data"
+    digest = offload(
+        platform,
+        device,
+        WorkDescriptor(
+            Opcode.CRCGEN, pasid=space.pasid, src=stripped.va, size=8 * KB
+        ),
+    )
+    assert digest.result == crc32c(payload.data)
+    print(f"Data digest (CRC32C): {digest.result:#010x} — matches software")
+
+    # A corrupted block is caught.
+    protected.data[100] ^= 0xFF
+    record = offload(
+        platform,
+        device,
+        WorkDescriptor(
+            Opcode.DIF_CHECK,
+            pasid=space.pasid,
+            src=protected.va,
+            size=protected_bytes,
+            dif=ctx,
+        ),
+    )
+    print(f"DIF check after corruption: {record.status.name} (expected DIF_ERROR)")
+
+    # Appendix C in miniature: target IOPS with the digest offloaded.
+    print("\nNVMe/TCP target, 16 KB reads, 4 target cores:")
+    for mode in DigestMode:
+        result = run_spdk_target(
+            SpdkConfig(digest=mode, target_cores=4, queue_depth=128, ios=800)
+        )
+        print(
+            f"  {mode.value:5s}: {result.iops / 1e3:7.0f} kIOPS, "
+            f"mean latency {result.latency.mean / 1e3:.0f} us"
+        )
+    print("storage_data_integrity: OK")
+
+
+if __name__ == "__main__":
+    main()

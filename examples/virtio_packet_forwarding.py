@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Case study: accelerating DPDK Vhost packet copies with DSA (§6.4).
+
+Reproduces the Fig 16b sweep in miniature: forwards TestPMD-style
+bursts at several packet sizes with the CPU copy path and with the
+paper's optimized DSA integration (three-stage async pipeline, one
+batch descriptor per 32-packet burst, cache-control hint set, and the
+per-virtqueue recording array for in-order delivery).
+
+Run:  python examples/virtio_packet_forwarding.py
+"""
+
+from repro.workloads.vhost import VhostConfig, run_vhost
+
+
+def main() -> None:
+    print(f"{'pkt size':>8}  {'CPU Mpps':>9}  {'copy cycles':>11}  {'DSA Mpps':>9}  {'speedup':>7}")
+    for packet_size in (64, 128, 256, 512, 1024, 1518):
+        cpu = run_vhost(VhostConfig(packet_size=packet_size, bursts=80, use_dsa=False))
+        dsa = run_vhost(VhostConfig(packet_size=packet_size, bursts=80, use_dsa=True))
+        print(
+            f"{packet_size:>8}  {cpu.forwarding_rate_mpps:>9.2f}  "
+            f"{cpu.copy_cycle_fraction * 100:>10.0f}%  "
+            f"{dsa.forwarding_rate_mpps:>9.2f}  "
+            f"{dsa.forwarding_rate_mpps / cpu.forwarding_rate_mpps:>6.2f}x"
+        )
+
+    # Multiple virtqueues sharing DWQs: packets still arrive in order
+    # thanks to the recording array.
+    multi = run_vhost(VhostConfig(packet_size=512, bursts=40, n_queues=4, use_dsa=True))
+    print(
+        f"\n4 virtqueues: {multi.packets_forwarded} packets forwarded, "
+        f"{multi.reordered_packets} completed out of order (reordered in software), "
+        f"aggregate {multi.forwarding_rate_mpps:.2f} Mpps"
+    )
+    print("virtio_packet_forwarding: OK")
+
+
+if __name__ == "__main__":
+    main()

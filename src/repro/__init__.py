@@ -1,0 +1,75 @@
+"""repro — a simulator-based reproduction of the ASPLOS'24 paper
+"A Quantitative Analysis and Guidelines of Data Streaming Accelerator
+in Modern Intel Xeon Scalable Processors".
+
+The package models the complete system the paper measures:
+
+* :mod:`repro.sim` — discrete-event simulation kernel;
+* :mod:`repro.mem` — LLC (with DDIO ways), DRAM/NUMA/CXL tiers, IOMMU;
+* :mod:`repro.dsa` — the DSA device: descriptors, WQs, groups, engines,
+  with every Table 1 operation executed functionally on real bytes;
+* :mod:`repro.cbdma` — the previous-generation DMA baseline;
+* :mod:`repro.cpu` — cores, offload instructions, software kernels;
+* :mod:`repro.runtime` — driver, accel-config, DML, DTO software stack;
+* :mod:`repro.workloads` — dsa-perf-micros, X-Mem, Vhost, CacheLib,
+  SPDK, libfabric measurement drivers;
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro import MicrobenchConfig, run_dsa_microbench
+
+    result = run_dsa_microbench(MicrobenchConfig(transfer_size=65536))
+    print(result.throughput, "GB/s")
+"""
+
+from repro.platform import Platform, icx_platform, spr_platform
+from repro.dsa import (
+    BatchDescriptor,
+    CompletionRecord,
+    DeviceConfig,
+    DsaDevice,
+    DsaTimingParams,
+    Opcode,
+    StatusCode,
+    WorkDescriptor,
+    WqMode,
+)
+from repro.runtime import Dml, DmlPath, Dto, IdxdDriver
+from repro.workloads import (
+    MicrobenchConfig,
+    MicrobenchResult,
+    run_cbdma_microbench,
+    run_dsa_microbench,
+    run_software_microbench,
+)
+from repro.experiments import all_experiments, run_experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Platform",
+    "spr_platform",
+    "icx_platform",
+    "Opcode",
+    "WorkDescriptor",
+    "BatchDescriptor",
+    "CompletionRecord",
+    "StatusCode",
+    "DeviceConfig",
+    "WqMode",
+    "DsaTimingParams",
+    "DsaDevice",
+    "IdxdDriver",
+    "Dml",
+    "DmlPath",
+    "Dto",
+    "MicrobenchConfig",
+    "MicrobenchResult",
+    "run_dsa_microbench",
+    "run_software_microbench",
+    "run_cbdma_microbench",
+    "all_experiments",
+    "run_experiment",
+    "__version__",
+]

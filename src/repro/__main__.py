@@ -1,0 +1,102 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list                 # enumerate experiments
+    python -m repro run fig10            # run one, print its output
+    python -m repro run all --quick      # everything, reduced sweeps
+    python -m repro advise 65536         # G1-G6 advice for one transfer
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import all_experiments, run_experiment
+from repro.guidelines import OffloadAdvisor
+
+
+def _cmd_list(_args) -> int:
+    for exp_id in all_experiments():
+        print(exp_id)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    targets = all_experiments() if args.experiment == "all" else [args.experiment]
+    failures = 0
+    for exp_id in targets:
+        start = time.time()
+        result = run_experiment(exp_id, quick=args.quick)
+        print(result.render())
+        if args.chart and result.series:
+            from repro.analysis.ascii_chart import render_experiment_charts
+
+            print()
+            print(render_experiment_charts(result))
+        print(f"[{exp_id} finished in {time.time() - start:.1f}s]\n")
+        if not result.anchors_hold:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) missed paper anchors", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_advise(args) -> int:
+    advisor = OffloadAdvisor()
+    recommendation = advisor.recommend(
+        args.size,
+        asynchronous_possible=not args.sync_only,
+        contiguous=not args.scattered,
+        consumer_reads_soon=args.hot,
+        pollution_sensitive_corunners=args.pollution_sensitive,
+        submitting_threads=args.threads,
+        available_wqs=args.wqs,
+    )
+    verdict = "OFFLOAD to DSA" if recommendation.use_dsa else "keep on the CPU"
+    print(f"{args.size} bytes -> {verdict}")
+    if recommendation.use_dsa:
+        print(f"  mode:          {'async' if recommendation.asynchronous else 'sync'}")
+        print(f"  batch size:    {recommendation.batch_size}")
+        print(f"  cache control: {recommendation.cache_control}")
+        print(f"  WQ mode:       {recommendation.wq_mode.value}")
+    for reason in recommendation.reasons:
+        print(f"  - {reason}")
+    if recommendation.guidelines:
+        print(f"  guidelines applied: {', '.join(sorted(recommendation.guidelines))}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction harness for the ASPLOS'24 DSA paper",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids").set_defaults(func=_cmd_list)
+
+    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment")
+    run_parser.add_argument("--quick", action="store_true", help="reduced sweeps")
+    run_parser.add_argument("--chart", action="store_true", help="ASCII plots of the series")
+    run_parser.set_defaults(func=_cmd_run)
+
+    advise = sub.add_parser("advise", help="G1-G6 advice for a transfer size")
+    advise.add_argument("size", type=int)
+    advise.add_argument("--sync-only", action="store_true")
+    advise.add_argument("--scattered", action="store_true")
+    advise.add_argument("--hot", action="store_true", help="consumer reads the data soon")
+    advise.add_argument("--pollution-sensitive", action="store_true")
+    advise.add_argument("--threads", type=int, default=1)
+    advise.add_argument("--wqs", type=int, default=1)
+    advise.set_defaults(func=_cmd_advise)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Result-presentation helpers shared by experiments and benchmarks."""
+
+from repro.analysis.metrics import gib, human_size, percent, speedup
+from repro.analysis.series import Series
+from repro.analysis.tables import Table
+
+__all__ = ["Table", "Series", "speedup", "human_size", "gib", "percent"]

@@ -1,0 +1,107 @@
+"""ASCII charts: render experiment series as terminal figures.
+
+The benchmark harness prints tables; for eyeballing a *figure's shape*
+(crossovers, plateaus, collapses) a rough plot is clearer.  This
+renders one or more :class:`~repro.analysis.series.Series` into a
+character grid with a log-scaled x-axis option (the paper's transfer
+axes are logarithmic).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.analysis.series import Series
+
+#: Glyphs assigned to series in order.
+MARKS = "*o+x#@%&"
+
+
+def render_chart(
+    series_list: Sequence[Series],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = True,
+    title: Optional[str] = None,
+    y_label: str = "",
+) -> str:
+    """Render series into a text plot; returns the multi-line string."""
+    populated = [series for series in series_list if series.points]
+    if not populated:
+        raise ValueError("nothing to plot: every series is empty")
+    if width < 16 or height < 4:
+        raise ValueError(f"chart too small: {width}x{height}")
+
+    xs = [x for series in populated for x in series.xs]
+    ys = [y for series in populated for y in series.ys]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(min(ys), 0.0), max(ys)
+    if log_x and x_low <= 0:
+        log_x = False
+
+    def x_to_col(x: float) -> int:
+        if x_high == x_low:
+            return 0
+        if log_x:
+            span = math.log(x_high) - math.log(x_low)
+            frac = (math.log(x) - math.log(x_low)) / span
+        else:
+            frac = (x - x_low) / (x_high - x_low)
+        return min(width - 1, int(round(frac * (width - 1))))
+
+    def y_to_row(y: float) -> int:
+        if y_high == y_low:
+            return height - 1
+        frac = (y - y_low) / (y_high - y_low)
+        return height - 1 - min(height - 1, int(round(frac * (height - 1))))
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, series in enumerate(populated):
+        mark = MARKS[index % len(MARKS)]
+        for x, y in series.points:
+            grid[y_to_row(y)][x_to_col(x)] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_high:.4g}"
+    bottom_label = f"{y_low:.4g}"
+    gutter = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label
+        elif row_index == height - 1:
+            label = bottom_label
+        elif row_index == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{gutter}}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_axis = f"{x_low:.4g}".ljust(width - 8) + f"{x_high:.4g}"
+    lines.append(" " * (gutter + 1) + x_axis[:width])
+    legend = "  ".join(
+        f"{MARKS[i % len(MARKS)]} {series.label}" for i, series in enumerate(populated)
+    )
+    lines.append(" " * (gutter + 1) + legend)
+    return "\n".join(lines)
+
+
+def render_experiment_charts(result, width: int = 64, height: int = 14) -> str:
+    """Plot all of an ExperimentResult's series grouped on one chart
+    (or per-prefix charts when labels carry ``prefix:`` groupings)."""
+    if not result.series:
+        return f"({result.exp_id}: no series to plot)"
+    groups = {}
+    for label, series in result.series.items():
+        prefix = label.split(":", 1)[0] if ":" in label else ""
+        groups.setdefault(prefix, []).append(series)
+    charts = []
+    for prefix, members in groups.items():
+        title = f"{result.exp_id}" + (f" [{prefix}]" if prefix else "")
+        try:
+            charts.append(render_chart(members, width=width, height=height, title=title))
+        except ValueError:
+            continue
+    return "\n\n".join(charts)

@@ -1,0 +1,36 @@
+"""Small unit/metric helpers used when rendering results."""
+
+from __future__ import annotations
+
+
+def speedup(accelerated: float, baseline: float) -> float:
+    """How many times faster ``accelerated`` is than ``baseline``.
+
+    Inputs are rates (higher = better).  Returns 0 when the baseline
+    is degenerate rather than dividing by zero.
+    """
+    if baseline <= 0:
+        return 0.0
+    return accelerated / baseline
+
+
+def human_size(nbytes: float) -> str:
+    """Render a byte count the way the paper labels its x-axes."""
+    if nbytes < 0:
+        raise ValueError(f"negative size: {nbytes}")
+    if nbytes < 1024:
+        return f"{int(nbytes)}B"
+    if nbytes < 1024**2:
+        value = nbytes / 1024
+        return f"{value:.0f}KB" if value == int(value) else f"{value:.1f}KB"
+    value = nbytes / 1024**2
+    return f"{value:.0f}MB" if value == int(value) else f"{value:.1f}MB"
+
+
+def gib(nbytes: float) -> float:
+    """Bytes → GiB."""
+    return nbytes / 1024**3
+
+
+def percent(fraction: float) -> str:
+    return f"{fraction * 100:.1f}%"

@@ -1,0 +1,35 @@
+"""Labelled x/y series — the data behind each reproduced figure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class Series:
+    """One line of a figure: a label plus (x, y) points."""
+
+    label: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+    @property
+    def xs(self) -> List[float]:
+        return [x for x, _y in self.points]
+
+    @property
+    def ys(self) -> List[float]:
+        return [y for _x, y in self.points]
+
+    def y_at(self, x: float) -> float:
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise KeyError(f"series {self.label!r} has no point at x={x}")
+
+    def is_monotonic_increasing(self, tolerance: float = 0.0) -> bool:
+        ys = self.ys
+        return all(b >= a - tolerance for a, b in zip(ys, ys[1:]))

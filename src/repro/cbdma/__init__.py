@@ -1,0 +1,12 @@
+"""CBDMA — the previous-generation DMA engine baseline (paper §2).
+
+Crystal Beach DMA shipped in Ice Lake Xeons: a channel-based copy
+engine programmed through descriptor rings, requiring pinned physical
+memory and carrying a higher offload cost than DSA.  The paper
+measures DSA at ~2.1x CBDMA throughput; this model provides the
+comparison target.
+"""
+
+from repro.cbdma.device import CbdmaChannelBusyError, CbdmaDevice, CbdmaRequest, CbdmaTimingParams
+
+__all__ = ["CbdmaDevice", "CbdmaRequest", "CbdmaTimingParams", "CbdmaChannelBusyError"]

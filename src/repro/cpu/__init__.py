@@ -1,0 +1,20 @@
+"""Host CPU models: cores, offload instructions, software kernels.
+
+The software baselines the paper compares DSA against (glibc memcpy,
+ISA-L CRC32, etc.) are modelled as calibrated latency+bandwidth cost
+functions in :mod:`repro.cpu.swlib`; the new offload instructions
+(MOVDIR64B, ENQCMD, UMONITOR/UMWAIT — paper §3.3) are costed in
+:mod:`repro.cpu.instructions`.
+"""
+
+from repro.cpu.core import CpuCore, CycleCategory
+from repro.cpu.instructions import InstructionCosts
+from repro.cpu.swlib import SoftwareKernels, SwKernelParams
+
+__all__ = [
+    "CpuCore",
+    "CycleCategory",
+    "InstructionCosts",
+    "SoftwareKernels",
+    "SwKernelParams",
+]

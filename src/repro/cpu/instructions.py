@@ -1,0 +1,54 @@
+"""Cost model of the offload-path x86 instructions (paper §3.3).
+
+* ``MOVDIR64B`` — posted 64-byte store to a DWQ portal: the core
+  retires it quickly and can stream descriptors back-to-back.
+* ``ENQCMD``/``ENQCMDS`` — *non-posted* submission to an SWQ: the core
+  waits for the accept/retry status, a full round trip to the device.
+  This asymmetry is why an SWQ batch of n behaves like n streaming
+  cores (Fig 3) and why few-thread SWQ throughput trails DWQs (Fig 9).
+* ``UMONITOR``/``UMWAIT`` — arm an address monitor and sleep in an
+  optimized power state until the completion record changes (Fig 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InstructionCosts:
+    """Latencies (ns) of the offload instructions on the SPR core."""
+
+    movdir64b_ns: float = 45.0
+    enqcmd_ns: float = 350.0
+    umonitor_ns: float = 20.0
+    #: Wake-up latency from the UMWAIT optimized wait state.
+    umwait_wake_ns: float = 60.0
+    #: One polling check of a completion record (cached load + branch).
+    poll_check_ns: float = 8.0
+    #: Interrupt delivery + handler, if interrupts are used instead.
+    interrupt_ns: float = 2400.0
+    #: Plain descriptor allocation from the heap (Fig 5's "allocation";
+    #: real applications pre-allocate and amortize this away).
+    descriptor_alloc_ns: float = 380.0
+    #: Writing the handful of descriptor fields (Fig 5's "prepare").
+    descriptor_prepare_ns: float = 18.0
+
+    def validate(self) -> None:
+        values = (
+            self.movdir64b_ns,
+            self.enqcmd_ns,
+            self.umonitor_ns,
+            self.umwait_wake_ns,
+            self.poll_check_ns,
+            self.interrupt_ns,
+            self.descriptor_alloc_ns,
+            self.descriptor_prepare_ns,
+        )
+        if any(v <= 0 for v in values):
+            raise ValueError("instruction costs must be positive")
+        if self.enqcmd_ns <= self.movdir64b_ns:
+            raise ValueError(
+                "ENQCMD is non-posted and must cost more than MOVDIR64B "
+                f"(got {self.enqcmd_ns} <= {self.movdir64b_ns})"
+            )

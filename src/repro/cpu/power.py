@@ -1,0 +1,75 @@
+"""Core power model for the §4.4 energy discussion.
+
+The paper's Fig 11 argument: cycles parked in UMWAIT sit in an
+optimized low-power state, so offloading saves *dynamic energy*, not
+just cycles.  This model assigns a power draw to each cycle category
+and integrates a core's accounted time into energy.
+
+The per-state numbers are representative of one Golden Cove core at a
+nominal operating point (order-of-magnitude realistic; only ratios
+matter for the conclusions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cpu.core import CpuCore, CycleCategory
+
+
+@dataclass(frozen=True)
+class CorePowerParams:
+    """Watts drawn per cycle-accounting category."""
+
+    busy_w: float = 4.5  # executing at full tilt (streaming kernels)
+    spin_w: float = 4.2  # polling a completion record
+    umwait_w: float = 1.1  # optimized wait state (C0.2-like)
+    idle_w: float = 0.8  # halted, waiting for an interrupt
+
+    def validate(self) -> None:
+        ordered = (self.idle_w, self.umwait_w, self.spin_w, self.busy_w)
+        if any(w <= 0 for w in ordered):
+            raise ValueError("power draws must be positive")
+        if not self.idle_w <= self.umwait_w <= self.spin_w <= self.busy_w:
+            raise ValueError(
+                "expected idle <= umwait <= spin <= busy power ordering"
+            )
+
+    def draw(self, category: CycleCategory) -> float:
+        if category is CycleCategory.UMWAIT:
+            return self.umwait_w
+        if category is CycleCategory.WAIT_SPIN:
+            return self.spin_w
+        if category is CycleCategory.IDLE:
+            return self.idle_w
+        return self.busy_w
+
+
+class CoreEnergyMeter:
+    """Integrates a core's accounted time into energy (joules)."""
+
+    def __init__(self, params: CorePowerParams = CorePowerParams()):
+        params.validate()
+        self.params = params
+
+    def energy_joules(self, core: CpuCore) -> float:
+        """Energy for everything the core has booked so far."""
+        total = 0.0
+        for category in CycleCategory:
+            total += core.time_in(category) * 1e-9 * self.params.draw(category)
+        return total
+
+    def breakdown(self, core: CpuCore) -> Dict[str, float]:
+        return {
+            category.value: core.time_in(category) * 1e-9 * self.params.draw(category)
+            for category in CycleCategory
+            if core.time_in(category) > 0
+        }
+
+    def average_power(self, core: CpuCore) -> float:
+        """Mean watts over the core's accounted time."""
+        accounted = core.accounted_time
+        if accounted <= 0:
+            return 0.0
+        return self.energy_joules(core) / (accounted * 1e-9)

@@ -1,0 +1,40 @@
+"""Intel DSA device model — the paper's subject system.
+
+Everything DSA-specific lives here: descriptor formats and operations
+(Table 1 of the paper, executed functionally on real bytes), work
+queues (dedicated/shared), groups with configurable processing engines
+and QoS arbitration, the batch unit, the device-side address
+translation cache, and the timing model calibrated against the paper's
+published shapes (see DESIGN.md §3).
+"""
+
+from repro.dsa.opcodes import Opcode, DescriptorFlags
+from repro.dsa.descriptor import BatchDescriptor, CompletionRecord, WorkDescriptor
+from repro.dsa.errors import StatusCode
+from repro.dsa.config import (
+    DeviceConfig,
+    DsaTimingParams,
+    EngineConfig,
+    GroupConfig,
+    WqConfig,
+    WqMode,
+)
+from repro.dsa.device import DsaDevice
+from repro.dsa.wq import WorkQueue
+
+__all__ = [
+    "Opcode",
+    "DescriptorFlags",
+    "WorkDescriptor",
+    "BatchDescriptor",
+    "CompletionRecord",
+    "StatusCode",
+    "DeviceConfig",
+    "GroupConfig",
+    "WqConfig",
+    "WqMode",
+    "EngineConfig",
+    "DsaTimingParams",
+    "DsaDevice",
+    "WorkQueue",
+]

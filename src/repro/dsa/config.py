@@ -1,0 +1,270 @@
+"""Device configuration records and the calibrated timing parameters.
+
+Configuration mirrors what ``accel-config`` validates on real hardware
+(paper §3.3): up to 8 work queues sharing 128 entries, 4 engines, and
+flexible group assignment.  :class:`DsaTimingParams` is the single
+place all DSA-side latency/bandwidth calibration lives; DESIGN.md §3
+lists the published anchors these values were fit against.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dsa.errors import ConfigurationError
+
+#: Architectural resource limits of one DSA instance.
+MAX_WQS = 8
+MAX_ENGINES = 4
+MAX_GROUPS = 4
+TOTAL_WQ_ENTRIES = 128
+MAX_WQ_PRIORITY = 15
+
+
+class WqMode(enum.Enum):
+    """Dedicated (MOVDIR64B) vs shared (ENQCMD) work queues (§3.2)."""
+
+    DEDICATED = "dedicated"
+    SHARED = "shared"
+
+
+@dataclass(frozen=True)
+class DsaTimingParams:
+    """Calibrated latencies (ns) and bandwidths (GB/s) of the model.
+
+    Shape anchors (DESIGN.md §3): sync crossover vs software memcpy at
+    ~4 KB, async crossover ~256 B, 30 GB/s fabric saturation, ENQCMD
+    batch-of-n ≈ n streaming cores, leaky-DMA collapse to ~23 GB/s per
+    device.
+    """
+
+    #: MOVDIR64B portal write (posted — core continues immediately).
+    portal_write_ns: float = 45.0
+    #: ENQCMD/ENQCMDS non-posted round trip (retry status returned).
+    enqcmd_ns: float = 350.0
+    #: Group arbiter handing a descriptor from WQ head to a PE.
+    dispatch_ns: float = 15.0
+    #: Serial per-descriptor processing in the PE's descriptor unit.
+    pe_setup_ns: float = 40.0
+    #: ATC hit latency; misses add IOMMU costs.
+    atc_hit_ns: float = 8.0
+    #: Batch unit: one memory round trip to fetch the descriptor array.
+    batch_fetch_base_ns: float = 110.0
+    batch_fetch_per_descriptor_ns: float = 6.0
+    #: Completion-record write (always steered to LLC).
+    completion_write_ns: float = 25.0
+    #: Per-device fabric throughput limit (the 30 GB/s saturation).
+    fabric_bandwidth: float = 30.0
+    #: Concurrent descriptors one PE's read buffers keep in flight
+    #: (the device has 128 read buffers; ~32 per engine when four are
+    #: configured — §3.4's configurable read-buffer allocation).
+    read_buffers_per_engine: int = 32
+    #: Extra fabric demand per written byte in the leaky-DMA regime
+    #: (DRAM write path stalls); 30/1.3 ≈ 23 GB/s per device (Fig 10).
+    leaky_write_amplification: float = 1.3
+    #: Device-side address translation cache capacity (entries).
+    atc_entries: int = 128
+    #: Streaming rate of the cache-flush operation.
+    cache_flush_bandwidth: float = 100.0
+
+    def validate(self) -> None:
+        positive = (
+            self.portal_write_ns,
+            self.enqcmd_ns,
+            self.dispatch_ns,
+            self.pe_setup_ns,
+            self.fabric_bandwidth,
+            self.cache_flush_bandwidth,
+        )
+        if any(v <= 0 for v in positive):
+            raise ConfigurationError("timing parameters must be positive")
+        if self.read_buffers_per_engine < 1:
+            raise ConfigurationError("need at least one read buffer per engine")
+        if self.leaky_write_amplification < 1.0:
+            raise ConfigurationError("leaky amplification cannot be < 1")
+
+
+@dataclass(frozen=True)
+class WqConfig:
+    """One work queue: size (entries), mode, and QoS priority."""
+
+    wq_id: int
+    size: int = 32
+    mode: WqMode = WqMode.DEDICATED
+    priority: int = 1
+
+    def validate(self) -> None:
+        if not 0 <= self.wq_id < MAX_WQS:
+            raise ConfigurationError(f"wq id {self.wq_id} out of range [0,{MAX_WQS})")
+        if not 1 <= self.size <= TOTAL_WQ_ENTRIES:
+            raise ConfigurationError(f"wq size {self.size} out of range [1,{TOTAL_WQ_ENTRIES}]")
+        if not 1 <= self.priority <= MAX_WQ_PRIORITY:
+            raise ConfigurationError(
+                f"priority {self.priority} out of range [1,{MAX_WQ_PRIORITY}]"
+            )
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """One processing engine (identity only; rates come from timing)."""
+
+    engine_id: int
+
+    def validate(self) -> None:
+        if not 0 <= self.engine_id < MAX_ENGINES:
+            raise ConfigurationError(
+                f"engine id {self.engine_id} out of range [0,{MAX_ENGINES})"
+            )
+
+
+#: Read buffers shared by the whole device (§3.4: configurable per use).
+TOTAL_READ_BUFFERS = 128
+
+
+@dataclass(frozen=True)
+class GroupConfig:
+    """A group: the WQs feeding it and the PEs serving it (§3.2).
+
+    ``read_buffers_per_engine`` optionally overrides the device-wide
+    default — the §3.4 QoS knob: shrinking one group's buffers limits
+    its achievable bandwidth but frees buffers for other groups.
+    """
+
+    group_id: int
+    wq_ids: Tuple[int, ...]
+    engine_ids: Tuple[int, ...]
+    read_buffers_per_engine: Optional[int] = None
+
+    def validate(self) -> None:
+        if not 0 <= self.group_id < MAX_GROUPS:
+            raise ConfigurationError(f"group id {self.group_id} out of range [0,{MAX_GROUPS})")
+        if not self.wq_ids:
+            raise ConfigurationError(f"group {self.group_id} has no work queues")
+        if not self.engine_ids:
+            raise ConfigurationError(f"group {self.group_id} has no engines")
+        if self.read_buffers_per_engine is not None and self.read_buffers_per_engine < 1:
+            raise ConfigurationError(
+                f"group {self.group_id}: need at least one read buffer per engine"
+            )
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Full device layout submitted via the accel-config path."""
+
+    wqs: Tuple[WqConfig, ...]
+    engines: Tuple[EngineConfig, ...]
+    groups: Tuple[GroupConfig, ...]
+
+    def validate(self) -> None:
+        if len(self.wqs) > MAX_WQS:
+            raise ConfigurationError(f"too many WQs: {len(self.wqs)} > {MAX_WQS}")
+        if len(self.engines) > MAX_ENGINES:
+            raise ConfigurationError(f"too many engines: {len(self.engines)} > {MAX_ENGINES}")
+        if len(self.groups) > MAX_GROUPS:
+            raise ConfigurationError(f"too many groups: {len(self.groups)} > {MAX_GROUPS}")
+        for wq in self.wqs:
+            wq.validate()
+        for engine in self.engines:
+            engine.validate()
+        for group in self.groups:
+            group.validate()
+        if sum(wq.size for wq in self.wqs) > TOTAL_WQ_ENTRIES:
+            raise ConfigurationError(
+                f"WQ entries exceed device total of {TOTAL_WQ_ENTRIES}"
+            )
+        wq_ids = [wq.wq_id for wq in self.wqs]
+        if len(set(wq_ids)) != len(wq_ids):
+            raise ConfigurationError("duplicate WQ ids")
+        engine_ids = [engine.engine_id for engine in self.engines]
+        if len(set(engine_ids)) != len(engine_ids):
+            raise ConfigurationError("duplicate engine ids")
+        group_ids = [group.group_id for group in self.groups]
+        if len(set(group_ids)) != len(group_ids):
+            raise ConfigurationError("duplicate group ids")
+        self._check_memberships(set(wq_ids), set(engine_ids))
+        self._check_read_buffers()
+
+    def _check_read_buffers(self) -> None:
+        allocated = 0
+        for group in self.groups:
+            if group.read_buffers_per_engine is not None:
+                allocated += group.read_buffers_per_engine * len(group.engine_ids)
+        if allocated > TOTAL_READ_BUFFERS:
+            raise ConfigurationError(
+                f"read buffers over-committed: {allocated} > {TOTAL_READ_BUFFERS}"
+            )
+
+    def _check_memberships(self, wq_ids: set, engine_ids: set) -> None:
+        seen_wqs: Dict[int, int] = {}
+        seen_engines: Dict[int, int] = {}
+        for group in self.groups:
+            for wq_id in group.wq_ids:
+                if wq_id not in wq_ids:
+                    raise ConfigurationError(f"group {group.group_id}: unknown WQ {wq_id}")
+                if wq_id in seen_wqs:
+                    raise ConfigurationError(f"WQ {wq_id} assigned to multiple groups")
+                seen_wqs[wq_id] = group.group_id
+            for engine_id in group.engine_ids:
+                if engine_id not in engine_ids:
+                    raise ConfigurationError(
+                        f"group {group.group_id}: unknown engine {engine_id}"
+                    )
+                if engine_id in seen_engines:
+                    raise ConfigurationError(
+                        f"engine {engine_id} assigned to multiple groups"
+                    )
+                seen_engines[engine_id] = group.group_id
+
+    # -- convenience layouts -------------------------------------------------
+    @classmethod
+    def single(
+        cls,
+        wq_size: int = 32,
+        n_engines: int = 1,
+        mode: WqMode = WqMode.DEDICATED,
+        priority: int = 1,
+    ) -> "DeviceConfig":
+        """One group, one WQ, ``n_engines`` PEs — the paper's §4 setup."""
+        return cls(
+            wqs=(WqConfig(wq_id=0, size=wq_size, mode=mode, priority=priority),),
+            engines=tuple(EngineConfig(i) for i in range(n_engines)),
+            groups=(GroupConfig(0, wq_ids=(0,), engine_ids=tuple(range(n_engines))),),
+        )
+
+    @classmethod
+    def multi_wq(
+        cls,
+        n_wqs: int,
+        wq_size: int = 16,
+        mode: WqMode = WqMode.DEDICATED,
+        engines_per_wq: int = 1,
+        priorities: Optional[List[int]] = None,
+    ) -> "DeviceConfig":
+        """``n_wqs`` groups of one WQ + ``engines_per_wq`` PEs each (Fig 9)."""
+        priorities = priorities or [1] * n_wqs
+        wqs = tuple(
+            WqConfig(wq_id=i, size=wq_size, mode=mode, priority=priorities[i])
+            for i in range(n_wqs)
+        )
+        engines = tuple(EngineConfig(i) for i in range(n_wqs * engines_per_wq))
+        groups = tuple(
+            GroupConfig(
+                i,
+                wq_ids=(i,),
+                engine_ids=tuple(range(i * engines_per_wq, (i + 1) * engines_per_wq)),
+            )
+            for i in range(n_wqs)
+        )
+        return cls(wqs=wqs, engines=engines, groups=groups)
+
+    @classmethod
+    def paper_default(cls) -> "DeviceConfig":
+        """Table 2 layout: 8 WQs and 4 engines in one group."""
+        return cls(
+            wqs=tuple(WqConfig(wq_id=i, size=16) for i in range(8)),
+            engines=tuple(EngineConfig(i) for i in range(4)),
+            groups=(GroupConfig(0, wq_ids=tuple(range(8)), engine_ids=(0, 1, 2, 3)),),
+        )

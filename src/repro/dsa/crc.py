@@ -1,0 +1,102 @@
+"""Table-driven CRC implementations used by the operation layer.
+
+DSA's CRC Generation operation produces a CRC-32C (Castagnoli)
+checksum, the storage-stack polynomial that SPDK's data-digest path
+offloads (paper Appendix C).  The T10-DIF guard field uses CRC-16/T10.
+Both are implemented from first principles (reflected and
+non-reflected table-driven, no zlib/binascii), so they are testable and
+usable by the functional layer on raw numpy byte arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+#: CRC-32C (Castagnoli), reflected. Used by DSA CRC generation.
+POLY_CRC32C = 0x1EDC6F41
+#: CRC-32 (IEEE 802.3), reflected.  Offered for comparison baselines.
+POLY_CRC32_IEEE = 0x04C11DB7
+#: CRC-16/T10-DIF, non-reflected.  Guard tag of the DIF format.
+POLY_CRC16_T10 = 0x8BB7
+
+Bytes = Union[bytes, bytearray, memoryview, np.ndarray]
+
+
+def _reflect(value: int, width: int) -> int:
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def _make_reflected_table(poly: int, width: int) -> np.ndarray:
+    """Byte-at-a-time table for a reflected CRC of ``width`` bits."""
+    reflected_poly = _reflect(poly, width)
+    table = np.zeros(256, dtype=np.uint64)
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ reflected_poly if crc & 1 else crc >> 1
+        table[byte] = crc
+    return table
+
+
+def _make_forward_table(poly: int, width: int) -> np.ndarray:
+    """Byte-at-a-time table for a non-reflected CRC."""
+    top = 1 << (width - 1)
+    mask = (1 << width) - 1
+    table = np.zeros(256, dtype=np.uint64)
+    for byte in range(256):
+        crc = byte << (width - 8)
+        for _ in range(8):
+            crc = ((crc << 1) ^ poly) & mask if crc & top else (crc << 1) & mask
+        table[byte] = crc
+    return table
+
+
+_CRC32C_TABLE = _make_reflected_table(POLY_CRC32C, 32)
+_CRC32_IEEE_TABLE = _make_reflected_table(POLY_CRC32_IEEE, 32)
+_CRC16_T10_TABLE = _make_forward_table(POLY_CRC16_T10, 16)
+
+
+def _as_byte_array(data: Bytes) -> np.ndarray:
+    if isinstance(data, np.ndarray):
+        if data.dtype != np.uint8:
+            raise TypeError(f"expected uint8 array, got {data.dtype}")
+        return data
+    return np.frombuffer(bytes(data), dtype=np.uint8)
+
+
+def _reflected_crc(data: np.ndarray, table: np.ndarray, seed: int) -> int:
+    crc = seed
+    for byte in data.tolist():
+        crc = int(table[(crc ^ byte) & 0xFF]) ^ (crc >> 8)
+    return crc
+
+
+def crc32c(data: Bytes, seed: int = 0) -> int:
+    """CRC-32C of ``data``; ``seed`` allows chained/partial computation.
+
+    Matches the conventional CRC-32C definition: init and final XOR
+    with 0xFFFFFFFF, reflected input/output.
+    """
+    arr = _as_byte_array(data)
+    return _reflected_crc(arr, _CRC32C_TABLE, (seed ^ 0xFFFFFFFF)) ^ 0xFFFFFFFF
+
+
+def crc32_ieee(data: Bytes, seed: int = 0) -> int:
+    """Standard zlib-compatible CRC-32."""
+    arr = _as_byte_array(data)
+    return _reflected_crc(arr, _CRC32_IEEE_TABLE, (seed ^ 0xFFFFFFFF)) ^ 0xFFFFFFFF
+
+
+def crc16_t10(data: Bytes, seed: int = 0) -> int:
+    """CRC-16/T10-DIF guard-tag checksum (non-reflected, init 0)."""
+    arr = _as_byte_array(data)
+    crc = seed & 0xFFFF
+    for byte in arr.tolist():
+        crc = (int(_CRC16_T10_TABLE[((crc >> 8) ^ byte) & 0xFF]) ^ (crc << 8)) & 0xFFFF
+    return crc

@@ -1,0 +1,105 @@
+"""Delta record creation and application (paper Table 1, Compare type).
+
+A delta record captures the differences between an *original* and a
+*modified* buffer at 8-byte granularity, exactly like DSA: each record
+entry is a 2-byte offset index (in 8-byte units) plus the 8 modified
+bytes — 10 bytes per differing chunk.  Applying a delta to the original
+buffer reconstructs the modified buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+#: Comparison granularity, fixed by the DSA architecture.
+CHUNK = 8
+#: Bytes per delta-record entry: uint16 offset index + 8 data bytes.
+ENTRY_BYTES = 10
+#: Offsets are 16-bit chunk indices, capping the comparable region.
+MAX_DELTA_SOURCE = CHUNK * 0x10000
+
+
+class DeltaOverflowError(ValueError):
+    """The differences exceed the caller's maximum delta size."""
+
+
+@dataclass
+class DeltaRecord:
+    """Differences between two equal-length buffers."""
+
+    source_size: int
+    entries: List[Tuple[int, bytes]] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized record size (what DSA reports and writes)."""
+        return len(self.entries) * ENTRY_BYTES
+
+    def serialize(self) -> np.ndarray:
+        out = np.zeros(self.size_bytes, dtype=np.uint8)
+        cursor = 0
+        for index, data in self.entries:
+            out[cursor] = index & 0xFF
+            out[cursor + 1] = (index >> 8) & 0xFF
+            out[cursor + 2 : cursor + 10] = np.frombuffer(data, dtype=np.uint8)
+            cursor += ENTRY_BYTES
+        return out
+
+    @classmethod
+    def deserialize(cls, blob: np.ndarray, source_size: int) -> "DeltaRecord":
+        if len(blob) % ENTRY_BYTES:
+            raise ValueError(f"delta blob length {len(blob)} not a multiple of {ENTRY_BYTES}")
+        entries = []
+        for cursor in range(0, len(blob), ENTRY_BYTES):
+            index = int(blob[cursor]) | (int(blob[cursor + 1]) << 8)
+            entries.append((index, bytes(blob[cursor + 2 : cursor + 10])))
+        return cls(source_size=source_size, entries=entries)
+
+
+def create_delta(
+    original: np.ndarray, modified: np.ndarray, max_delta_size: int = MAX_DELTA_SOURCE
+) -> DeltaRecord:
+    """Build the delta record turning ``original`` into ``modified``.
+
+    Raises :class:`DeltaOverflowError` when the record would exceed
+    ``max_delta_size`` — DSA reports this condition in the completion
+    record so software can fall back to a full copy.
+    """
+    if original.shape != modified.shape:
+        raise ValueError(
+            f"buffers differ in size: {original.shape} vs {modified.shape}"
+        )
+    size = len(original)
+    if size % CHUNK:
+        raise ValueError(f"buffer size {size} not a multiple of {CHUNK}")
+    if size > MAX_DELTA_SOURCE:
+        raise ValueError(f"source too large for 16-bit chunk offsets: {size}")
+    orig64 = original.view(np.uint64)
+    mod64 = modified.view(np.uint64)
+    differing = np.nonzero(orig64 != mod64)[0]
+    record = DeltaRecord(source_size=size)
+    for index in differing.tolist():
+        if (len(record.entries) + 1) * ENTRY_BYTES > max_delta_size:
+            raise DeltaOverflowError(
+                f"delta exceeds {max_delta_size} bytes at chunk {index}"
+            )
+        chunk = modified[index * CHUNK : (index + 1) * CHUNK]
+        record.entries.append((index, bytes(chunk)))
+    return record
+
+
+def apply_delta(original: np.ndarray, record: DeltaRecord) -> np.ndarray:
+    """Reconstruct the modified buffer: ``apply(create(a, b), a) == b``."""
+    if len(original) != record.source_size:
+        raise ValueError(
+            f"record built for {record.source_size} bytes, got {len(original)}"
+        )
+    result = original.copy()
+    for index, data in record.entries:
+        if (index + 1) * CHUNK > len(result):
+            raise ValueError(f"delta entry {index} beyond buffer end")
+        result[index * CHUNK : (index + 1) * CHUNK] = np.frombuffer(data, dtype=np.uint8)
+    return result

@@ -1,0 +1,142 @@
+"""Work descriptors, batch descriptors, and completion records.
+
+A work descriptor is the 64-byte unit software submits through a
+portal (paper §3.2).  The model keeps the architecturally meaningful
+fields plus timing probes used by the latency-breakdown experiments
+(Fig 5): when each lifecycle step happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.dsa.dif import DifContext
+from repro.dsa.errors import StatusCode
+from repro.dsa.opcodes import DescriptorFlags, MAX_BATCH_SIZE, MAX_TRANSFER_SIZE, Opcode
+
+#: Architectural size of one work descriptor in bytes.
+DESCRIPTOR_BYTES = 64
+#: Architectural size of one completion record in bytes.
+COMPLETION_RECORD_BYTES = 32
+
+
+@dataclass
+class CompletionRecord:
+    """What the device writes back when a descriptor finishes."""
+
+    status: StatusCode = StatusCode.NONE
+    bytes_completed: int = 0
+    #: Operation-specific result: CRC value, compare verdict, delta size.
+    result: int = 0
+    fault_address: Optional[int] = None
+
+    @property
+    def done(self) -> bool:
+        """True once the device has written any terminal status."""
+        return self.status != StatusCode.NONE
+
+
+@dataclass
+class Timestamps:
+    """Lifecycle probe points for the Fig 5 latency breakdown."""
+
+    allocated: Optional[float] = None
+    prepared: Optional[float] = None
+    submitted: Optional[float] = None
+    dispatched: Optional[float] = None
+    completed: Optional[float] = None
+
+    def wait_time(self) -> float:
+        if self.submitted is None or self.completed is None:
+            raise ValueError("descriptor lifecycle incomplete")
+        return self.completed - self.submitted
+
+
+@dataclass
+class WorkDescriptor:
+    """One 64-byte operation request."""
+
+    opcode: Opcode
+    pasid: int = 0
+    flags: DescriptorFlags = DescriptorFlags.REQUEST_COMPLETION | DescriptorFlags.BLOCK_ON_FAULT
+    src: int = 0
+    src2: int = 0
+    dst: int = 0
+    dst2: int = 0
+    size: int = 0
+    pattern: int = 0
+    #: High half of a 16-byte pattern (Table 1: 8/16-byte patterns).
+    pattern2: int = 0
+    #: Pattern width in bytes: 8 (default) or 16.
+    pattern_bytes: int = 8
+    dif: Optional[DifContext] = None
+    dif_new: Optional[DifContext] = None
+    delta_max_size: int = 1 << 17
+    #: For APPLY_DELTA: length in bytes of the delta blob at ``src``.
+    delta_size: int = 0
+    completion: CompletionRecord = field(default_factory=CompletionRecord)
+    times: Timestamps = field(default_factory=Timestamps)
+    #: Triggered by the device when the completion record is written.
+    completion_event: Optional[object] = None
+    #: Fabric-share weight, set by the arbiter from the WQ priority
+    #: (the §3.4 QoS/traffic-class behaviour under port contention).
+    dispatch_weight: float = 1.0
+
+    def validate(self) -> Optional[StatusCode]:
+        """Static descriptor checks the device performs before execution."""
+        if not isinstance(self.opcode, Opcode):
+            return StatusCode.INVALID_OPCODE
+        if self.opcode not in (Opcode.NOOP, Opcode.DRAIN, Opcode.BATCH):
+            if self.size <= 0 or self.size > MAX_TRANSFER_SIZE:
+                return StatusCode.INVALID_SIZE
+        if self.opcode in (Opcode.FILL, Opcode.COMPARE_PATTERN):
+            if not (0 <= self.pattern < 2**64 and 0 <= self.pattern2 < 2**64):
+                return StatusCode.INVALID_FLAGS
+            if self.pattern_bytes not in (8, 16):
+                return StatusCode.INVALID_FLAGS
+        dif_opcodes = (Opcode.DIF_CHECK, Opcode.DIF_INSERT, Opcode.DIF_STRIP, Opcode.DIF_UPDATE)
+        if self.opcode in dif_opcodes and self.dif is None:
+            return StatusCode.INVALID_FLAGS
+        return None
+
+    @property
+    def cache_control(self) -> bool:
+        return bool(self.flags & DescriptorFlags.CACHE_CONTROL)
+
+    @property
+    def block_on_fault(self) -> bool:
+        return bool(self.flags & DescriptorFlags.BLOCK_ON_FAULT)
+
+
+@dataclass
+class BatchDescriptor:
+    """Descriptor pointing at an array of work descriptors (F2)."""
+
+    descriptors: List[WorkDescriptor]
+    pasid: int = 0
+    flags: DescriptorFlags = DescriptorFlags.REQUEST_COMPLETION
+    completion: CompletionRecord = field(default_factory=CompletionRecord)
+    times: Timestamps = field(default_factory=Timestamps)
+    #: Triggered by the device when the batch completion is written.
+    completion_event: Optional[object] = None
+    #: Fabric-share weight inherited by the batch's members.
+    dispatch_weight: float = 1.0
+
+    def validate(self) -> Optional[StatusCode]:
+        if not self.descriptors:
+            return StatusCode.INVALID_SIZE
+        if len(self.descriptors) > MAX_BATCH_SIZE:
+            return StatusCode.INVALID_SIZE
+        for descriptor in self.descriptors:
+            if isinstance(descriptor, BatchDescriptor):
+                return StatusCode.INVALID_OPCODE  # batches cannot nest
+        return None
+
+    @property
+    def size(self) -> int:
+        """Aggregate payload bytes across the batch."""
+        return sum(d.size for d in self.descriptors)
+
+    def __len__(self) -> int:
+        return len(self.descriptors)

@@ -1,0 +1,189 @@
+"""The DSA device: portals, groups, engines, ATC, fabric port.
+
+One :class:`DsaDevice` is one RCiEP instance (paper §3.2).  Multiple
+devices can share a :class:`~repro.mem.system.MemorySystem` to model
+the multi-instance scaling of Fig 10 — they contend for DRAM links and
+for the LLC's DDIO partition, whose overflow triggers the leaky-DMA
+regime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.dsa.atc import DeviceAtc
+from repro.dsa.config import DeviceConfig, DsaTimingParams
+from repro.dsa.descriptor import BatchDescriptor, WorkDescriptor
+from repro.dsa.engine import ProcessingEngine
+from repro.dsa.group import Group
+from repro.dsa.opcodes import Opcode
+from repro.dsa.wq import WorkQueue
+from repro.mem.address import AddressSpace
+from repro.mem.link import FairShareLink
+from repro.mem.system import MemorySystem
+from repro.sim.engine import Environment, Event
+
+Descriptor = Union[WorkDescriptor, BatchDescriptor]
+
+
+def estimate_write_bytes(descriptor: Descriptor) -> int:
+    """Destination bytes a descriptor will stream (leak accounting)."""
+    if isinstance(descriptor, BatchDescriptor):
+        return sum(estimate_write_bytes(d) for d in descriptor.descriptors)
+    op, size = descriptor.opcode, descriptor.size
+    if op is Opcode.DUALCAST:
+        return 2 * size
+    if op in (
+        Opcode.MEMMOVE,
+        Opcode.COPY_CRC,
+        Opcode.FILL,
+        Opcode.APPLY_DELTA,
+        Opcode.DIF_INSERT,
+        Opcode.DIF_STRIP,
+        Opcode.DIF_UPDATE,
+    ):
+        return size
+    if op is Opcode.CREATE_DELTA:
+        return max(1, size // 8)
+    return 0
+
+
+class DsaDevice:
+    """One configured DSA instance attached to a memory system."""
+
+    def __init__(
+        self,
+        env: Environment,
+        memsys: MemorySystem,
+        config: Optional[DeviceConfig] = None,
+        timing: Optional[DsaTimingParams] = None,
+        name: str = "dsa0",
+        socket: int = 0,
+    ):
+        self.env = env
+        self.memsys = memsys
+        self.config = config or DeviceConfig.single()
+        self.config.validate()
+        self.timing = timing or DsaTimingParams()
+        self.timing.validate()
+        self.name = name
+        self.socket = socket
+        self.atc = DeviceAtc(
+            memsys.iommu, entries=self.timing.atc_entries, hit_latency=self.timing.atc_hit_ns
+        )
+        self.port = FairShareLink(env, self.timing.fabric_bandwidth, f"{name}.port")
+
+        self._wqs: Dict[int, WorkQueue] = {
+            wq_cfg.wq_id: WorkQueue(env, wq_cfg) for wq_cfg in self.config.wqs
+        }
+        self.groups: Dict[int, Group] = {}
+        for group_cfg in self.config.groups:
+            group = Group(env, group_cfg, [self._wqs[i] for i in group_cfg.wq_ids])
+            for engine_id in group_cfg.engine_ids:
+                group.attach_engine(ProcessingEngine(self, group, engine_id))
+            self.groups[group_cfg.group_id] = group
+
+        self._spaces: Dict[int, AddressSpace] = {}
+        self._inflight_write_bytes = 0.0
+        self.descriptors_completed = 0
+        self.bytes_processed = 0
+
+    # -- address spaces ---------------------------------------------------------
+    @property
+    def agent(self) -> str:
+        """LLC accounting identity of this device."""
+        return self.name
+
+    def attach_space(self, space: AddressSpace) -> None:
+        """Register a process (PASID) with the device and IOMMU (F1)."""
+        if space.pasid in self._spaces:
+            return
+        if not self.memsys.iommu.is_attached(space.pasid):
+            self.memsys.iommu.attach(space.pasid, space.page_table)
+        self._spaces[space.pasid] = space
+
+    def space_for(self, pasid: int) -> AddressSpace:
+        if pasid not in self._spaces:
+            raise KeyError(
+                f"PASID {pasid} not attached to {self.name}; call attach_space() first"
+            )
+        return self._spaces[pasid]
+
+    # -- work queues --------------------------------------------------------------
+    def wq(self, wq_id: int) -> WorkQueue:
+        if wq_id not in self._wqs:
+            raise KeyError(f"{self.name} has no WQ {wq_id}")
+        return self._wqs[wq_id]
+
+    @property
+    def wqs(self) -> Dict[int, WorkQueue]:
+        return dict(self._wqs)
+
+    # -- submission ------------------------------------------------------------------
+    def submit(self, descriptor: Descriptor, wq_id: int = 0) -> bool:
+        """Place a descriptor into a WQ (the portal write itself).
+
+        Returns False when a shared WQ is full (ENQCMD retry status).
+        Instruction-cost accounting (MOVDIR64B vs ENQCMD) lives in
+        :mod:`repro.runtime.submit`; this is the device-side effect.
+        """
+        if descriptor.completion_event is None:
+            descriptor.completion_event = Event(self.env)
+        accepted = self.wq(wq_id).submit(descriptor)
+        if accepted:
+            self._inflight_write_bytes += estimate_write_bytes(descriptor)
+            self._update_llc_pressure()
+        return accepted
+
+    def _update_llc_pressure(self) -> None:
+        demand = self.timing.fabric_bandwidth if self._inflight_write_bytes > 0 else 0.0
+        self.memsys.llc.register_io_stream(
+            self.agent, self._inflight_write_bytes, demand_rate=demand
+        )
+
+    def submit_raw(self, image: bytes, wq_id: int = 0) -> "WorkDescriptor":
+        """Submit a 64-byte portal image (what MOVDIR64B writes).
+
+        Decodes the wire format and enqueues the descriptor; returns
+        the decoded object so callers can poll its completion record.
+        """
+        from repro.dsa.wire import unpack_descriptor
+
+        descriptor = unpack_descriptor(image)
+        self.submit(descriptor, wq_id)
+        return descriptor
+
+    # -- telemetry (what the PCM library exposes, §5) --------------------------------------
+    def telemetry(self) -> Dict[str, object]:
+        """Hardware-counter-style snapshot of this instance.
+
+        Mirrors what Intel PCM reads from a DSA instance: request
+        counts, inbound/outbound traffic, plus model-level extras
+        (ATC hit rate, WQ occupancy, port utilization).
+        """
+        return {
+            "descriptors_completed": self.descriptors_completed,
+            "bytes_processed": self.bytes_processed,
+            "port_bytes": self.port.bytes_completed,
+            "atc_hit_rate": self.atc.hit_rate,
+            "wq_occupancy": {wq_id: wq.occupancy for wq_id, wq in self._wqs.items()},
+            "wq_enqueued": {wq_id: wq.enqueued for wq_id, wq in self._wqs.items()},
+            "wq_rejected": {wq_id: wq.rejected for wq_id, wq in self._wqs.items()},
+            "inflight_write_bytes": self._inflight_write_bytes,
+        }
+
+    # -- completion (called by engines) --------------------------------------------------
+    def _complete(self, descriptor: Descriptor) -> None:
+        if isinstance(descriptor, WorkDescriptor):
+            # Batch containers don't carry payload themselves: their
+            # write bytes were added at submit and are drained here as
+            # each member work descriptor completes.
+            self.descriptors_completed += 1
+            self.bytes_processed += descriptor.size
+            self._inflight_write_bytes = max(
+                0.0, self._inflight_write_bytes - estimate_write_bytes(descriptor)
+            )
+            self._update_llc_pressure()
+        event = descriptor.completion_event
+        if event is not None and not event.triggered:
+            event.succeed(descriptor)

@@ -1,0 +1,128 @@
+"""T10 Data Integrity Field (DIF) block operations.
+
+DSA's DIF operations work on streams of fixed-size blocks
+(512/520/4096/4104 bytes, paper Table 1).  Each *protected* block is a
+data block followed by an 8-byte protection-information (PI) trailer:
+
+=========  =====  ==========================================
+field      bytes  contents
+=========  =====  ==========================================
+guard      2      CRC-16/T10 of the data block (big-endian)
+app tag    2      application-defined tag
+ref tag    4      logical block number (incrementing)
+=========  =====  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.dsa.crc import crc16_t10
+
+PI_BYTES = 8
+#: Raw data-block sizes DSA accepts (the 520/4104 forms are these + PI).
+DATA_BLOCK_SIZES = (512, 4096)
+
+
+class DifError(ValueError):
+    """A DIF check failed (bad guard, app tag, or ref tag)."""
+
+
+@dataclass(frozen=True)
+class DifContext:
+    """Per-transfer DIF parameters (subset of the descriptor fields)."""
+
+    block_size: int = 512
+    app_tag: int = 0
+    ref_tag_seed: int = 0
+    check_guard: bool = True
+    check_ref_tag: bool = True
+
+    def validate(self) -> None:
+        if self.block_size not in DATA_BLOCK_SIZES:
+            raise ValueError(
+                f"block size must be one of {DATA_BLOCK_SIZES}, got {self.block_size}"
+            )
+        if not 0 <= self.app_tag <= 0xFFFF:
+            raise ValueError(f"app tag out of 16-bit range: {self.app_tag}")
+        if not 0 <= self.ref_tag_seed <= 0xFFFFFFFF:
+            raise ValueError(f"ref tag out of 32-bit range: {self.ref_tag_seed}")
+
+    @property
+    def protected_block_size(self) -> int:
+        return self.block_size + PI_BYTES
+
+
+def _pack_pi(guard: int, app_tag: int, ref_tag: int) -> np.ndarray:
+    pi = np.zeros(PI_BYTES, dtype=np.uint8)
+    pi[0] = (guard >> 8) & 0xFF
+    pi[1] = guard & 0xFF
+    pi[2] = (app_tag >> 8) & 0xFF
+    pi[3] = app_tag & 0xFF
+    pi[4] = (ref_tag >> 24) & 0xFF
+    pi[5] = (ref_tag >> 16) & 0xFF
+    pi[6] = (ref_tag >> 8) & 0xFF
+    pi[7] = ref_tag & 0xFF
+    return pi
+
+
+def _unpack_pi(pi: np.ndarray) -> Tuple[int, int, int]:
+    guard = (int(pi[0]) << 8) | int(pi[1])
+    app_tag = (int(pi[2]) << 8) | int(pi[3])
+    ref_tag = (int(pi[4]) << 24) | (int(pi[5]) << 16) | (int(pi[6]) << 8) | int(pi[7])
+    return guard, app_tag, ref_tag
+
+
+def _split_blocks(data: np.ndarray, block: int, what: str) -> List[np.ndarray]:
+    if len(data) == 0 or len(data) % block:
+        raise ValueError(f"{what} length {len(data)} is not a multiple of {block}")
+    return [data[i : i + block] for i in range(0, len(data), block)]
+
+
+def dif_insert(source: np.ndarray, ctx: DifContext) -> np.ndarray:
+    """Append PI to each raw block: 512→520 / 4096→4104 expansion."""
+    ctx.validate()
+    out: List[np.ndarray] = []
+    for index, block in enumerate(_split_blocks(source, ctx.block_size, "source")):
+        guard = crc16_t10(block)
+        out.append(block)
+        out.append(_pack_pi(guard, ctx.app_tag, (ctx.ref_tag_seed + index) & 0xFFFFFFFF))
+    return np.concatenate(out)
+
+
+def dif_check(source: np.ndarray, ctx: DifContext) -> int:
+    """Verify every protected block; returns blocks checked.
+
+    Raises :class:`DifError` naming the first failing block and field.
+    """
+    ctx.validate()
+    blocks = _split_blocks(source, ctx.protected_block_size, "protected source")
+    for index, pblock in enumerate(blocks):
+        data, pi = pblock[: ctx.block_size], pblock[ctx.block_size :]
+        guard, app_tag, ref_tag = _unpack_pi(pi)
+        if ctx.check_guard and guard != crc16_t10(data):
+            raise DifError(f"block {index}: guard mismatch")
+        if app_tag != ctx.app_tag:
+            raise DifError(f"block {index}: app tag {app_tag} != {ctx.app_tag}")
+        expected_ref = (ctx.ref_tag_seed + index) & 0xFFFFFFFF
+        if ctx.check_ref_tag and ref_tag != expected_ref:
+            raise DifError(f"block {index}: ref tag {ref_tag} != {expected_ref}")
+    return len(blocks)
+
+
+def dif_strip(source: np.ndarray, ctx: DifContext, verify: bool = True) -> np.ndarray:
+    """Remove PI from each protected block (520→512 / 4104→4096)."""
+    ctx.validate()
+    if verify:
+        dif_check(source, ctx)
+    blocks = _split_blocks(source, ctx.protected_block_size, "protected source")
+    return np.concatenate([b[: ctx.block_size] for b in blocks])
+
+
+def dif_update(source: np.ndarray, old_ctx: DifContext, new_ctx: DifContext) -> np.ndarray:
+    """Re-tag protected blocks: verify against ``old_ctx``, emit ``new_ctx``."""
+    raw = dif_strip(source, old_ctx, verify=True)
+    return dif_insert(raw, new_ctx)

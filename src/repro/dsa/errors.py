@@ -1,0 +1,35 @@
+"""Completion status codes (subset of the DSA specification's table)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class StatusCode(enum.IntEnum):
+    """Value written to a completion record's status byte."""
+
+    NONE = 0x00  # record not yet written (software polls for != 0)
+    SUCCESS = 0x01
+    SUCCESS_WITH_FALSE_PREDICATE = 0x02  # compare found a difference
+    PAGE_FAULT = 0x03
+    PAGE_FAULT_IN_BATCH = 0x04
+    BATCH_FAILED = 0x05
+    INVALID_OPCODE = 0x10
+    INVALID_FLAGS = 0x11
+    INVALID_SIZE = 0x13
+    MISALIGNED_ADDRESS = 0x15
+    DIF_ERROR = 0x17
+    DELTA_OVERFLOW = 0x18
+    QUEUE_FULL = 0x20  # model-level: ENQCMD retry indication
+
+    @property
+    def is_success(self) -> bool:
+        return self in (StatusCode.SUCCESS, StatusCode.SUCCESS_WITH_FALSE_PREDICATE)
+
+
+class SubmissionError(RuntimeError):
+    """Raised when software submits illegally (e.g. MOVDIR64B to a full DWQ)."""
+
+
+class ConfigurationError(ValueError):
+    """Raised by device/WQ/group configuration validation."""

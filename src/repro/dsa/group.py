@@ -1,0 +1,42 @@
+"""Group: the basic operational unit of DSA (paper §3.2).
+
+A group ties together a set of work queues (descriptor sources) and a
+set of processing engines (descriptor consumers) through one arbiter.
+"""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+from repro.dsa.arbiter import GroupArbiter
+from repro.dsa.config import GroupConfig
+from repro.dsa.wq import WorkQueue
+from repro.sim.engine import Environment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dsa.engine import ProcessingEngine
+
+
+class Group:
+    """One configured group inside a device."""
+
+    def __init__(self, env: Environment, config: GroupConfig, wqs: List[WorkQueue]):
+        config.validate()
+        self.env = env
+        self.config = config
+        self.wqs = list(wqs)
+        self.arbiter = GroupArbiter(env, self.wqs)
+        self.engines: List["ProcessingEngine"] = []
+
+    @property
+    def group_id(self) -> int:
+        return self.config.group_id
+
+    def attach_engine(self, engine: "ProcessingEngine") -> None:
+        self.engines.append(engine)
+
+    def wq(self, wq_id: int) -> WorkQueue:
+        for wq in self.wqs:
+            if wq.wq_id == wq_id:
+                return wq
+        raise KeyError(f"WQ {wq_id} not in group {self.group_id}")

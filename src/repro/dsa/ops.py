@@ -1,0 +1,218 @@
+"""Functional execution of every Table 1 operation on real bytes.
+
+This layer is deliberately independent of timing: given a descriptor
+and the submitting process's :class:`~repro.mem.address.AddressSpace`,
+it performs the operation on the backing numpy arrays and fills the
+completion record.  The device model calls it when buffers are backed;
+timing-only sweeps skip it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsa import delta as delta_mod
+from repro.dsa.crc import crc32c
+from repro.dsa.descriptor import CompletionRecord, WorkDescriptor
+from repro.dsa.dif import DifError, dif_check, dif_insert, dif_strip, dif_update
+from repro.dsa.errors import StatusCode
+from repro.dsa.opcodes import Opcode, PATTERN_BYTES
+from repro.mem.address import AddressSpace
+
+
+def _view(space: AddressSpace, va: int, size: int) -> np.ndarray:
+    buffer = space.buffer_at(va)
+    return buffer.view(va - buffer.va, size)
+
+
+def _pattern_array(pattern: int, size: int, pattern2: int = 0, width: int = 8) -> np.ndarray:
+    """Expand an 8- or 16-byte little-endian pattern to ``size`` bytes."""
+    raw = int(pattern).to_bytes(PATTERN_BYTES, "little")
+    if width == 16:
+        raw += int(pattern2).to_bytes(PATTERN_BYTES, "little")
+    elif width != 8:
+        raise ValueError(f"pattern width must be 8 or 16, got {width}")
+    unit = np.frombuffer(raw, dtype=np.uint8)
+    repeats = -(-size // len(unit))
+    return np.tile(unit, repeats)[:size]
+
+
+def execute(descriptor: WorkDescriptor, space: AddressSpace) -> CompletionRecord:
+    """Run the descriptor's operation; returns its completion record.
+
+    The record is also attached to the descriptor, mirroring how the
+    hardware writes it back to the completion address.
+    """
+    record = descriptor.completion
+    invalid = descriptor.validate()
+    if invalid is not None:
+        record.status = invalid
+        return record
+
+    handler = _HANDLERS.get(descriptor.opcode)
+    if handler is None:
+        record.status = StatusCode.INVALID_OPCODE
+        return record
+    try:
+        handler(descriptor, space, record)
+    except DifError:
+        record.status = StatusCode.DIF_ERROR
+        record.result = 1
+    except delta_mod.DeltaOverflowError:
+        record.status = StatusCode.DELTA_OVERFLOW
+    return record
+
+
+def _op_noop(desc: WorkDescriptor, space: AddressSpace, record: CompletionRecord) -> None:
+    record.status = StatusCode.SUCCESS
+
+
+def _op_memmove(desc: WorkDescriptor, space: AddressSpace, record: CompletionRecord) -> None:
+    src = _view(space, desc.src, desc.size)
+    dst = _view(space, desc.dst, desc.size)
+    # memmove semantics: correct even for overlapping ranges.
+    dst[:] = src.copy()
+    record.status = StatusCode.SUCCESS
+    record.bytes_completed = desc.size
+
+
+def _op_dualcast(desc: WorkDescriptor, space: AddressSpace, record: CompletionRecord) -> None:
+    src = _view(space, desc.src, desc.size)
+    _view(space, desc.dst, desc.size)[:] = src
+    _view(space, desc.dst2, desc.size)[:] = src
+    record.status = StatusCode.SUCCESS
+    record.bytes_completed = desc.size
+
+
+def _op_fill(desc: WorkDescriptor, space: AddressSpace, record: CompletionRecord) -> None:
+    dst = _view(space, desc.dst, desc.size)
+    dst[:] = _pattern_array(desc.pattern, desc.size, desc.pattern2, desc.pattern_bytes)
+    record.status = StatusCode.SUCCESS
+    record.bytes_completed = desc.size
+
+
+def _op_compare(desc: WorkDescriptor, space: AddressSpace, record: CompletionRecord) -> None:
+    a = _view(space, desc.src, desc.size)
+    b = _view(space, desc.src2, desc.size)
+    mismatches = np.nonzero(a != b)[0]
+    if mismatches.size == 0:
+        record.status = StatusCode.SUCCESS
+        record.result = 0
+        record.bytes_completed = desc.size
+    else:
+        record.status = StatusCode.SUCCESS_WITH_FALSE_PREDICATE
+        record.result = 1
+        record.bytes_completed = int(mismatches[0])
+
+
+def _op_compare_pattern(
+    desc: WorkDescriptor, space: AddressSpace, record: CompletionRecord
+) -> None:
+    a = _view(space, desc.src, desc.size)
+    expected = _pattern_array(desc.pattern, desc.size, desc.pattern2, desc.pattern_bytes)
+    mismatches = np.nonzero(a != expected)[0]
+    if mismatches.size == 0:
+        record.status = StatusCode.SUCCESS
+        record.result = 0
+        record.bytes_completed = desc.size
+    else:
+        record.status = StatusCode.SUCCESS_WITH_FALSE_PREDICATE
+        record.result = 1
+        record.bytes_completed = int(mismatches[0])
+
+
+def _op_crcgen(desc: WorkDescriptor, space: AddressSpace, record: CompletionRecord) -> None:
+    src = _view(space, desc.src, desc.size)
+    record.result = crc32c(src)
+    record.status = StatusCode.SUCCESS
+    record.bytes_completed = desc.size
+
+
+def _op_copy_crc(desc: WorkDescriptor, space: AddressSpace, record: CompletionRecord) -> None:
+    src = _view(space, desc.src, desc.size)
+    _view(space, desc.dst, desc.size)[:] = src
+    record.result = crc32c(src)
+    record.status = StatusCode.SUCCESS
+    record.bytes_completed = desc.size
+
+
+def _op_create_delta(desc: WorkDescriptor, space: AddressSpace, record: CompletionRecord) -> None:
+    original = _view(space, desc.src, desc.size)
+    modified = _view(space, desc.src2, desc.size)
+    delta = delta_mod.create_delta(original, modified, max_delta_size=desc.delta_max_size)
+    blob = delta.serialize()
+    if len(blob):
+        _view(space, desc.dst, len(blob))[:] = blob
+    record.status = StatusCode.SUCCESS
+    record.result = delta.size_bytes
+    record.bytes_completed = desc.size
+
+
+def _op_apply_delta(desc: WorkDescriptor, space: AddressSpace, record: CompletionRecord) -> None:
+    original = _view(space, desc.dst, desc.size)
+    blob = _view(space, desc.src, desc.delta_size)
+    record_obj = delta_mod.DeltaRecord.deserialize(blob, source_size=desc.size)
+    original[:] = delta_mod.apply_delta(original, record_obj)
+    record.status = StatusCode.SUCCESS
+    record.bytes_completed = desc.size
+
+
+def _op_dif_check(desc: WorkDescriptor, space: AddressSpace, record: CompletionRecord) -> None:
+    src = _view(space, desc.src, desc.size)
+    blocks = dif_check(src, desc.dif)
+    record.status = StatusCode.SUCCESS
+    record.result = blocks
+    record.bytes_completed = desc.size
+
+
+def _op_dif_insert(desc: WorkDescriptor, space: AddressSpace, record: CompletionRecord) -> None:
+    src = _view(space, desc.src, desc.size)
+    out = dif_insert(src, desc.dif)
+    _view(space, desc.dst, len(out))[:] = out
+    record.status = StatusCode.SUCCESS
+    record.bytes_completed = len(out)
+
+
+def _op_dif_strip(desc: WorkDescriptor, space: AddressSpace, record: CompletionRecord) -> None:
+    src = _view(space, desc.src, desc.size)
+    out = dif_strip(src, desc.dif)
+    _view(space, desc.dst, len(out))[:] = out
+    record.status = StatusCode.SUCCESS
+    record.bytes_completed = len(out)
+
+
+def _op_dif_update(desc: WorkDescriptor, space: AddressSpace, record: CompletionRecord) -> None:
+    if desc.dif_new is None:
+        record.status = StatusCode.INVALID_FLAGS
+        return
+    src = _view(space, desc.src, desc.size)
+    out = dif_update(src, desc.dif, desc.dif_new)
+    _view(space, desc.dst, len(out))[:] = out
+    record.status = StatusCode.SUCCESS
+    record.bytes_completed = len(out)
+
+
+def _op_cache_flush(desc: WorkDescriptor, space: AddressSpace, record: CompletionRecord) -> None:
+    # Data is untouched; the timing layer evicts the range from the LLC.
+    record.status = StatusCode.SUCCESS
+    record.bytes_completed = desc.size
+
+
+_HANDLERS = {
+    Opcode.NOOP: _op_noop,
+    Opcode.DRAIN: _op_noop,
+    Opcode.MEMMOVE: _op_memmove,
+    Opcode.DUALCAST: _op_dualcast,
+    Opcode.FILL: _op_fill,
+    Opcode.COMPARE: _op_compare,
+    Opcode.COMPARE_PATTERN: _op_compare_pattern,
+    Opcode.CRCGEN: _op_crcgen,
+    Opcode.COPY_CRC: _op_copy_crc,
+    Opcode.CREATE_DELTA: _op_create_delta,
+    Opcode.APPLY_DELTA: _op_apply_delta,
+    Opcode.DIF_CHECK: _op_dif_check,
+    Opcode.DIF_INSERT: _op_dif_insert,
+    Opcode.DIF_STRIP: _op_dif_strip,
+    Opcode.DIF_UPDATE: _op_dif_update,
+    Opcode.CACHE_FLUSH: _op_cache_flush,
+}

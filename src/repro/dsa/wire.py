@@ -1,0 +1,105 @@
+"""64-byte descriptor wire format (what MOVDIR64B actually writes).
+
+The model usually passes :class:`WorkDescriptor` objects around, but a
+real portal write is one 64-byte store.  This module packs/unpacks the
+model's canonical encoding — field placement follows the spirit of the
+DSA architecture specification's general descriptor (PASID+flags
+header, completion address, two sources, two destinations, transfer
+size, operation-specific immediate):
+
+======  ====  ==========================================
+offset  size  field
+======  ====  ==========================================
+0       4     PASID (low 20 bits architecturally)
+4       2     flags
+6       1     opcode
+7       1     reserved (zero)
+8       8     completion-record address
+16      8     source address
+24      8     destination address
+32      4     transfer size
+36      4     delta-record size (APPLY_DELTA)
+40      8     second source address
+48      8     second destination address
+56      8     pattern / operation-specific immediate
+======  ====  ==========================================
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.dsa.descriptor import DESCRIPTOR_BYTES, WorkDescriptor
+from repro.dsa.opcodes import DescriptorFlags, Opcode
+
+_LAYOUT = struct.Struct("<IHBBQQQIIQQQ")
+assert _LAYOUT.size == DESCRIPTOR_BYTES
+
+
+class WireFormatError(ValueError):
+    """Raised for malformed 64-byte descriptor images."""
+
+
+def pack_descriptor(descriptor: WorkDescriptor, completion_address: int = 0) -> bytes:
+    """Encode a descriptor into its 64-byte portal image."""
+    if not 0 <= descriptor.pasid < 1 << 20:
+        raise WireFormatError(f"PASID out of 20-bit range: {descriptor.pasid}")
+    if not 0 <= descriptor.size < 1 << 32:
+        raise WireFormatError(f"transfer size out of 32-bit range: {descriptor.size}")
+    return _LAYOUT.pack(
+        descriptor.pasid,
+        int(descriptor.flags) & 0xFFFF,
+        int(descriptor.opcode) & 0xFF,
+        0,
+        completion_address,
+        descriptor.src,
+        descriptor.dst,
+        descriptor.size,
+        descriptor.delta_size,
+        descriptor.src2,
+        descriptor.dst2,
+        descriptor.pattern,
+    )
+
+
+def unpack_descriptor(image: bytes) -> WorkDescriptor:
+    """Decode a 64-byte portal image back into a descriptor.
+
+    DIF contexts are carried out of band in the model (the real
+    descriptor encodes them in operation-specific bytes); everything
+    else round-trips exactly.
+    """
+    if len(image) != DESCRIPTOR_BYTES:
+        raise WireFormatError(
+            f"descriptor image must be {DESCRIPTOR_BYTES} bytes, got {len(image)}"
+        )
+    (
+        pasid,
+        flags,
+        opcode_raw,
+        _reserved,
+        _completion_address,
+        src,
+        dst,
+        size,
+        delta_size,
+        src2,
+        dst2,
+        pattern,
+    ) = _LAYOUT.unpack(image)
+    try:
+        opcode = Opcode(opcode_raw)
+    except ValueError as exc:
+        raise WireFormatError(f"unknown opcode byte {opcode_raw:#x}") from exc
+    return WorkDescriptor(
+        opcode=opcode,
+        pasid=pasid,
+        flags=DescriptorFlags(flags),
+        src=src,
+        src2=src2,
+        dst=dst,
+        dst2=dst2,
+        size=size,
+        pattern=pattern,
+        delta_size=delta_size,
+    )

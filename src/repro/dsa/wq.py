@@ -1,0 +1,88 @@
+"""On-device work queues (dedicated and shared).
+
+A WQ holds submitted descriptors until the group arbiter dispatches
+them.  The submission contract mirrors hardware:
+
+* **DWQ** — software owns the queue and must track occupancy; writing a
+  descriptor into a full DWQ is a software bug and raises
+  :class:`~repro.dsa.errors.SubmissionError`.
+* **SWQ** — ENQCMD returns a retry status when the queue is full;
+  :meth:`WorkQueue.submit` returns ``False`` and the submitter retries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Union
+
+from repro.dsa.config import WqConfig, WqMode
+from repro.dsa.descriptor import BatchDescriptor, WorkDescriptor
+from repro.dsa.errors import SubmissionError
+from repro.sim.engine import Environment
+
+Descriptor = Union[WorkDescriptor, BatchDescriptor]
+
+
+class WorkQueue:
+    """Bounded descriptor queue with an enqueue notification hook."""
+
+    def __init__(self, env: Environment, config: WqConfig):
+        config.validate()
+        self.env = env
+        self.config = config
+        self._items: List[Descriptor] = []
+        #: Set by the owning group; fired on every successful enqueue.
+        self.on_enqueue: Optional[Callable[["WorkQueue"], None]] = None
+        self.enqueued = 0
+        self.rejected = 0
+
+    @property
+    def wq_id(self) -> int:
+        return self.config.wq_id
+
+    @property
+    def mode(self) -> WqMode:
+        return self.config.mode
+
+    @property
+    def priority(self) -> int:
+        return self.config.priority
+
+    @property
+    def size(self) -> int:
+        return self.config.size
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.config.size
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def submit(self, descriptor: Descriptor) -> bool:
+        """Enqueue one descriptor; semantics depend on the WQ mode."""
+        if self.is_full:
+            self.rejected += 1
+            if self.config.mode is WqMode.DEDICATED:
+                raise SubmissionError(
+                    f"MOVDIR64B to full DWQ {self.wq_id} "
+                    f"({self.occupancy}/{self.size} entries) — software must "
+                    "track DWQ credits"
+                )
+            return False  # ENQCMD retry indication
+        descriptor.times.submitted = self.env.now
+        self._items.append(descriptor)
+        self.enqueued += 1
+        if self.on_enqueue is not None:
+            self.on_enqueue(self)
+        return True
+
+    def pop(self) -> Descriptor:
+        """Remove and return the head descriptor (arbiter only)."""
+        if not self._items:
+            raise RuntimeError(f"pop from empty WQ {self.wq_id}")
+        return self._items.pop(0)

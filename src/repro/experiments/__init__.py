@@ -1,0 +1,21 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes ``run(quick: bool = False) -> ExperimentResult``
+that regenerates the corresponding rows/series of the paper's
+evaluation.  ``quick`` trades sweep resolution and iteration counts for
+speed (used by CI-style runs); the benchmark suite under
+``benchmarks/`` executes these and prints the output.
+
+Use :func:`repro.experiments.registry.all_experiments` to enumerate.
+"""
+
+from repro.experiments.base import AnchorCheck, ExperimentResult
+from repro.experiments.registry import all_experiments, get_experiment, run_experiment
+
+__all__ = [
+    "AnchorCheck",
+    "ExperimentResult",
+    "all_experiments",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,188 @@
+"""Ablations — which modelling choices carry the paper's shapes.
+
+Four of the model's load-bearing mechanisms are switched off or swept,
+and the affected figure-anchor is re-measured:
+
+* **read-buffer pipelining** (Figs 3/4): with one buffer per engine the
+  async saturation disappears;
+* **non-posted ENQCMD** (Figs 3/9): with ENQCMD as cheap as MOVDIR64B
+  the single-thread SWQ penalty vanishes;
+* **DDIO way count** (Fig 10): more IO ways push the leaky-DMA onset to
+  larger footprints;
+* **leaky write amplification** (Fig 10): without the write-path stall
+  the multi-device collapse disappears.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.tables import Table
+from repro.dsa.config import DeviceConfig, DsaTimingParams, WqMode
+from repro.experiments.base import ExperimentResult
+from repro.mem.cache import SharedLLC
+from repro.mem.numa import NumaTopology
+from repro.mem.system import MemorySystem
+from repro.platform import Platform, spr_platform
+from repro.sim.engine import Environment
+from repro.workloads.microbench import MicrobenchConfig, run_dsa_microbench
+
+KB = 1024
+MB = 1024 * KB
+
+
+def _platform_with_timing(timing: DsaTimingParams, n_devices: int = 1, wq_mode=WqMode.DEDICATED):
+    return spr_platform(
+        n_devices=n_devices,
+        device_config=DeviceConfig.single(wq_size=32, mode=wq_mode),
+        timing=timing,
+    )
+
+
+def _platform_with_ddio_ways(ddio_ways: int, n_devices: int) -> Platform:
+    from repro.cpu.instructions import InstructionCosts
+    from repro.cpu.swlib import SoftwareKernels
+    from repro.mem.dram import DDR5_8CH
+    from repro.runtime.driver import IdxdDriver
+
+    env = Environment()
+    memsys = MemorySystem(
+        env,
+        llc=SharedLLC(size=105 * MB, ways=15, ddio_ways=ddio_ways),
+        topology=NumaTopology(sockets=2),
+    )
+    for socket in range(2):
+        memsys.add_dram_node(socket, socket=socket, params=DDR5_8CH)
+    platform = Platform(
+        env=env,
+        memsys=memsys,
+        driver=IdxdDriver(env, memsys),
+        kernels=SoftwareKernels(),
+        costs=InstructionCosts(),
+    )
+    for index in range(n_devices):
+        platform.add_device(f"dsa{index}", config=DeviceConfig.single(wq_size=32))
+    return platform
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="ablations",
+        title="Model ablations: the mechanisms behind the paper's shapes",
+        description=(
+            "Each row disables or sweeps one modelled mechanism and "
+            "re-measures the figure anchor it produces."
+        ),
+    )
+    iterations = 40 if quick else 100
+    base_timing = DsaTimingParams()
+
+    # -- 1. read-buffer pipelining ------------------------------------------------
+    table = Table(
+        "Ablation 1 — read buffers per engine (async 4KB copy)",
+        ["Read buffers", "Throughput GB/s"],
+    )
+    depth_results = {}
+    for depth in (1, 4, 8, 32):
+        timing = dataclasses.replace(base_timing, read_buffers_per_engine=depth)
+        cfg = MicrobenchConfig(transfer_size=4 * KB, queue_depth=32, iterations=iterations)
+        depth_results[depth] = run_dsa_microbench(
+            cfg, platform=_platform_with_timing(timing)
+        ).throughput
+        table.add_row(depth, depth_results[depth])
+    result.tables.append(table)
+    result.check(
+        "pipelining produces the async saturation",
+        "deep read buffers hide memory latency (Fig 4)",
+        f"{depth_results[1]:.1f} GB/s at depth 1 vs {depth_results[32]:.1f} at 32",
+        depth_results[32] > 2 * depth_results[1],
+    )
+
+    # -- 2. ENQCMD round trip -------------------------------------------------------
+    table = Table(
+        "Ablation 2 — ENQCMD cost (single-thread SWQ, async 4KB)",
+        ["ENQCMD ns", "Throughput GB/s"],
+    )
+    enq_results = {}
+    for enqcmd_ns in (60.0, 350.0):
+        cfg = MicrobenchConfig(
+            transfer_size=4 * KB,
+            queue_depth=32,
+            wq_mode=WqMode.SHARED,
+            iterations=iterations,
+        )
+        platform = _platform_with_timing(base_timing, wq_mode=WqMode.SHARED)
+        # The submission instruction cost is a core-side property.
+        platform.costs = dataclasses.replace(platform.costs, enqcmd_ns=enqcmd_ns)
+        enq_results[enqcmd_ns] = run_dsa_microbench(cfg, platform=platform).throughput
+        table.add_row(f"{enqcmd_ns:.0f}", enq_results[enqcmd_ns])
+    result.tables.append(table)
+    result.check(
+        "the non-posted round trip causes the SWQ penalty",
+        "cheap ENQCMD would erase the Fig 3/9 SWQ gap",
+        f"{enq_results[350.0]:.1f} GB/s at 350ns vs {enq_results[60.0]:.1f} at 60ns",
+        enq_results[60.0] > 1.8 * enq_results[350.0],
+    )
+
+    # -- 3. DDIO way count -------------------------------------------------------------
+    table = Table(
+        "Ablation 3 — DDIO ways (3 devices, 512KB transfers)",
+        ["DDIO ways", "Aggregate GB/s"],
+    )
+    ddio_results = {}
+    for ways in (2, 4):
+        cfg = MicrobenchConfig(
+            transfer_size=512 * KB,
+            queue_depth=16,
+            n_devices=3,
+            n_workers=3,
+            iterations=max(20, iterations // 2),
+        )
+        ddio_results[ways] = run_dsa_microbench(
+            cfg, platform=_platform_with_ddio_ways(ways, n_devices=3)
+        ).throughput
+        table.add_row(ways, ddio_results[ways])
+    result.tables.append(table)
+    result.check(
+        "more DDIO ways defer the leaky collapse",
+        "allocate more LLC ways for DDIO at large transfers (§4.3/G3)",
+        f"{ddio_results[2]:.1f} GB/s (2 ways) vs {ddio_results[4]:.1f} (4 ways)",
+        ddio_results[4] > 1.1 * ddio_results[2],
+    )
+
+    # -- 4. leaky write amplification -----------------------------------------------------
+    table = Table(
+        "Ablation 4 — leaky write-path stall (4 devices, 1MB transfers)",
+        ["Amplification", "Aggregate GB/s"],
+    )
+    leak_results = {}
+    for amplification in (1.0, base_timing.leaky_write_amplification):
+        timing = dataclasses.replace(
+            base_timing, leaky_write_amplification=amplification
+        )
+        cfg = MicrobenchConfig(
+            transfer_size=1 * MB,
+            queue_depth=16,
+            n_devices=4,
+            n_workers=4,
+            iterations=max(16, iterations // 3),
+        )
+        leak_results[amplification] = run_dsa_microbench(
+            cfg,
+            platform=spr_platform(
+                n_devices=4,
+                device_config=DeviceConfig.single(wq_size=32),
+                timing=timing,
+            ),
+        ).throughput
+        table.add_row(f"{amplification:.2f}", leak_results[amplification])
+    result.tables.append(table)
+    amplified = leak_results[base_timing.leaky_write_amplification]
+    result.check(
+        "the write-path stall deepens the Fig 10 drop",
+        "the leaky regime combines the DRAM write-bandwidth bound with "
+        "per-device write stalls; removing the stall recovers part of it",
+        f"{leak_results[1.0]:.0f} GB/s without vs {amplified:.0f} with the stall",
+        leak_results[1.0] > 1.08 * amplified and 80.0 <= amplified <= 100.0,
+    )
+    return result

@@ -1,0 +1,61 @@
+"""Common result container for all experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.series import Series
+from repro.analysis.tables import Table
+
+
+@dataclass
+class AnchorCheck:
+    """One paper claim compared against this run's measurement."""
+
+    name: str
+    expected: str  # what the paper reports
+    measured: str  # what this run produced
+    holds: bool
+
+    def render(self) -> str:
+        verdict = "OK " if self.holds else "MISS"
+        return f"[{verdict}] {self.name}: paper={self.expected} measured={self.measured}"
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produces."""
+
+    exp_id: str
+    title: str
+    description: str
+    tables: List[Table] = field(default_factory=list)
+    series: Dict[str, Series] = field(default_factory=dict)
+    anchors: List[AnchorCheck] = field(default_factory=list)
+
+    def add_series(self, series: Series) -> None:
+        self.series[series.label] = series
+
+    def check(self, name: str, expected: str, measured: str, holds: bool) -> None:
+        self.anchors.append(
+            AnchorCheck(name=name, expected=expected, measured=measured, holds=bool(holds))
+        )
+
+    @property
+    def anchors_hold(self) -> bool:
+        return all(anchor.holds for anchor in self.anchors)
+
+    def render(self) -> str:
+        lines = [f"=== {self.exp_id}: {self.title} ===", self.description, ""]
+        for table in self.tables:
+            lines.append(table.render())
+            lines.append("")
+        if self.anchors:
+            lines.append("Anchors (paper vs this run):")
+            for anchor in self.anchors:
+                lines.append("  " + anchor.render())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

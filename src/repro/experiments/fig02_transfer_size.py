@@ -1,0 +1,140 @@
+"""Fig 2 — speedup over software vs transfer size, sync and async.
+
+Sweeps every analysed operation over transfer sizes and reports the
+DSA-over-software throughput ratio for (a) synchronous offload (one
+descriptor at a time) and (b) asynchronous offload at queue depth 32.
+Paper anchors: sync becomes favourable above ~4 KB; async already
+around 256 B.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.metrics import human_size, speedup
+from repro.analysis.series import Series
+from repro.analysis.tables import Table
+from repro.dsa.dif import DifContext
+from repro.dsa.opcodes import Opcode
+from repro.experiments.base import ExperimentResult
+from repro.workloads.microbench import (
+    MicrobenchConfig,
+    run_dsa_microbench,
+    run_software_microbench,
+)
+
+KB = 1024
+
+OPERATIONS = [
+    Opcode.MEMMOVE,
+    Opcode.DUALCAST,
+    Opcode.CRCGEN,
+    Opcode.COPY_CRC,
+    Opcode.COMPARE,
+    Opcode.COMPARE_PATTERN,
+    Opcode.FILL,
+    Opcode.DIF_INSERT,
+    Opcode.DIF_STRIP,
+]
+
+
+def _sizes(quick: bool) -> List[int]:
+    if quick:
+        return [256, 4 * KB, 64 * KB, 1024 * KB]
+    return [64, 256, 1 * KB, 4 * KB, 16 * KB, 64 * KB, 256 * KB, 1024 * KB]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig2",
+        title="Throughput improvement over software vs transfer size",
+        description=(
+            "Speedup of DSA over the optimized software library per "
+            "operation: (a) synchronous, (b) asynchronous at QD 32."
+        ),
+    )
+    iterations = 25 if quick else 60
+    sizes = _sizes(quick)
+    for mode, queue_depth in (("sync", 1), ("async", 32)):
+        table = Table(
+            f"Fig 2{'a' if mode == 'sync' else 'b'} — {mode} speedup over software",
+            ["Operation"] + [human_size(s) for s in sizes],
+        )
+        for opcode in OPERATIONS:
+            series = Series(label=f"{mode}:{opcode.name}")
+            cells = [opcode.name]
+            dif = (
+                DifContext(block_size=512)
+                if opcode in (Opcode.DIF_INSERT, Opcode.DIF_STRIP)
+                else None
+            )
+            for size in sizes:
+                cfg = MicrobenchConfig(
+                    opcode=opcode,
+                    transfer_size=size,
+                    queue_depth=queue_depth,
+                    iterations=iterations,
+                    dif=dif,
+                )
+                ratio = speedup(
+                    run_dsa_microbench(cfg).throughput,
+                    run_software_microbench(cfg).throughput,
+                )
+                series.add(size, ratio)
+                cells.append(f"{ratio:.2f}x")
+            result.add_series(series)
+            table.add_row(*cells)
+        # Fig 2 also plots "NT-Memory Fill": the fill op against a
+        # non-temporal-store software baseline (no LLC allocation).
+        nt_series = Series(label=f"{mode}:NT_FILL")
+        cells = ["FILL (vs nt-store)"]
+        from repro.cpu.swlib import NT_FILL
+
+        for size in sizes:
+            cfg = MicrobenchConfig(
+                opcode=Opcode.FILL,
+                transfer_size=size,
+                queue_depth=queue_depth,
+                iterations=iterations,
+            )
+            dsa = run_dsa_microbench(cfg).throughput
+            nt_software = size / NT_FILL.time(size)
+            ratio = speedup(dsa, nt_software)
+            nt_series.add(size, ratio)
+            cells.append(f"{ratio:.2f}x")
+        result.add_series(nt_series)
+        table.add_row(*cells)
+        result.tables.append(table)
+
+    sync_copy = result.series["sync:MEMMOVE"]
+    async_copy = result.series["async:MEMMOVE"]
+    big = max(s for s in sizes if s >= 64 * KB)
+    result.check(
+        "sync copy favourable above ~4KB",
+        "speedup > 1 for sizes above 4KB",
+        f"{sync_copy.y_at(big):.2f}x at {human_size(big)}",
+        sync_copy.y_at(big) > 1.0,
+    )
+    small = 256
+    result.check(
+        "async copy favourable around 256B",
+        "speedup ~1 at 256B, rising beyond",
+        f"{async_copy.y_at(small):.2f}x at 256B",
+        async_copy.y_at(small) > 0.9,
+    )
+    if 64 in sizes:
+        result.check(
+            "async copy loses at 64B",
+            "software wins at the smallest sizes",
+            f"{async_copy.y_at(64):.2f}x at 64B",
+            async_copy.y_at(64) < 1.0,
+        )
+    big_fill = result.series["async:FILL"].y_at(big)
+    big_nt = result.series["async:NT_FILL"].y_at(big)
+    result.check(
+        "nt-store baseline narrows the fill speedup",
+        "NT-Memory Fill shows smaller improvements than Memory Fill",
+        f"{big_fill:.2f}x vs nt-store {big_nt:.2f}x at {human_size(big)}",
+        big_nt < big_fill,
+    )
+    return result

@@ -1,0 +1,132 @@
+"""Fig 6 — throughput/latency across memory configurations.
+
+(a) NUMA: source/destination on the local or remote socket's DRAM.
+(b) CXL: source/destination on DRAM or the CXL-attached device.
+Synchronous offload, batch size 1, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.metrics import human_size
+from repro.analysis.series import Series
+from repro.analysis.tables import Table
+from repro.experiments.base import ExperimentResult
+from repro.workloads.microbench import (
+    MicrobenchConfig,
+    run_dsa_microbench,
+    run_software_microbench,
+)
+
+KB = 1024
+
+#: Fig 6a configurations: [<Device>: <Source>,<Destination>] with
+#: L = local socket DRAM (node 0), R = remote socket DRAM (node 1).
+NUMA_CONFIGS: List[Tuple[str, int, int]] = [
+    ("D:L,L", 0, 0),
+    ("D:L,R", 0, 1),
+    ("D:R,L", 1, 0),
+    ("D:R,R", 1, 1),
+]
+
+#: Fig 6b: D = DRAM (node 0), C = CXL device (node 2).
+CXL_CONFIGS: List[Tuple[str, int, int]] = [
+    ("D:D,D", 0, 0),
+    ("D:C,D", 2, 0),
+    ("D:D,C", 0, 2),
+    ("D:C,C", 2, 2),
+]
+
+
+def _measure_matrix(
+    configs: List[Tuple[str, int, int]], sizes: List[int], iterations: int
+) -> Dict[str, Dict[int, Tuple[float, float]]]:
+    """label -> size -> (throughput GB/s, mean latency ns)."""
+    out: Dict[str, Dict[int, Tuple[float, float]]] = {}
+    for label, src_node, dst_node in configs:
+        out[label] = {}
+        for size in sizes:
+            cfg = MicrobenchConfig(
+                transfer_size=size,
+                queue_depth=1,
+                iterations=iterations,
+                src_node=src_node,
+                dst_node=dst_node,
+            )
+            result = run_dsa_microbench(cfg)
+            out[label][size] = (result.throughput, result.mean_latency_ns)
+    return out
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig6",
+        title="Memory configurations: NUMA (a) and CXL (b)",
+        description=(
+            "Sync (BS 1) Memory Copy throughput and latency with "
+            "buffers placed on local/remote DRAM and on CXL memory."
+        ),
+    )
+    sizes = [4 * KB, 64 * KB] if quick else [1 * KB, 4 * KB, 16 * KB, 64 * KB, 256 * KB]
+    iterations = 20 if quick else 50
+
+    for sub, configs in (("6a (NUMA)", NUMA_CONFIGS), ("6b (CXL)", CXL_CONFIGS)):
+        matrix = _measure_matrix(configs, sizes, iterations)
+        table = Table(
+            f"Fig {sub} — throughput GB/s (latency ns)",
+            ["Config"] + [human_size(s) for s in sizes],
+        )
+        for label, _s, _d in configs:
+            cells = [label]
+            series = Series(label=f"{sub}:{label}")
+            for size in sizes:
+                throughput, latency = matrix[label][size]
+                series.add(size, throughput)
+                cells.append(f"{throughput:.2f} ({latency:.0f})")
+            result.add_series(series)
+            table.add_row(*cells)
+        result.tables.append(table)
+
+    big = sizes[-1]
+    local = result.series["6a (NUMA):D:L,L"].y_at(big)
+    remote = result.series["6a (NUMA):D:R,R"].y_at(big)
+    result.check(
+        "remote throughput close to local once pipelined",
+        "DSA hides the UPI hop at larger sizes",
+        f"local {local:.1f} vs remote {remote:.1f} GB/s at {human_size(big)}",
+        remote > 0.85 * local,
+    )
+
+    # Break-even vs software memcpy between 4 and 10 KB.
+    sw4 = run_software_microbench(
+        MicrobenchConfig(transfer_size=4 * KB, queue_depth=1, iterations=iterations)
+    )
+    breakeven_low = result.series["6a (NUMA):D:L,L"].y_at(4 * KB) < sw4.throughput * 1.15
+    dsa16 = run_dsa_microbench(
+        MicrobenchConfig(transfer_size=16 * KB, queue_depth=1, iterations=iterations)
+    )
+    sw16 = run_software_microbench(
+        MicrobenchConfig(transfer_size=16 * KB, queue_depth=1, iterations=iterations)
+    )
+    result.check(
+        "latency break-even at 4-10KB",
+        "DSA catches software memcpy between 4 and 10 KB",
+        f"near-parity at 4KB, DSA ahead at 16KB "
+        f"({dsa16.throughput:.1f} vs {sw16.throughput:.1f} GB/s)",
+        breakeven_low and dsa16.throughput > sw16.throughput,
+    )
+
+    ordering = [
+        result.series["6b (CXL):D:D,D"].y_at(big),
+        result.series["6b (CXL):D:C,D"].y_at(big),
+        result.series["6b (CXL):D:D,C"].y_at(big),
+        result.series["6b (CXL):D:C,C"].y_at(big),
+    ]
+    result.check(
+        "CXL ordering D,D > C,D > D,C > C,C (G4)",
+        "CXL reads beat CXL writes; both-CXL slowest",
+        " > ".join(f"{value:.1f}" for value in ordering),
+        ordering == sorted(ordering, reverse=True),
+    )
+    return result

@@ -1,0 +1,106 @@
+"""Fig 9 — throughput of different WQ configurations.
+
+1) one DWQ with batching (BS:N), 2) N DWQs with one thread and PE per
+queue (DWQ:N), 3) one SWQ with one PE and N submitting threads (SWQ:N).
+Anchors: batching to one DWQ ≈ multiple DWQs; an SWQ with few threads
+trails but matches once enough threads submit (G6).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import human_size
+from repro.analysis.series import Series
+from repro.analysis.tables import Table
+from repro.dsa.config import WqMode
+from repro.experiments.base import ExperimentResult
+from repro.workloads.microbench import MicrobenchConfig, run_dsa_microbench
+
+KB = 1024
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig9",
+        title="Throughput of WQ configurations (batching / DWQs / SWQ threads)",
+        description=(
+            "The same offered parallelism N expressed three ways: one "
+            "batched DWQ, N dedicated WQs, or N threads on one SWQ."
+        ),
+    )
+    n = 4
+    sizes = [1 * KB, 4 * KB, 64 * KB] if quick else [256, 1 * KB, 4 * KB, 16 * KB, 64 * KB]
+    iterations = 30 if quick else 60
+    configs = {
+        f"DWQ BS:{n}": MicrobenchConfig(
+            batch_size=n, queue_depth=8, iterations=iterations // 2
+        ),
+        f"DWQ:{n}": MicrobenchConfig(
+            n_workers=n,
+            queue_depth=8,
+            iterations=iterations // 2,
+        ),
+        "SWQ:1": MicrobenchConfig(
+            wq_mode=WqMode.SHARED, queue_depth=8, iterations=iterations
+        ),
+        f"SWQ:{n}": MicrobenchConfig(
+            wq_mode=WqMode.SHARED,
+            n_workers=n,
+            queue_depth=8,
+            iterations=iterations // 2,
+        ),
+    }
+    table = Table(
+        "Fig 9 — throughput (GB/s)",
+        ["Config"] + [human_size(s) for s in sizes],
+    )
+    from dataclasses import replace
+
+    from repro.dsa.config import DeviceConfig
+    from repro.platform import spr_platform
+
+    for label, base in configs.items():
+        series = Series(label=label)
+        cells = [label]
+        for size in sizes:
+            cfg = replace(base, transfer_size=size)
+            if label == f"DWQ:{n}":
+                platform = spr_platform(
+                    device_config=DeviceConfig.multi_wq(n, wq_size=16)
+                )
+            elif label.startswith("SWQ"):
+                platform = spr_platform(
+                    device_config=DeviceConfig.single(wq_size=32, mode=WqMode.SHARED)
+                )
+            else:
+                platform = None
+            throughput = run_dsa_microbench(cfg, platform=platform).throughput
+            series.add(size, throughput)
+            cells.append(f"{throughput:.2f}")
+        result.add_series(series)
+        table.add_row(*cells)
+    result.tables.append(table)
+
+    probe = 4 * KB
+    batched = result.series[f"DWQ BS:{n}"].y_at(probe)
+    multi = result.series[f"DWQ:{n}"].y_at(probe)
+    result.check(
+        "batching one DWQ ~ multiple DWQs",
+        "nearly identical throughput",
+        f"BS:{n} {batched:.1f} vs DWQ:{n} {multi:.1f} GB/s at 4KB",
+        0.6 <= batched / multi <= 1.5,
+    )
+    swq1 = result.series["SWQ:1"].y_at(probe)
+    result.check(
+        "single-thread SWQ trails between 1-8KB",
+        "SWQ observes lower throughput between 1-8KB",
+        f"SWQ:1 {swq1:.1f} vs DWQ:{n} {multi:.1f} GB/s at 4KB",
+        swq1 < 0.7 * multi,
+    )
+    swqn = result.series[f"SWQ:{n}"].y_at(probe)
+    result.check(
+        "many-thread SWQ matches the other configs",
+        "with enough threads the SWQ catches up",
+        f"SWQ:{n} {swqn:.1f} vs DWQ:{n} {multi:.1f} GB/s at 4KB",
+        swqn > 0.8 * multi,
+    )
+    return result

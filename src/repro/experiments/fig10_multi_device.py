@@ -1,0 +1,83 @@
+"""Fig 10 — throughput scaling with multiple DSA instances.
+
+Scaling is linear (~30 GB/s per device) until large transfers overflow
+the DDIO ways: the leaky-DMA regime caps 3 and 4 devices near 70 and
+90 GB/s (§4.3).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import human_size
+from repro.analysis.series import Series
+from repro.analysis.tables import Table
+from repro.experiments.base import ExperimentResult
+from repro.workloads.microbench import MicrobenchConfig, run_dsa_microbench
+
+KB = 1024
+MB = 1024 * KB
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig10",
+        title="Throughput with 1-4 DSA instances",
+        description=(
+            "Aggregate Memory Copy throughput; beyond 64 KB the write "
+            "footprint overflows the DDIO LLC ways and 3-4 instances "
+            "drop to the leaky-DMA regime."
+        ),
+    )
+    sizes = [16 * KB, 64 * KB, 1 * MB] if quick else [4 * KB, 16 * KB, 64 * KB, 256 * KB, 1 * MB]
+    devices = [1, 2, 3, 4]
+    iterations = 20 if quick else 40
+    table = Table(
+        "Fig 10 — aggregate throughput (GB/s)",
+        ["Devices"] + [human_size(s) for s in sizes],
+    )
+    for n in devices:
+        series = Series(label=f"{n}xDSA")
+        cells = [str(n)]
+        for size in sizes:
+            cfg = MicrobenchConfig(
+                transfer_size=size,
+                queue_depth=16,
+                n_devices=n,
+                n_workers=n,
+                iterations=iterations,
+            )
+            throughput = run_dsa_microbench(cfg).throughput
+            series.add(size, throughput)
+            cells.append(f"{throughput:.2f}")
+        result.add_series(series)
+        table.add_row(*cells)
+    result.tables.append(table)
+
+    at64k = [result.series[f"{n}xDSA"].y_at(64 * KB) for n in devices]
+    result.check(
+        "linear scaling at 64KB",
+        "throughput increases linearly with device count",
+        " / ".join(f"{value:.0f}" for value in at64k),
+        at64k[1] > 1.8 * at64k[0] and at64k[3] > 3.5 * at64k[0],
+    )
+    three_big = result.series["3xDSA"].y_at(1 * MB)
+    four_big = result.series["4xDSA"].y_at(1 * MB)
+    result.check(
+        "leaky-DMA drop for 3 devices at large sizes",
+        "drops to ~70 GB/s",
+        f"{three_big:.0f} GB/s at 1MB",
+        60.0 <= three_big <= 80.0,
+    )
+    result.check(
+        "leaky-DMA drop for 4 devices at large sizes",
+        "drops to ~90 GB/s",
+        f"{four_big:.0f} GB/s at 1MB",
+        80.0 <= four_big <= 100.0,
+    )
+    one_big = result.series["1xDSA"].y_at(1 * MB)
+    result.check(
+        "single device unaffected at large sizes",
+        "one instance keeps ~30 GB/s",
+        f"{one_big:.1f} GB/s at 1MB",
+        one_big > 28.0,
+    )
+    return result

@@ -1,0 +1,75 @@
+"""Fig 14 — same total payload, different transfer-size:batch-size splits.
+
+G1: for a fixed total, fewer larger descriptors beat many small ones;
+synchronous offloads have a sweet spot at modest batches (4-8).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import human_size
+from repro.analysis.series import Series
+from repro.analysis.tables import Table
+from repro.experiments.base import ExperimentResult
+from repro.workloads.microbench import MicrobenchConfig, run_dsa_microbench
+
+KB = 1024
+MB = 1024 * KB
+
+
+def _splits(total: int, quick: bool):
+    batches = [1, 4, 16, 64] if not quick else [1, 8, 64]
+    return [(total // bs, bs) for bs in batches if total // bs >= 256]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig14",
+        title="Equal total payload: transfer size vs batch size trade-off",
+        description=(
+            "The same aggregate bytes offloaded as <TS:BS> splits, sync "
+            "and async; coalescing into larger descriptors wins (G1)."
+        ),
+    )
+    totals = [256 * KB] if quick else [64 * KB, 256 * KB, 1 * MB]
+    iterations = 20 if quick else 40
+    for mode, queue_depth in (("sync", 1), ("async", 8)):
+        table = Table(
+            f"Fig 14 — {mode} throughput (GB/s) for equal totals",
+            ["Total"] + [f"BS {bs}" for _ts, bs in _splits(totals[0], quick)],
+        )
+        for total in totals:
+            series = Series(label=f"{mode}:{human_size(total)}")
+            cells = [human_size(total)]
+            for transfer_size, batch_size in _splits(total, quick):
+                cfg = MicrobenchConfig(
+                    transfer_size=transfer_size,
+                    batch_size=batch_size,
+                    queue_depth=queue_depth,
+                    iterations=iterations,
+                )
+                throughput = run_dsa_microbench(cfg).throughput
+                series.add(batch_size, throughput)
+                cells.append(f"{throughput:.2f}")
+            result.add_series(series)
+            table.add_row(*cells)
+        result.tables.append(table)
+
+    async_series = result.series[f"async:{human_size(totals[-1])}"]
+    first_bs = async_series.xs[0]
+    last_bs = async_series.xs[-1]
+    result.check(
+        "larger descriptors beat many small ones (G1, async)",
+        "throughput decreases when splitting the same total into more descriptors",
+        f"BS{int(first_bs)} {async_series.y_at(first_bs):.1f} vs "
+        f"BS{int(last_bs)} {async_series.y_at(last_bs):.1f} GB/s",
+        async_series.y_at(first_bs) >= async_series.y_at(last_bs),
+    )
+    sync_series = result.series[f"sync:{human_size(totals[-1])}"]
+    best_bs = max(sync_series.points, key=lambda p: p[1])[0]
+    result.check(
+        "sync sweet spot at modest batches",
+        "BS 4-8 yields the best sync results",
+        f"best at BS {int(best_bs)}",
+        1 < best_bs <= 16,
+    )
+    return result

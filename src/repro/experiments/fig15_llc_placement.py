@@ -1,0 +1,97 @@
+"""Fig 15 — offloading from/to LLC-resident vs DRAM-resident buffers.
+
+Labels follow Fig 6's scheme with L = LLC, D = local DRAM.  LLC
+sources shorten the critical read path (guideline G2/G3 interplay):
+larger transfers belong on DSA, small LLC-hot ones on the core.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.analysis.metrics import human_size
+from repro.analysis.series import Series
+from repro.analysis.tables import Table
+from repro.experiments.base import ExperimentResult
+from repro.workloads.microbench import (
+    MicrobenchConfig,
+    run_dsa_microbench,
+    run_software_microbench,
+)
+
+KB = 1024
+
+CONFIGS: List[Tuple[str, bool, bool]] = [
+    ("D:L,L", True, True),
+    ("D:L,D", True, False),
+    ("D:D,L", False, True),
+    ("D:D,D", False, False),
+]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig15",
+        title="Throughput/latency with LLC vs DRAM buffer placement",
+        description=(
+            "Sync (BS 1) Memory Copy with source/destination resident "
+            "in the LLC (L) or local DRAM (D)."
+        ),
+    )
+    sizes = [512, 4 * KB, 64 * KB] if quick else [128, 512, 4 * KB, 16 * KB, 64 * KB]
+    iterations = 25 if quick else 50
+    table = Table(
+        "Fig 15 — throughput GB/s (latency ns)",
+        ["Config"] + [human_size(s) for s in sizes],
+    )
+    for label, src_llc, dst_llc in CONFIGS:
+        series = Series(label=label)
+        cells = [label]
+        for size in sizes:
+            cfg = MicrobenchConfig(
+                transfer_size=size,
+                queue_depth=1,
+                iterations=iterations,
+                src_in_llc=src_llc,
+                dst_in_llc=dst_llc,
+                cache_control=dst_llc,
+            )
+            bench = run_dsa_microbench(cfg)
+            series.add(size, bench.throughput)
+            cells.append(f"{bench.throughput:.2f} ({bench.mean_latency_ns:.0f})")
+        result.add_series(series)
+        table.add_row(*cells)
+    result.tables.append(table)
+
+    probe = sizes[1]
+    llc_src = result.series["D:L,L"].y_at(probe)
+    dram_src = result.series["D:D,D"].y_at(probe)
+    result.check(
+        "LLC-resident sources are faster",
+        "LLC data cuts the read latency off the critical path",
+        f"L,L {llc_src:.2f} vs D,D {dram_src:.2f} GB/s at {human_size(probe)}",
+        llc_src > dram_src,
+    )
+    small = sizes[0]
+    sw = run_software_microbench(
+        MicrobenchConfig(transfer_size=small, queue_depth=1, iterations=iterations)
+    ).throughput
+    dsa_small = result.series["D:D,D"].y_at(small)
+    result.check(
+        "small transfers belong on the core (G2)",
+        "below ~4KB sync, software wins",
+        f"software {sw:.2f} vs DSA {dsa_small:.2f} GB/s at {human_size(small)}",
+        sw > dsa_small,
+    )
+    big = sizes[-1]
+    sw_big = run_software_microbench(
+        MicrobenchConfig(transfer_size=big, queue_depth=1, iterations=iterations)
+    ).throughput
+    dsa_big = result.series["D:D,D"].y_at(big)
+    result.check(
+        "large transfers belong on DSA",
+        "beyond the crossover DSA wins even from DRAM",
+        f"DSA {dsa_big:.2f} vs software {sw_big:.2f} GB/s at {human_size(big)}",
+        dsa_big > sw_big,
+    )
+    return result

@@ -1,0 +1,81 @@
+"""Fig 16 — DPDK Vhost packet forwarding with and without DSA.
+
+Anchors: packet copying costs ~30% of cycles at 512 B and 50+% above
+1 KB on the CPU path; the DSA-accelerated forwarding rate stays flat
+with packet size and wins 1.14-2.29x above 256 B.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.series import Series
+from repro.analysis.tables import Table
+from repro.experiments.base import ExperimentResult
+from repro.workloads.vhost import VhostConfig, run_vhost
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig16",
+        title="Vhost/TestPMD forwarding rate vs packet size",
+        description=(
+            "macfwd forwarding rate (Mpps) for the CPU copy path and "
+            "the batched, pipelined DSA path (§6.4 optimizations)."
+        ),
+    )
+    sizes = [256, 1024, 1518] if quick else [64, 128, 256, 512, 1024, 1518]
+    bursts = 40 if quick else 120
+    cpu = Series(label="CPU")
+    dsa = Series(label="DSA")
+    ratio_series = Series(label="speedup")
+    copy_share = Series(label="copy_share")
+    table = Table(
+        "Fig 16b — forwarding rate (Mpps)",
+        ["Packet size", "CPU", "DSA", "Speedup", "CPU copy cycles"],
+    )
+    for size in sizes:
+        cpu_run = run_vhost(VhostConfig(packet_size=size, bursts=bursts, use_dsa=False))
+        dsa_run = run_vhost(VhostConfig(packet_size=size, bursts=bursts, use_dsa=True))
+        cpu.add(size, cpu_run.forwarding_rate_mpps)
+        dsa.add(size, dsa_run.forwarding_rate_mpps)
+        ratio = dsa_run.forwarding_rate_mpps / cpu_run.forwarding_rate_mpps
+        ratio_series.add(size, ratio)
+        copy_share.add(size, cpu_run.copy_cycle_fraction)
+        table.add_row(
+            size,
+            f"{cpu_run.forwarding_rate_mpps:.2f}",
+            f"{dsa_run.forwarding_rate_mpps:.2f}",
+            f"{ratio:.2f}x",
+            f"{cpu_run.copy_cycle_fraction * 100:.0f}%",
+        )
+    for series in (cpu, dsa, ratio_series, copy_share):
+        result.add_series(series)
+    result.tables.append(table)
+
+    result.check(
+        "DSA forwarding rate flat with packet size",
+        "rate remains constant with increasing packet sizes",
+        f"{min(dsa.ys):.2f}-{max(dsa.ys):.2f} Mpps",
+        max(dsa.ys) <= 1.05 * min(dsa.ys),
+    )
+    above = [r for s, r in ratio_series.points if s > 256]
+    result.check(
+        "1.14-2.29x speedup above 256B",
+        "1.14~2.29x improvement over CPU forwarding",
+        f"{min(above):.2f}-{max(above):.2f}x",
+        min(above) >= 1.05 and max(above) <= 2.6,
+    )
+    at1k = copy_share.y_at(1024)
+    result.check(
+        "copying dominates CPU cycles at 1KB+",
+        "nearly 50+% of cycles for packets above 1024B",
+        f"{at1k * 100:.0f}% at 1KB",
+        at1k >= 0.45,
+    )
+    drop = 1 - cpu.y_at(1024) / cpu.y_at(256)
+    result.check(
+        "CPU rate drops ~38% from 256B to 1KB",
+        "forwarding rate drops as high as 38%",
+        f"{drop * 100:.0f}%",
+        0.2 <= drop <= 0.45,
+    )
+    return result

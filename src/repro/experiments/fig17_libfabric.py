@@ -1,0 +1,109 @@
+"""Fig 17 — libfabric pingpong/RMA, OSU AllReduce, BERT pretraining.
+
+Anchors: PP up to ~5.1x and RMA ~4.7x at 32 KB+; OSU AllReduce
+5.0-5.2x for >= 1 MB regardless of rank count; BERT AR speedups of
+2.8x/3.3x and end-to-end gains of 3.7%/8.8% at 2/8 ranks.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import human_size
+from repro.analysis.series import Series
+from repro.analysis.tables import Table
+from repro.experiments.base import ExperimentResult
+from repro.workloads.libfabric import allreduce, bert_step, pingpong_speedup, rma_speedup
+
+KB = 1024
+MB = 1024 * KB
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig17",
+        title="libfabric: pingpong, RMA, MPI AllReduce, BERT",
+        description=(
+            "SAR-protocol speedups of DSA-offloaded copies over the CPU "
+            "path for the Appendix A workloads."
+        ),
+    )
+    sizes = [16 * KB, 256 * KB, 4 * MB] if quick else [4 * KB, 16 * KB, 32 * KB, 256 * KB, 1 * MB, 4 * MB]
+    pp = Series(label="pingpong")
+    rma = Series(label="rma")
+    table = Table(
+        "Fig 17a — micro-benchmark speedups (DSA over CPU)",
+        ["Message size", "Pingpong", "RMA"],
+    )
+    for size in sizes:
+        pp_ratio = pingpong_speedup(size)
+        rma_ratio = rma_speedup(size)
+        pp.add(size, pp_ratio)
+        rma.add(size, rma_ratio)
+        table.add_row(human_size(size), f"{pp_ratio:.2f}x", f"{rma_ratio:.2f}x")
+    result.add_series(pp)
+    result.add_series(rma)
+    result.tables.append(table)
+
+    ar_table = Table(
+        "Fig 17b — OSU AllReduce speedups (16 MB message)",
+        ["Ranks", "CPU ms", "DSA ms", "Speedup"],
+    )
+    ar = Series(label="allreduce")
+    for ranks in (2, 4, 8):
+        res = allreduce(16 * MB, ranks)
+        ar.add(ranks, res.speedup)
+        ar_table.add_row(
+            ranks, f"{res.cpu_ns / 1e6:.2f}", f"{res.dsa_ns / 1e6:.2f}", f"{res.speedup:.2f}x"
+        )
+    result.add_series(ar)
+    result.tables.append(ar_table)
+
+    bert_table = Table(
+        "BERT pretraining step (MLPerf-style)",
+        ["Ranks", "AR speedup", "End-to-end gain"],
+    )
+    bert = {}
+    for ranks in (2, 8):
+        step = bert_step(ranks)
+        bert[ranks] = step
+        bert_table.add_row(
+            ranks,
+            f"{step.allreduce_speedup:.2f}x",
+            f"+{(step.end_to_end_speedup - 1) * 100:.1f}%",
+        )
+    result.tables.append(bert_table)
+
+    big = max(sizes)
+    result.check(
+        "pingpong up to ~5.1x at large sizes",
+        "as high as 5.1x",
+        f"{pp.y_at(big):.2f}x at {human_size(big)}",
+        4.0 <= pp.y_at(big) <= 5.6,
+    )
+    result.check(
+        "RMA up to ~4.7x",
+        "as high as 4.7x",
+        f"{rma.y_at(big):.2f}x at {human_size(big)}",
+        4.0 <= rma.y_at(big) <= 5.5,
+    )
+    result.check(
+        "AllReduce ~5x for large messages, flat across ranks",
+        "5.1x / 5.2x / 5.0x for 2/4/8 ranks",
+        " / ".join(f"{v:.2f}x" for v in ar.ys),
+        all(4.4 <= v <= 5.8 for v in ar.ys),
+    )
+    result.check(
+        "BERT AR speedup grows with ranks",
+        "2.8x at 2 ranks -> 3.3x at 8 ranks",
+        f"{bert[2].allreduce_speedup:.2f}x -> {bert[8].allreduce_speedup:.2f}x",
+        2.3 <= bert[2].allreduce_speedup <= 3.3
+        and bert[8].allreduce_speedup > bert[2].allreduce_speedup,
+    )
+    result.check(
+        "BERT end-to-end gains",
+        "3.7% / 8.8% for 2 / 8 ranks",
+        f"{(bert[2].end_to_end_speedup - 1) * 100:.1f}% / "
+        f"{(bert[8].end_to_end_speedup - 1) * 100:.1f}%",
+        0.02 <= bert[2].end_to_end_speedup - 1 <= 0.06
+        and 0.06 <= bert[8].end_to_end_speedup - 1 <= 0.12,
+    )
+    return result

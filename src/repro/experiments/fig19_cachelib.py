@@ -1,0 +1,84 @@
+"""Fig 19 — CacheBench operation rates and tail latency through DTO.
+
+Anchors: throughput improves when >= 8 KB copies offload through four
+shared WQs, gains flatten beyond eight cores, and high-percentile
+latency drops substantially.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.series import Series
+from repro.analysis.tables import Table
+from repro.experiments.base import ExperimentResult
+from repro.workloads.cachelib import CacheBenchConfig, run_cachebench
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig19",
+        title="CacheBench with transparent DSA offload (DTO)",
+        description=(
+            "get/set operation rate and tail latency for #h cores x #s "
+            "threads, baseline vs DTO offloading copies >= 8 KB."
+        ),
+    )
+    configs = [(4, 8), (8, 16)] if quick else [(2, 4), (4, 8), (8, 16), (12, 24)]
+    ops = 150 if quick else 400
+    tail_pct = 99.9 if quick else 99.9
+    improvement = Series(label="throughput_improvement")
+    tail_ratio = Series(label="tail_improvement")
+    table = Table(
+        "Fig 19 — relative improvements with DTO offload",
+        ["#h cores", "#s threads", "base Mops", "DSA Mops", "Gain", "tail base us", "tail DSA us"],
+    )
+    for cores, threads in configs:
+        base = run_cachebench(
+            CacheBenchConfig(
+                n_cores=cores, n_threads=threads, use_dsa=False, ops_per_thread=ops
+            )
+        )
+        dsa = run_cachebench(
+            CacheBenchConfig(
+                n_cores=cores, n_threads=threads, use_dsa=True, ops_per_thread=ops
+            )
+        )
+        gain = dsa.ops_per_second / base.ops_per_second
+        improvement.add(cores, gain)
+        base_tail = base.tail_latency(tail_pct)
+        dsa_tail = dsa.tail_latency(tail_pct)
+        tail_ratio.add(cores, base_tail / dsa_tail if dsa_tail else 0.0)
+        table.add_row(
+            cores,
+            threads,
+            f"{base.ops_per_second / 1e6:.2f}",
+            f"{dsa.ops_per_second / 1e6:.2f}",
+            f"{gain:.2f}x",
+            f"{base_tail / 1e3:.1f}",
+            f"{dsa_tail / 1e3:.1f}",
+        )
+    result.add_series(improvement)
+    result.add_series(tail_ratio)
+    result.tables.append(table)
+
+    low_cores = configs[0][0]
+    result.check(
+        "offload improves operation rate",
+        "greatly improved get/set rate",
+        f"{improvement.y_at(low_cores):.2f}x at {low_cores} cores",
+        improvement.y_at(low_cores) > 1.2,
+    )
+    if len(configs) > 2:
+        result.check(
+            "gains flatten beyond 8 cores (4 WQs)",
+            "decreased rate improvement when using more than eight cores",
+            f"{improvement.y_at(4):.2f}x at 4 cores vs "
+            f"{improvement.y_at(12):.2f}x at 12 cores",
+            improvement.y_at(12) < improvement.y_at(4),
+        )
+    result.check(
+        "tail latency improves",
+        "significant p99.999 improvements",
+        f"{tail_ratio.y_at(low_cores):.2f}x lower tail at {low_cores} cores",
+        tail_ratio.y_at(low_cores) > 1.3,
+    )
+    return result

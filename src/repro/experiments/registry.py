@@ -1,0 +1,54 @@
+"""Experiment registry: id → module, plus run helpers."""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, List
+
+from repro.experiments.base import ExperimentResult
+
+#: experiment id -> module path (each exposes ``run(quick=False)``).
+_EXPERIMENTS: Dict[str, str] = {
+    "table1": "repro.experiments.table1_operations",
+    "table2": "repro.experiments.table2_configs",
+    "fig2": "repro.experiments.fig02_transfer_size",
+    "fig3": "repro.experiments.fig03_batch",
+    "fig4": "repro.experiments.fig04_wq_size",
+    "fig5": "repro.experiments.fig05_latency_breakdown",
+    "fig6": "repro.experiments.fig06_memory_configs",
+    "fig7": "repro.experiments.fig07_engines",
+    "fig8": "repro.experiments.fig08_huge_pages",
+    "fig9": "repro.experiments.fig09_wq_configs",
+    "fig10": "repro.experiments.fig10_multi_device",
+    "fig11": "repro.experiments.fig11_umwait",
+    "fig12": "repro.experiments.fig12_llc_occupancy",
+    "fig13": "repro.experiments.fig13_xmem_latency",
+    "fig14": "repro.experiments.fig14_equal_work",
+    "fig15": "repro.experiments.fig15_llc_placement",
+    "fig16": "repro.experiments.fig16_vhost",
+    "fig17": "repro.experiments.fig17_libfabric",
+    "fig19": "repro.experiments.fig19_cachelib",
+    "fig21": "repro.experiments.fig21_spdk",
+    "cbdma": "repro.experiments.cbdma_comparison",
+    "ablations": "repro.experiments.ablations",
+    "guidelines": "repro.experiments.guidelines_validation",
+}
+
+
+def all_experiments() -> List[str]:
+    """Every registered experiment id, in paper order."""
+    return list(_EXPERIMENTS)
+
+
+def get_experiment(exp_id: str):
+    """Import and return the experiment module for ``exp_id``."""
+    if exp_id not in _EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; choose from {sorted(_EXPERIMENTS)}"
+        )
+    return importlib.import_module(_EXPERIMENTS[exp_id])
+
+
+def run_experiment(exp_id: str, quick: bool = False) -> ExperimentResult:
+    """Run one experiment and return its result."""
+    return get_experiment(exp_id).run(quick=quick)

@@ -1,0 +1,211 @@
+"""The paper's guidelines G1–G6 (§6) as an executable advisor.
+
+The paper distills its characterization into six programmer-facing
+guidelines.  This module encodes them against the same calibration the
+simulator uses, so applications (and tests) can ask "should this call
+be offloaded, and how?" and get an answer with the guideline citations
+attached.
+
+The thresholds are not magic numbers pulled from the text: they are
+derived from the calibrated cost models — the sync threshold is where
+the modelled offload chain beats the software kernel, the async one is
+where the submission path amortizes — so retuning the simulator also
+retunes the advice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cpu.instructions import InstructionCosts
+from repro.cpu.swlib import SoftwareKernels
+from repro.dsa.config import DsaTimingParams, WqMode
+from repro.dsa.opcodes import Opcode
+from repro.mem.system import TierKind
+
+#: Batch sizes the paper finds optimal for synchronous offload (G1).
+SYNC_SWEET_SPOT_BATCH = (4, 8)
+
+
+@dataclass
+class Recommendation:
+    """The advisor's verdict for one prospective offload."""
+
+    use_dsa: bool
+    asynchronous: bool = False
+    batch_size: int = 1
+    cache_control: bool = False
+    wq_mode: WqMode = WqMode.DEDICATED
+    guidelines: List[str] = field(default_factory=list)
+    reasons: List[str] = field(default_factory=list)
+
+    def cite(self, guideline: str, reason: str) -> None:
+        if guideline not in self.guidelines:
+            self.guidelines.append(guideline)
+        self.reasons.append(reason)
+
+
+class OffloadAdvisor:
+    """G1–G6 decision support, tied to the model calibration."""
+
+    def __init__(
+        self,
+        timing: Optional[DsaTimingParams] = None,
+        kernels: Optional[SoftwareKernels] = None,
+        costs: Optional[InstructionCosts] = None,
+    ):
+        self.timing = timing or DsaTimingParams()
+        self.kernels = kernels or SoftwareKernels()
+        self.costs = costs or InstructionCosts()
+
+    # -- derived thresholds ----------------------------------------------------
+    def sync_offload_latency_ns(self, size: int, read_latency_ns: float = 95.0) -> float:
+        """Modelled one-shot offload latency (the Fig 5/6 chain)."""
+        timing = self.timing
+        return (
+            self.costs.descriptor_prepare_ns
+            + timing.portal_write_ns
+            + timing.dispatch_ns
+            + timing.pe_setup_ns
+            + timing.atc_hit_ns
+            + read_latency_ns
+            + size / timing.fabric_bandwidth
+            + timing.completion_write_ns
+            + self.costs.poll_check_ns
+        )
+
+    def sync_threshold(self, opcode: Opcode = Opcode.MEMMOVE) -> int:
+        """Smallest size where sync offload beats the software kernel."""
+        size = 256
+        while size < 1 << 24:
+            if self.sync_offload_latency_ns(size) < self.kernels.time(opcode, size):
+                return size
+            size *= 2
+        return size
+
+    def async_threshold(self, opcode: Opcode = Opcode.MEMMOVE) -> int:
+        """Smallest size where streamed submission beats software.
+
+        Async throughput is paced by the per-descriptor core cost
+        (prepare + MOVDIR64B + poll), software by its kernel time.
+        """
+        per_descriptor = (
+            self.costs.descriptor_prepare_ns
+            + self.costs.movdir64b_ns
+            + self.costs.poll_check_ns
+        )
+        size = 64
+        while size < 1 << 24:
+            dsa_rate = size / max(per_descriptor, size / self.timing.fabric_bandwidth)
+            software_rate = size / self.kernels.time(opcode, size)
+            if dsa_rate > software_rate:
+                return size
+            size *= 2
+        return size
+
+    # -- the advisor -------------------------------------------------------------
+    def recommend(
+        self,
+        size: int,
+        opcode: Opcode = Opcode.MEMMOVE,
+        asynchronous_possible: bool = True,
+        contiguous: bool = True,
+        consumer_reads_soon: bool = False,
+        pollution_sensitive_corunners: bool = False,
+        submitting_threads: int = 1,
+        available_wqs: int = 1,
+    ) -> Recommendation:
+        """Apply G1–G6 to one prospective data-movement call."""
+        if size <= 0:
+            raise ValueError(f"size must be positive: {size}")
+        rec = Recommendation(use_dsa=False)
+
+        threshold = (
+            self.async_threshold(opcode)
+            if asynchronous_possible
+            else self.sync_threshold(opcode)
+        )
+        if asynchronous_possible:
+            rec.cite("G2", "asynchronous offload amortizes submission latency")
+        if size >= threshold:
+            rec.use_dsa = True
+            rec.asynchronous = asynchronous_possible
+            rec.reasons.append(
+                f"{size}B >= modelled crossover of {threshold}B "
+                f"({'async' if asynchronous_possible else 'sync'})"
+            )
+        elif pollution_sensitive_corunners:
+            rec.use_dsa = True
+            rec.asynchronous = asynchronous_possible
+            rec.cite(
+                "G2",
+                "below the crossover, but offloading avoids polluting the "
+                "LLC shared with latency-sensitive co-runners (§4.5)",
+            )
+        else:
+            rec.reasons.append(
+                f"{size}B < crossover {threshold}B and cache pollution is "
+                "acceptable: run it on the core (G2)"
+            )
+            return rec
+
+        # G1: batch vs transfer size for the chosen total.
+        if contiguous:
+            rec.batch_size = 1
+            rec.cite("G1", "contiguous data: coalesce into one larger descriptor")
+        elif rec.asynchronous:
+            rec.batch_size = SYNC_SWEET_SPOT_BATCH[1]
+            rec.cite("G1", "scattered data: batch descriptors to amortize submission")
+        else:
+            rec.batch_size = SYNC_SWEET_SPOT_BATCH[0]
+            rec.cite("G1", "sync offload: modest batches (4-8) are the sweet spot")
+
+        # G3: destination steering.
+        rec.cache_control = consumer_reads_soon
+        if consumer_reads_soon:
+            rec.cite("G3", "data is consumed soon: steer writes into the LLC")
+        else:
+            rec.cite("G3", "streaming data: write to memory, keep the LLC clean")
+
+        # G6: WQ configuration.
+        if submitting_threads > available_wqs:
+            rec.wq_mode = WqMode.SHARED
+            rec.cite(
+                "G6",
+                f"{submitting_threads} threads > {available_wqs} WQs: a shared "
+                "WQ offloads concurrency management to hardware",
+            )
+        else:
+            rec.wq_mode = WqMode.DEDICATED
+            rec.cite("G6", "enough WQs for every thread: dedicated WQs win")
+        return rec
+
+    def recommend_tier_destination(
+        self, src_kind: TierKind, dst_kind: TierKind
+    ) -> List[str]:
+        """G4: which direction to prefer across heterogeneous tiers."""
+        advice = ["G4: DSA is a good candidate for cross-tier movement"]
+        if dst_kind is TierKind.CXL and src_kind is TierKind.DRAM:
+            advice.append(
+                "CXL write latency exceeds its read latency: if either "
+                "direction works, put the *destination* on DRAM instead"
+            )
+        if src_kind is TierKind.CXL and dst_kind is TierKind.DRAM:
+            advice.append("promotion direction (CXL read -> DRAM write) is the fast one")
+        if src_kind is dst_kind is TierKind.CXL:
+            advice.append(
+                "both ends on CXL share the device's internal bus — expect "
+                "the lowest throughput of any placement"
+            )
+        return advice
+
+    def recommend_engines(self, typical_transfer: int) -> int:
+        """G5: engines per group given the common transfer size."""
+        # Small transfers are descriptor-rate-bound: one engine's serial
+        # unit limits throughput, so give the group more engines.
+        per_descriptor_ns = self.timing.pe_setup_ns + self.timing.dispatch_ns
+        single_engine_rate = typical_transfer / per_descriptor_ns
+        if single_engine_rate >= self.timing.fabric_bandwidth:
+            return 1
+        return min(4, max(2, round(self.timing.fabric_bandwidth / single_engine_rate)))

@@ -1,0 +1,47 @@
+"""Memory-system substrate: address spaces, translation, caches, tiers.
+
+Units convention (project-wide):
+
+* time        — nanoseconds
+* size        — bytes
+* bandwidth   — bytes/ns, which is numerically identical to GB/s
+
+The substrate provides everything Figures 6, 8, 10, 12, 13 and 15 of the
+paper depend on: a fair-share bandwidth link model, DRAM node presets
+(DDR4/DDR5), NUMA topology with UPI remote penalties, a CXL.mem tier
+with asymmetric read/write latency, a shared LLC with a DDIO way
+partition, and a paging + IOMMU model for translation costs.
+"""
+
+from repro.mem.address import AddressSpace, Buffer
+from repro.mem.cache import SharedLLC
+from repro.mem.cxl import CxlMemoryParams
+from repro.mem.dram import DramParams, DDR4_6CH, DDR5_8CH
+from repro.mem.iommu import Iommu, IommuParams
+from repro.mem.link import FairShareLink
+from repro.mem.numa import NumaTopology, UpiParams
+from repro.mem.pagetable import PAGE_4K, PAGE_2M, PageTable
+from repro.mem.system import MemoryNode, MemorySystem, TierKind
+from repro.mem.tlb import Tlb
+
+__all__ = [
+    "AddressSpace",
+    "Buffer",
+    "SharedLLC",
+    "CxlMemoryParams",
+    "DramParams",
+    "DDR4_6CH",
+    "DDR5_8CH",
+    "Iommu",
+    "IommuParams",
+    "FairShareLink",
+    "NumaTopology",
+    "UpiParams",
+    "PageTable",
+    "PAGE_4K",
+    "PAGE_2M",
+    "Tlb",
+    "MemoryNode",
+    "MemorySystem",
+    "TierKind",
+]

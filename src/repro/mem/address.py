@@ -1,0 +1,121 @@
+"""Process address spaces and buffers.
+
+A :class:`Buffer` is the unit every operation descriptor points at: a
+contiguous virtual range living on some memory node (DRAM of a socket,
+CXL tier) and optionally *backed* by real bytes so the functional layer
+(:mod:`repro.dsa.ops`) can actually transform data.  Timing-only
+experiments allocate unbacked buffers to keep parameter sweeps fast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.mem.pagetable import PAGE_4K, PageTable
+
+
+class Buffer:
+    """A contiguous virtual memory range owned by one address space."""
+
+    def __init__(
+        self,
+        va: int,
+        size: int,
+        node: int,
+        pasid: int,
+        backed: bool = False,
+        in_llc: bool = False,
+    ):
+        if size <= 0:
+            raise ValueError(f"buffer size must be positive, got {size}")
+        self.va = va
+        self.size = size
+        self.node = node
+        self.pasid = pasid
+        self.in_llc = in_llc
+        self._data: Optional[np.ndarray] = np.zeros(size, dtype=np.uint8) if backed else None
+
+    @property
+    def backed(self) -> bool:
+        return self._data is not None
+
+    @property
+    def data(self) -> np.ndarray:
+        if self._data is None:
+            raise RuntimeError("buffer is not backed by data (timing-only buffer)")
+        return self._data
+
+    def view(self, offset: int = 0, length: Optional[int] = None) -> np.ndarray:
+        """Writable slice of the backing bytes."""
+        length = self.size - offset if length is None else length
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise ValueError(
+                f"range [{offset}, {offset + length}) outside buffer of {self.size} bytes"
+            )
+        return self.data[offset : offset + length]
+
+    def fill_random(self, rng: np.random.Generator) -> None:
+        self.data[:] = rng.integers(0, 256, size=self.size, dtype=np.uint8)
+
+    def __repr__(self) -> str:
+        kind = "backed" if self.backed else "timing"
+        return f"Buffer(va={self.va:#x}, size={self.size}, node={self.node}, {kind})"
+
+
+class AddressSpace:
+    """One process's virtual address space (one PASID, one page table)."""
+
+    _next_pasid = 1
+
+    def __init__(self, page_size: int = PAGE_4K, pasid: Optional[int] = None):
+        if pasid is None:
+            pasid = AddressSpace._next_pasid
+            AddressSpace._next_pasid += 1
+        self.pasid = pasid
+        self.page_table = PageTable(page_size=page_size)
+        self._brk = page_size  # never hand out address 0
+        self._buffers: Dict[int, Buffer] = {}
+
+    @property
+    def page_size(self) -> int:
+        return self.page_table.page_size
+
+    def allocate(
+        self,
+        size: int,
+        node: int = 0,
+        backed: bool = False,
+        prefault: bool = True,
+        in_llc: bool = False,
+        align: Optional[int] = None,
+    ) -> Buffer:
+        """Allocate a buffer; ``prefault`` populates page mappings eagerly.
+
+        Non-prefaulted buffers make the device take IOMMU page faults on
+        first touch, which is how the paper's page-fault discussions
+        (§4.3) are exercised.
+        """
+        align = align or self.page_size
+        if align & (align - 1):
+            raise ValueError(f"alignment must be a power of two, got {align}")
+        va = (self._brk + align - 1) & ~(align - 1)
+        self._brk = va + size
+        buffer = Buffer(va, size, node=node, pasid=self.pasid, backed=backed, in_llc=in_llc)
+        if prefault:
+            self.page_table.map_range(va, size)
+        self._buffers[va] = buffer
+        return buffer
+
+    def buffer_at(self, va: int) -> Buffer:
+        """Find the buffer containing ``va`` (exact base or interior)."""
+        if va in self._buffers:
+            return self._buffers[va]
+        for buffer in self._buffers.values():
+            if buffer.va <= va < buffer.va + buffer.size:
+                return buffer
+        raise KeyError(f"no buffer contains address {va:#x}")
+
+    def free(self, buffer: Buffer) -> None:
+        self._buffers.pop(buffer.va, None)

@@ -1,0 +1,42 @@
+"""CXL.mem expansion tier (paper §4.2, Fig 6b).
+
+Modelled after the paper's Agilex-I FPGA development kit: a CXL 1.1
+type-3 device with 16 GB of DDR4 behind the link, exposed as a
+CPU-less NUMA node.  Two properties drive the figure's shape:
+
+* both read and write bandwidth are far below local DRAM, and
+* **write latency exceeds read latency**, which is why `CXL→DRAM`
+  outperforms `DRAM→CXL` (guideline G4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CxlMemoryParams:
+    """Latency/bandwidth of a CXL-attached memory device."""
+
+    capacity: int = 16 * 1024**3
+    read_bandwidth: float = 20.0  # GB/s
+    write_bandwidth: float = 13.0  # GB/s
+    #: The device's internal DDR4 bus, shared by reads and writes —
+    #: this is what makes CXL→CXL copies the slowest configuration.
+    internal_bandwidth: float = 16.0  # GB/s
+    read_latency: float = 210.0  # ns, unloaded
+    write_latency: float = 330.0  # ns — higher than read (G4 anchor)
+    link: str = "CXL 1.1 x16"
+
+    def validate(self) -> None:
+        if self.read_bandwidth <= 0 or self.write_bandwidth <= 0:
+            raise ValueError("CXL bandwidths must be positive")
+        if self.write_latency <= self.read_latency:
+            raise ValueError(
+                "CXL model requires write latency above read latency "
+                f"(got read={self.read_latency}, write={self.write_latency})"
+            )
+
+
+#: The paper's Agilex-I development kit (16 GB DDR4 behind CXL 1.1).
+AGILEX_I = CxlMemoryParams()

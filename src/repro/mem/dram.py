@@ -1,0 +1,56 @@
+"""DRAM node parameters with the paper's two platform presets (Table 2).
+
+Bandwidths are *effective streaming* numbers (not pin-rate peaks), which
+is what the token-bucket link model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramParams:
+    """One memory node's channel configuration and timing."""
+
+    channels: int
+    channel_bandwidth: float  # GB/s per channel, effective
+    idle_read_latency: float  # ns, unloaded
+    idle_write_latency: float  # ns, posted-write acceptance
+    #: Ceiling for a single sequential stream (bank/row-buffer limits);
+    #: several concurrent streams are needed to use every channel.
+    stream_bandwidth: float = 24.0
+    technology: str = "DDR"
+
+    @property
+    def bandwidth(self) -> float:
+        """Aggregate effective node bandwidth (GB/s == bytes/ns)."""
+        return self.channels * self.channel_bandwidth
+
+    def validate(self) -> None:
+        if self.channels < 1:
+            raise ValueError(f"channels must be >= 1, got {self.channels}")
+        if self.channel_bandwidth <= 0:
+            raise ValueError("channel bandwidth must be positive")
+        if self.idle_read_latency <= 0 or self.idle_write_latency <= 0:
+            raise ValueError("latencies must be positive")
+
+
+#: Ice Lake socket: six DDR4-3200 channels (Table 2).
+DDR4_6CH = DramParams(
+    channels=6,
+    channel_bandwidth=21.0,
+    idle_read_latency=85.0,
+    idle_write_latency=60.0,
+    stream_bandwidth=19.0,
+    technology="DDR4-3200",
+)
+
+#: Sapphire Rapids socket: eight DDR5-4800 channels (Table 2).
+DDR5_8CH = DramParams(
+    channels=8,
+    channel_bandwidth=29.0,
+    idle_read_latency=95.0,
+    idle_write_latency=65.0,
+    technology="DDR5-4800",
+)

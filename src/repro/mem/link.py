@@ -1,0 +1,165 @@
+"""Fair-share bandwidth links.
+
+A :class:`FairShareLink` models a bandwidth-limited resource (device
+fabric port, DRAM node, UPI link, CXL port) shared by concurrent flows
+using generalized processor sharing: at any instant, each of the ``n``
+active flows progresses at ``bandwidth / n``.  Callers ask for
+``transfer(nbytes)`` and receive an event that triggers when the flow's
+bytes have drained.
+
+Propagation latency is *not* part of the link — callers model latency
+with explicit timeouts so that pipelined (throughput) and un-pipelined
+(latency) experiments can compose the two differently.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.engine import Environment, Event
+
+#: Residual-byte tolerance when deciding a flow has drained.
+_EPSILON = 1e-6
+
+
+class _Flow:
+    __slots__ = ("remaining", "event", "weight")
+
+    def __init__(self, nbytes: float, event: Event, weight: float = 1.0):
+        self.remaining = float(nbytes)
+        self.event = event
+        self.weight = weight
+
+
+class FairShareLink:
+    """Bandwidth-limited pipe with equal sharing among active flows."""
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth: float,
+        name: str = "",
+        per_flow_cap: Optional[float] = None,
+    ):
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if per_flow_cap is not None and per_flow_cap <= 0:
+            raise ValueError(f"per-flow cap must be positive, got {per_flow_cap}")
+        self.env = env
+        self.bandwidth = float(bandwidth)
+        self.name = name
+        #: Single-stream ceiling (e.g. one sequential DRAM stream cannot
+        #: use every channel); None = only the aggregate limit applies.
+        self.per_flow_cap = per_flow_cap
+        self._flows: List[_Flow] = []
+        self._last_update = env.now
+        self._timer_version = 0
+        self.bytes_completed = 0.0
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def instantaneous_rate(self) -> float:
+        """Per-flow rate right now (the full bandwidth when idle)."""
+        n = max(1, len(self._flows))
+        rate = self.bandwidth / n
+        if self.per_flow_cap is not None:
+            rate = min(rate, self.per_flow_cap)
+        return rate
+
+    def transfer(self, nbytes: float, weight: float = 1.0) -> Event:
+        """Start a flow of ``nbytes``; returns the completion event.
+
+        ``weight`` sets the flow's share under contention (weighted
+        fair sharing — the QoS/traffic-class knob of §3.4): a flow of
+        weight 2 drains twice as fast as a weight-1 flow while both
+        are active.  The optional per-flow cap still applies.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        event = Event(self.env)
+        if nbytes == 0:
+            event.succeed()
+            return event
+        self._advance()
+        self._flows.append(_Flow(nbytes, event, weight=weight))
+        self.bytes_completed += nbytes
+        self._reschedule()
+        return event
+
+    def time_to_transfer(self, nbytes: float) -> float:
+        """Uncontended duration for ``nbytes`` (planning helper)."""
+        return nbytes / self.bandwidth
+
+    # -- internals -------------------------------------------------------
+    def _advance(self) -> None:
+        now = self.env.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if elapsed <= 0 or not self._flows:
+            return
+        for flow, rate in self._rates():
+            flow.remaining -= rate * elapsed
+
+    def _rates(self):
+        """Current (flow, rate) pairs under weighted fair sharing."""
+        total_weight = sum(flow.weight for flow in self._flows)
+        pairs = []
+        for flow in self._flows:
+            rate = self.bandwidth * flow.weight / total_weight
+            if self.per_flow_cap is not None:
+                rate = min(rate, self.per_flow_cap)
+            pairs.append((flow, rate))
+        return pairs
+
+    def _reschedule(self) -> None:
+        # Complete drained flows (oldest first for determinism).
+        still_active: List[_Flow] = []
+        for flow in self._flows:
+            if flow.remaining <= _EPSILON:
+                flow.event.succeed()
+            else:
+                still_active.append(flow)
+        self._flows = still_active
+        self._timer_version += 1
+        if not self._flows:
+            return
+        version = self._timer_version
+        next_done = min(flow.remaining / rate for flow, rate in self._rates())
+
+        def _wake(_event: Event) -> None:
+            if version == self._timer_version:
+                self._advance()
+                self._reschedule()
+
+        timer = self.env.timeout(next_done)
+        timer.callbacks.append(_wake)
+
+
+class SerialLink:
+    """Strictly serialized link: one transfer at a time, FIFO order.
+
+    Models narrow interfaces where requests do not interleave, e.g. the
+    non-posted ENQCMD path or a single DMA channel's descriptor fetch.
+    """
+
+    def __init__(self, env: Environment, bandwidth: float, name: str = ""):
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        self.env = env
+        self.bandwidth = float(bandwidth)
+        self.name = name
+        self._free_at = env.now
+
+    def transfer(self, nbytes: float) -> Event:
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        start = max(self.env.now, self._free_at)
+        duration = nbytes / self.bandwidth
+        self._free_at = start + duration
+        event = Event(self.env)
+        event.succeed(delay=self._free_at - self.env.now)
+        return event

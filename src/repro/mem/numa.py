@@ -1,0 +1,56 @@
+"""NUMA topology: sockets, UPI links, and remote-access penalties.
+
+Cross-socket traffic (paper Fig 6a) rides Intel UPI: extra hop latency
+in both directions and a per-direction bandwidth ceiling.  The paper
+finds DSA hides the extra latency once pipelined, so throughput across
+sockets nearly matches local — that emerges here because the UPI
+bandwidth ceiling is above a single device's fabric limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class UpiParams:
+    """One socket-to-socket interconnect."""
+
+    hop_latency: float = 55.0  # ns added per crossing
+    bandwidth: float = 62.0  # GB/s per direction (3 UPI links aggregated)
+
+    def validate(self) -> None:
+        if self.hop_latency < 0:
+            raise ValueError("hop latency cannot be negative")
+        if self.bandwidth <= 0:
+            raise ValueError("UPI bandwidth must be positive")
+
+
+class NumaTopology:
+    """Maps node ids to sockets and answers remoteness queries."""
+
+    def __init__(self, sockets: int = 2, upi: UpiParams = UpiParams()):
+        if sockets < 1:
+            raise ValueError(f"sockets must be >= 1, got {sockets}")
+        self.sockets = sockets
+        self.upi = upi
+        self._node_socket: Dict[int, int] = {}
+
+    def place_node(self, node: int, socket: int) -> None:
+        if not 0 <= socket < self.sockets:
+            raise ValueError(f"socket {socket} out of range [0, {self.sockets})")
+        self._node_socket[node] = socket
+
+    def socket_of(self, node: int) -> int:
+        if node not in self._node_socket:
+            raise KeyError(f"node {node} not placed on any socket")
+        return self._node_socket[node]
+
+    def is_remote(self, from_socket: int, node: int) -> bool:
+        return self.socket_of(node) != from_socket
+
+    def crossing_cost(self, from_socket: int, node: int) -> Tuple[float, bool]:
+        """UPI latency (ns) to reach ``node`` from ``from_socket``."""
+        remote = self.is_remote(from_socket, node)
+        return (self.upi.hop_latency if remote else 0.0), remote

@@ -1,0 +1,40 @@
+"""Persistent-memory tier (guideline G4's third heterogeneous medium).
+
+The paper's G4 names NUMA-remote, persistent, and CXL memory as the
+tiers DSA should move data across.  This models an Optane-class DIMM
+bank: read latency moderately above DRAM, write bandwidth far below
+read bandwidth (the medium's defining asymmetry), both far below DRAM
+streaming rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PmemParams:
+    """App-Direct persistent-memory bank on one socket."""
+
+    capacity: int = 512 * 1024**3
+    read_bandwidth: float = 30.0  # GB/s, bank aggregate
+    write_bandwidth: float = 8.0  # GB/s — the famous write cliff
+    read_latency: float = 170.0  # ns
+    write_latency: float = 95.0  # ns to the WPQ (writes buffer quickly)
+    #: Single sequential stream ceiling.
+    stream_bandwidth: float = 7.0
+
+    def validate(self) -> None:
+        if self.read_bandwidth <= 0 or self.write_bandwidth <= 0:
+            raise ValueError("PMEM bandwidths must be positive")
+        if self.write_bandwidth >= self.read_bandwidth:
+            raise ValueError(
+                "PMEM model requires the write-bandwidth cliff "
+                f"(got read={self.read_bandwidth}, write={self.write_bandwidth})"
+            )
+        if self.read_latency <= 0 or self.write_latency <= 0:
+            raise ValueError("latencies must be positive")
+
+
+#: A 512 GB Optane-class bank.
+OPTANE_BANK = PmemParams()

@@ -1,0 +1,230 @@
+"""The composed memory system: nodes, links, LLC, IOMMU, topology.
+
+:class:`MemorySystem` is the single object device models and CPU models
+talk to.  It answers latency queries (with NUMA/UPI and CXL asymmetry
+folded in), hands out fair-share bandwidth flows per node, and hosts
+the shared LLC whose DDIO partition decides whether DMA writes are
+absorbed on-chip or leak to DRAM.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.mem.cache import SharedLLC
+from repro.mem.cxl import CxlMemoryParams
+from repro.mem.dram import DramParams, DDR4_6CH, DDR5_8CH
+from repro.mem.iommu import Iommu
+from repro.mem.link import FairShareLink
+from repro.mem.numa import NumaTopology, UpiParams
+from repro.sim.engine import Environment, Event
+
+
+class TierKind(enum.Enum):
+    DRAM = "dram"
+    CXL = "cxl"
+    PMEM = "pmem"
+
+
+#: Fraction of a DRAM node's streaming bandwidth available to writes.
+_WRITE_BW_FRACTION = 0.45
+
+#: Extra write latency when a copy's source and destination share one
+#: node — read/write turnaround on the same channels.  This is what
+#: makes split-location buffers "slightly better" in Fig 6a (sync BS 1).
+SAME_NODE_TURNAROUND_NS = 18.0
+
+
+@dataclass
+class MemoryNode:
+    """One NUMA node: a memory tier on some socket."""
+
+    node_id: int
+    kind: TierKind
+    socket: int
+    read_latency: float
+    write_latency: float
+    read_link: FairShareLink
+    write_link: FairShareLink
+    #: Shared internal bus (CXL devices); None for DRAM nodes.
+    internal_link: Optional[FairShareLink] = None
+
+
+class MemorySystem:
+    """Sockets' memory tiers plus the shared LLC and IOMMU."""
+
+    def __init__(
+        self,
+        env: Environment,
+        llc: Optional[SharedLLC] = None,
+        topology: Optional[NumaTopology] = None,
+        iommu: Optional[Iommu] = None,
+    ):
+        self.env = env
+        self.llc = llc or SharedLLC(size=105 * 1024 * 1024)
+        self.topology = topology or NumaTopology()
+        self.iommu = iommu or Iommu()
+        self._nodes: Dict[int, MemoryNode] = {}
+        self._upi_links: Dict[int, FairShareLink] = {}
+
+    # -- construction -------------------------------------------------------
+    def add_dram_node(self, node_id: int, socket: int, params: DramParams) -> MemoryNode:
+        params.validate()
+        node = MemoryNode(
+            node_id=node_id,
+            kind=TierKind.DRAM,
+            socket=socket,
+            read_latency=params.idle_read_latency,
+            write_latency=params.idle_write_latency,
+            read_link=FairShareLink(
+                self.env,
+                params.bandwidth,
+                f"dram{node_id}.rd",
+                per_flow_cap=params.stream_bandwidth,
+            ),
+            write_link=FairShareLink(
+                self.env,
+                params.bandwidth * _WRITE_BW_FRACTION,
+                f"dram{node_id}.wr",
+                per_flow_cap=params.stream_bandwidth,
+            ),
+        )
+        self._register(node)
+        return node
+
+    def add_cxl_node(self, node_id: int, socket: int, params: CxlMemoryParams) -> MemoryNode:
+        params.validate()
+        node = MemoryNode(
+            node_id=node_id,
+            kind=TierKind.CXL,
+            socket=socket,
+            read_latency=params.read_latency,
+            write_latency=params.write_latency,
+            read_link=FairShareLink(self.env, params.read_bandwidth, f"cxl{node_id}.rd"),
+            write_link=FairShareLink(self.env, params.write_bandwidth, f"cxl{node_id}.wr"),
+            internal_link=FairShareLink(
+                self.env, params.internal_bandwidth, f"cxl{node_id}.bus"
+            ),
+        )
+        self._register(node)
+        return node
+
+    def add_pmem_node(self, node_id: int, socket: int, params) -> MemoryNode:
+        """Persistent-memory bank (G4's third tier kind)."""
+        from repro.mem.pmem import PmemParams
+
+        if not isinstance(params, PmemParams):
+            raise TypeError(f"expected PmemParams, got {type(params).__name__}")
+        params.validate()
+        node = MemoryNode(
+            node_id=node_id,
+            kind=TierKind.PMEM,
+            socket=socket,
+            read_latency=params.read_latency,
+            write_latency=params.write_latency,
+            read_link=FairShareLink(
+                self.env,
+                params.read_bandwidth,
+                f"pmem{node_id}.rd",
+                per_flow_cap=params.stream_bandwidth,
+            ),
+            write_link=FairShareLink(
+                self.env,
+                params.write_bandwidth,
+                f"pmem{node_id}.wr",
+                per_flow_cap=params.stream_bandwidth,
+            ),
+        )
+        self._register(node)
+        return node
+
+    def _register(self, node: MemoryNode) -> None:
+        if node.node_id in self._nodes:
+            raise ValueError(f"node {node.node_id} already exists")
+        self._nodes[node.node_id] = node
+        self.topology.place_node(node.node_id, node.socket)
+        if node.socket not in self._upi_links:
+            self._upi_links[node.socket] = FairShareLink(
+                self.env, self.topology.upi.bandwidth, f"upi.socket{node.socket}"
+            )
+
+    def node(self, node_id: int) -> MemoryNode:
+        if node_id not in self._nodes:
+            raise KeyError(f"unknown memory node {node_id}")
+        return self._nodes[node_id]
+
+    @property
+    def nodes(self) -> Dict[int, MemoryNode]:
+        return dict(self._nodes)
+
+    # -- latency queries -----------------------------------------------------
+    def read_latency(self, node_id: int, from_socket: int, in_llc: bool = False) -> float:
+        """Unloaded read latency as seen from ``from_socket``."""
+        if in_llc:
+            return self.llc.read_latency
+        node = self.node(node_id)
+        hop, _remote = self.topology.crossing_cost(from_socket, node_id)
+        return node.read_latency + hop
+
+    def write_latency(
+        self,
+        node_id: int,
+        from_socket: int,
+        to_llc: bool = False,
+        same_node_as_read: bool = False,
+    ) -> float:
+        """Unloaded write latency; ``to_llc`` models a DDIO-hinted write."""
+        if to_llc:
+            return self.llc.write_latency
+        node = self.node(node_id)
+        hop, _remote = self.topology.crossing_cost(from_socket, node_id)
+        penalty = SAME_NODE_TURNAROUND_NS if same_node_as_read else 0.0
+        return node.write_latency + hop + penalty
+
+    # -- bandwidth flows -------------------------------------------------------
+    def read_flow(self, node_id: int, nbytes: float, from_socket: int) -> Event:
+        """Stream ``nbytes`` out of a node (adds UPI flow when remote)."""
+        return self._flow(self.node(node_id), nbytes, from_socket, write=False)
+
+    def write_flow(self, node_id: int, nbytes: float, from_socket: int) -> Event:
+        return self._flow(self.node(node_id), nbytes, from_socket, write=True)
+
+    def _flow(self, node: MemoryNode, nbytes: float, from_socket: int, write: bool) -> Event:
+        link = node.write_link if write else node.read_link
+        flows = [link.transfer(nbytes)]
+        if node.internal_link is not None:
+            flows.append(node.internal_link.transfer(nbytes))
+        if self.topology.is_remote(from_socket, node.node_id):
+            flows.append(self._upi_links[node.socket].transfer(nbytes))
+        if len(flows) == 1:
+            return flows[0]
+        return self.env.all_of(flows)
+
+    # -- presets ---------------------------------------------------------------
+    @classmethod
+    def spr(cls, env: Environment, with_cxl: bool = False, sockets: int = 2) -> "MemorySystem":
+        """Sapphire Rapids: DDR5 x8 per socket, 105 MB LLC, optional CXL."""
+        system = cls(
+            env,
+            llc=SharedLLC(size=105 * 1024 * 1024, ways=15, ddio_ways=2),
+            topology=NumaTopology(sockets=sockets, upi=UpiParams()),
+        )
+        for socket in range(sockets):
+            system.add_dram_node(socket, socket=socket, params=DDR5_8CH)
+        if with_cxl:
+            system.add_cxl_node(sockets, socket=0, params=CxlMemoryParams())
+        return system
+
+    @classmethod
+    def icx(cls, env: Environment, sockets: int = 2) -> "MemorySystem":
+        """Ice Lake: DDR4 x6 per socket, 57 MB LLC (Table 2 baseline)."""
+        system = cls(
+            env,
+            llc=SharedLLC(size=57 * 1024 * 1024, ways=12, ddio_ways=2),
+            topology=NumaTopology(sockets=sockets, upi=UpiParams(hop_latency=62.0)),
+        )
+        for socket in range(sockets):
+            system.add_dram_node(socket, socket=socket, params=DDR4_6CH)
+        return system

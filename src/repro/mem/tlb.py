@@ -1,0 +1,56 @@
+"""LRU translation lookaside buffer, shared by cores and the DSA ATC.
+
+The device-side address translation cache (ATC) of DSA behaves the same
+way as a core TLB for our purposes: a bounded LRU map from virtual page
+number to translation, with hit/miss counting.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class Tlb:
+    """Bounded LRU cache of virtual-page translations."""
+
+    def __init__(self, entries: int, page_size: int):
+        if entries < 1:
+            raise ValueError(f"entries must be >= 1, got {entries}")
+        if page_size < 1:
+            raise ValueError(f"page_size must be >= 1, got {page_size}")
+        self.entries = entries
+        self.page_size = page_size
+        self._cache: "OrderedDict[int, bool]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def lookup(self, va: int) -> bool:
+        """True on hit; refreshes LRU position.  Misses are not filled."""
+        vpn = va // self.page_size
+        if vpn in self._cache:
+            self._cache.move_to_end(vpn)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, va: int) -> None:
+        """Insert a translation, evicting the LRU entry if full."""
+        vpn = va // self.page_size
+        if vpn in self._cache:
+            self._cache.move_to_end(vpn)
+            return
+        if len(self._cache) >= self.entries:
+            self._cache.popitem(last=False)
+        self._cache[vpn] = True
+
+    def invalidate_all(self) -> None:
+        self._cache.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,105 @@
+"""Platform presets: composed systems matching the paper's Table 2.
+
+A :class:`Platform` bundles everything one experiment run needs — the
+simulation environment, memory system, driver with registered DSA (or
+CBDMA) devices, software kernel library, and instruction costs — so
+experiments and tests build identical stacks from one line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cpu.core import CpuCore
+from repro.cpu.instructions import InstructionCosts
+from repro.cpu.swlib import SoftwareKernels
+from repro.dsa.config import DeviceConfig, DsaTimingParams
+from repro.dsa.device import DsaDevice
+from repro.mem.address import AddressSpace
+from repro.mem.system import MemorySystem
+from repro.runtime.accel_config import AccelConfig
+from repro.runtime.driver import IdxdDriver, Portal
+from repro.sim.engine import Environment
+
+
+@dataclass
+class Platform:
+    """One composed system under test."""
+
+    env: Environment
+    memsys: MemorySystem
+    driver: IdxdDriver
+    kernels: SoftwareKernels
+    costs: InstructionCosts
+    name: str = "spr"
+    _cores: Dict[int, CpuCore] = field(default_factory=dict)
+
+    @property
+    def accel_config(self) -> AccelConfig:
+        return AccelConfig(self.driver)
+
+    def core(self, core_id: int = 0) -> CpuCore:
+        """Get-or-create a CPU core (cores are accounting identities)."""
+        if core_id not in self._cores:
+            self._cores[core_id] = CpuCore(self.env, core_id=core_id)
+        return self._cores[core_id]
+
+    def add_device(
+        self,
+        name: str,
+        config: Optional[DeviceConfig] = None,
+        socket: int = 0,
+        timing: Optional[DsaTimingParams] = None,
+    ) -> DsaDevice:
+        device = self.driver.register_device(name, config=config, socket=socket, timing=timing)
+        self.driver.enable(name)
+        return device
+
+    def open_portal(self, device_name: str, wq_id: int, space: AddressSpace) -> Portal:
+        return self.driver.open_portal(device_name, wq_id, space)
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.env.run(until=until)
+
+
+def spr_platform(
+    n_devices: int = 1,
+    device_config: Optional[DeviceConfig] = None,
+    with_cxl: bool = False,
+    sockets: int = 2,
+    timing: Optional[DsaTimingParams] = None,
+) -> Platform:
+    """Sapphire Rapids (Table 2): DDR5 x8, 105 MB LLC, n DSA instances."""
+    env = Environment()
+    memsys = MemorySystem.spr(env, with_cxl=with_cxl, sockets=sockets)
+    platform = Platform(
+        env=env,
+        memsys=memsys,
+        driver=IdxdDriver(env, memsys),
+        kernels=SoftwareKernels(),
+        costs=InstructionCosts(),
+        name="spr",
+    )
+    for index in range(n_devices):
+        platform.add_device(
+            f"dsa{index}",
+            config=device_config or DeviceConfig.single(),
+            socket=0,
+            timing=timing,
+        )
+    return platform
+
+
+def icx_platform() -> Platform:
+    """Ice Lake (Table 2): DDR4 x6, 57 MB LLC; hosts CBDMA, not DSA."""
+    env = Environment()
+    memsys = MemorySystem.icx(env)
+    return Platform(
+        env=env,
+        memsys=memsys,
+        driver=IdxdDriver(env, memsys),
+        kernels=SoftwareKernels(),
+        costs=InstructionCosts(),
+        name="icx",
+    )

@@ -1,0 +1,36 @@
+"""Software ecosystem: driver, configuration tool, DML, DTO (paper §3.3, §5).
+
+This package is the model equivalent of the DSA software stack:
+
+* :mod:`repro.runtime.driver` — IDXD-like kernel driver (control path,
+  portal mapping, PASID attachment).
+* :mod:`repro.runtime.accel_config` — libaccel-config-like user API to
+  describe and apply device configurations.
+* :mod:`repro.runtime.submit` / :mod:`repro.runtime.wait` — data path:
+  MOVDIR64B / ENQCMD submission and spin / UMWAIT / interrupt waiting.
+* :mod:`repro.runtime.dml` — high-level data-mover API (sync/async
+  jobs, batching, device load balancing).
+* :mod:`repro.runtime.dto` — transparent offload of ``mem*`` calls with
+  a minimum-size threshold and software fallback.
+"""
+
+from repro.runtime.driver import IdxdDriver, Portal
+from repro.runtime.accel_config import AccelConfig
+from repro.runtime.dml import Dml, DmlJob, DmlPath
+from repro.runtime.dto import Dto
+from repro.runtime.submit import prepare_descriptor, submit
+from repro.runtime.wait import WaitMode, wait_for
+
+__all__ = [
+    "IdxdDriver",
+    "Portal",
+    "AccelConfig",
+    "Dml",
+    "DmlJob",
+    "DmlPath",
+    "Dto",
+    "submit",
+    "prepare_descriptor",
+    "WaitMode",
+    "wait_for",
+]

@@ -1,0 +1,138 @@
+"""libaccel-config-like user-space configuration API (paper §3.3).
+
+Applications describe the wanted layout as plain dictionaries (the
+shape of ``accel-config``'s JSON) and apply them through the driver.
+Validation errors mirror what the real utility rejects: over-committed
+WQ entries, WQs in two groups, out-of-range priorities, and so on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.dsa.config import (
+    DeviceConfig,
+    DsaTimingParams,
+    EngineConfig,
+    GroupConfig,
+    WqConfig,
+    WqMode,
+)
+from repro.dsa.device import DsaDevice
+from repro.runtime.driver import IdxdDriver
+
+
+def parse_device_config(spec: Dict[str, Any]) -> DeviceConfig:
+    """Build a validated :class:`DeviceConfig` from a dict description.
+
+    Expected shape::
+
+        {
+          "wqs":     [{"id": 0, "size": 32, "mode": "dedicated", "priority": 5}, ...],
+          "engines": [0, 1],
+          "groups":  [{"id": 0, "wqs": [0], "engines": [0, 1]}],
+        }
+    """
+    wqs = tuple(
+        WqConfig(
+            wq_id=w["id"],
+            size=w.get("size", 32),
+            mode=WqMode(w.get("mode", "dedicated")),
+            priority=w.get("priority", 1),
+        )
+        for w in spec.get("wqs", [])
+    )
+    engines = tuple(EngineConfig(e) for e in spec.get("engines", []))
+    groups = tuple(
+        GroupConfig(
+            group_id=g["id"],
+            wq_ids=tuple(g.get("wqs", [])),
+            engine_ids=tuple(g.get("engines", [])),
+            read_buffers_per_engine=g.get("read_buffers"),
+        )
+        for g in spec.get("groups", [])
+    )
+    config = DeviceConfig(wqs=wqs, engines=engines, groups=groups)
+    config.validate()
+    return config
+
+
+class AccelConfig:
+    """User-space facade over the driver's control path."""
+
+    def __init__(self, driver: IdxdDriver):
+        self.driver = driver
+
+    def load_config(
+        self,
+        name: str,
+        spec: Dict[str, Any],
+        socket: int = 0,
+        timing: Optional[DsaTimingParams] = None,
+        enable: bool = True,
+    ) -> DsaDevice:
+        """``accel-config load-config`` + ``enable-device`` in one call."""
+        config = parse_device_config(spec)
+        device = self.driver.register_device(name, config=config, socket=socket, timing=timing)
+        if enable:
+            self.driver.enable(name)
+        return device
+
+    def save_config(self, name: str) -> Dict[str, Any]:
+        """``accel-config save-config``: serialize a device's layout.
+
+        The returned dict round-trips through :func:`parse_device_config`.
+        """
+        device = self.driver.device(name)
+        return {
+            "wqs": [
+                {
+                    "id": wq.wq_id,
+                    "size": wq.size,
+                    "mode": wq.mode.value,
+                    "priority": wq.priority,
+                }
+                for wq in device.wqs.values()
+            ],
+            "engines": [e.engine_id for e in device.config.engines],
+            "groups": [
+                {
+                    "id": group.group_id,
+                    "wqs": list(group.config.wq_ids),
+                    "engines": list(group.config.engine_ids),
+                    **(
+                        {"read_buffers": group.config.read_buffers_per_engine}
+                        if group.config.read_buffers_per_engine is not None
+                        else {}
+                    ),
+                }
+                for group in device.groups.values()
+            ],
+        }
+
+    def list_devices(self) -> Dict[str, Dict[str, Any]]:
+        """``accel-config list``-style inventory."""
+        inventory = {}
+        for name, device in self.driver.devices.items():
+            inventory[name] = {
+                "enabled": self.driver.is_enabled(name),
+                "wqs": [
+                    {
+                        "id": wq.wq_id,
+                        "size": wq.size,
+                        "mode": wq.mode.value,
+                        "priority": wq.priority,
+                        "occupancy": wq.occupancy,
+                    }
+                    for wq in device.wqs.values()
+                ],
+                "groups": [
+                    {
+                        "id": group.group_id,
+                        "wqs": list(group.config.wq_ids),
+                        "engines": list(group.config.engine_ids),
+                    }
+                    for group in device.groups.values()
+                ],
+            }
+        return inventory

@@ -1,0 +1,116 @@
+"""IDXD-like kernel driver model: control path and portal mapping.
+
+The real driver exposes each WQ's MMIO portal as a char device that
+applications ``mmap`` (paper §3.3).  The model mirrors the contract:
+
+* a device must be *enabled* before portals can be opened;
+* a dedicated WQ portal can be held by only one client at a time;
+* a shared WQ portal can be opened by any number of clients;
+* opening a portal attaches the caller's address space (PASID) to the
+  device and IOMMU — the SVM path that removes memory pinning (F1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from repro.dsa.config import DeviceConfig, DsaTimingParams, WqMode
+from repro.dsa.device import DsaDevice
+from repro.mem.address import AddressSpace
+from repro.mem.system import MemorySystem
+from repro.sim.engine import Environment
+
+
+class DriverError(RuntimeError):
+    """Control-path misuse (double enable, busy DWQ, disabled device)."""
+
+
+@dataclass
+class Portal:
+    """A mapped WQ portal handle held by one client."""
+
+    device: DsaDevice
+    wq_id: int
+    pasid: int
+
+    @property
+    def mode(self) -> WqMode:
+        return self.device.wq(self.wq_id).mode
+
+
+class IdxdDriver:
+    """Device registry, enable/disable lifecycle, portal arbitration."""
+
+    def __init__(self, env: Environment, memsys: MemorySystem):
+        self.env = env
+        self.memsys = memsys
+        self._devices: Dict[str, DsaDevice] = {}
+        self._enabled: Set[str] = set()
+        self._dwq_owners: Dict[Tuple[str, int], int] = {}
+
+    # -- control path -----------------------------------------------------------
+    def register_device(
+        self,
+        name: str,
+        config: Optional[DeviceConfig] = None,
+        socket: int = 0,
+        timing: Optional[DsaTimingParams] = None,
+    ) -> DsaDevice:
+        """Create a device instance (disabled until :meth:`enable`)."""
+        if name in self._devices:
+            raise DriverError(f"device {name!r} already registered")
+        device = DsaDevice(
+            self.env, self.memsys, config=config, timing=timing, name=name, socket=socket
+        )
+        self._devices[name] = device
+        return device
+
+    def device(self, name: str) -> DsaDevice:
+        if name not in self._devices:
+            raise DriverError(f"unknown device {name!r}")
+        return self._devices[name]
+
+    @property
+    def devices(self) -> Dict[str, DsaDevice]:
+        return dict(self._devices)
+
+    def enable(self, name: str) -> None:
+        self.device(name)  # existence check
+        if name in self._enabled:
+            raise DriverError(f"device {name!r} already enabled")
+        self._enabled.add(name)
+
+    def disable(self, name: str) -> None:
+        if name not in self._enabled:
+            raise DriverError(f"device {name!r} not enabled")
+        self._enabled.discard(name)
+        stale = [key for key in self._dwq_owners if key[0] == name]
+        for key in stale:
+            del self._dwq_owners[key]
+
+    def is_enabled(self, name: str) -> bool:
+        return name in self._enabled
+
+    # -- data-path setup -----------------------------------------------------------
+    def open_portal(self, name: str, wq_id: int, space: AddressSpace) -> Portal:
+        """mmap a WQ portal for a client process."""
+        device = self.device(name)
+        if name not in self._enabled:
+            raise DriverError(f"device {name!r} is not enabled")
+        wq = device.wq(wq_id)  # raises KeyError for bad ids
+        key = (name, wq_id)
+        if wq.mode is WqMode.DEDICATED:
+            owner = self._dwq_owners.get(key)
+            if owner is not None and owner != space.pasid:
+                raise DriverError(
+                    f"DWQ {wq_id} on {name!r} is dedicated to PASID {owner}"
+                )
+            self._dwq_owners[key] = space.pasid
+        device.attach_space(space)
+        return Portal(device=device, wq_id=wq_id, pasid=space.pasid)
+
+    def close_portal(self, portal: Portal) -> None:
+        key = (portal.device.name, portal.wq_id)
+        if self._dwq_owners.get(key) == portal.pasid:
+            del self._dwq_owners[key]

@@ -1,0 +1,55 @@
+"""Completion waiting strategies: spin, UMWAIT, interrupt (paper §3.3, §4.4).
+
+Each strategy books the waiting period into a different cycle category
+on the waiting core, which is exactly what Fig 11 (UMWAIT cycle share)
+measures.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Generator, Union
+
+from repro.cpu.core import CpuCore, CycleCategory
+from repro.cpu.instructions import InstructionCosts
+from repro.dsa.descriptor import BatchDescriptor, WorkDescriptor
+from repro.sim.engine import Environment
+
+Descriptor = Union[WorkDescriptor, BatchDescriptor]
+
+DEFAULT_COSTS = InstructionCosts()
+
+
+class WaitMode(enum.Enum):
+    SPIN = "spin"  # busy-poll the completion record
+    UMWAIT = "umwait"  # UMONITOR + UMWAIT optimized wait state
+    INTERRUPT = "interrupt"  # sleep until the completion interrupt
+
+
+def wait_for(
+    env: Environment,
+    core: CpuCore,
+    descriptor: Descriptor,
+    mode: WaitMode = WaitMode.UMWAIT,
+    costs: InstructionCosts = DEFAULT_COSTS,
+) -> Generator:
+    """Block until the descriptor completes; returns the wait time (ns)."""
+    event = descriptor.completion_event
+    if event is None:
+        raise RuntimeError("descriptor was never submitted (no completion event)")
+    if mode is WaitMode.UMWAIT:
+        yield core.spend(CycleCategory.BUSY, costs.umonitor_ns)
+    start = env.now
+    if not event.triggered:
+        yield event
+    waited = env.now - start
+    if mode is WaitMode.SPIN:
+        core.account(CycleCategory.WAIT_SPIN, waited)
+        yield core.spend(CycleCategory.BUSY, costs.poll_check_ns)
+    elif mode is WaitMode.UMWAIT:
+        core.account(CycleCategory.UMWAIT, waited)
+        yield core.spend(CycleCategory.BUSY, costs.umwait_wake_ns)
+    else:
+        core.account(CycleCategory.IDLE, waited)
+        yield core.spend(CycleCategory.BUSY, costs.interrupt_ns)
+    return waited

@@ -1,0 +1,42 @@
+"""Discrete-event simulation kernel.
+
+This subpackage provides the event-driven substrate on which every
+hardware model in :mod:`repro` runs: a simulated clock, generator-based
+processes, and queueing resources.  It is intentionally a small,
+self-contained engine in the style of SimPy, implemented from scratch so
+the reproduction has no external simulation dependency.
+
+Typical usage::
+
+    from repro.sim import Environment
+
+    env = Environment()
+
+    def producer(env, store):
+        for i in range(3):
+            yield env.timeout(1.0)
+            yield store.put(i)
+
+    ...
+    env.run()
+"""
+
+from repro.sim.engine import Environment, Event, Interrupt, Process, SimulationError
+from repro.sim.resources import PriorityStore, Resource, Store
+from repro.sim.stats import Histogram, OnlineStat, TimeWeightedStat
+from repro.sim.rng import make_rng
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Resource",
+    "Store",
+    "PriorityStore",
+    "Histogram",
+    "OnlineStat",
+    "TimeWeightedStat",
+    "make_rng",
+]

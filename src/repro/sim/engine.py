@@ -1,0 +1,296 @@
+"""Core event loop: simulated clock, events, and generator processes.
+
+The engine follows the classic event-calendar design: a binary heap of
+``(time, priority, sequence, event)`` entries, popped in order.  Model
+code is written as generator functions ("processes") that ``yield``
+events; when a yielded event triggers, the process is resumed with the
+event's value.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+#: Scheduling priorities (lower runs first at equal timestamps).
+URGENT = 0
+NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal engine operations (double trigger, bad yield)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence on the simulation calendar.
+
+    An event starts *pending*, becomes *triggered* when given a value via
+    :meth:`succeed` or :meth:`fail`, and *processed* once its callbacks
+    have run.  Processes wait on events by yielding them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if not self._triggered:
+            raise SimulationError("event has no outcome yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event has no value yet")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed; waiting processes see the exception."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, delay)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+
+class Timeout(Event):
+    """Event that triggers after a fixed simulated delay."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Condition(Event):
+    """Waits for all (or any) of a set of events.
+
+    The value of a condition is a dict mapping each triggered source
+    event to its value.
+    """
+
+    __slots__ = ("_events", "_need", "_done")
+
+    def __init__(self, env: "Environment", events: Iterable[Event], wait_all: bool):
+        super().__init__(env)
+        self._events = list(events)
+        self._done = 0
+        self._need = len(self._events) if wait_all else min(1, len(self._events))
+        if self._need == 0:
+            self.succeed({})
+            return
+        for ev in self._events:
+            if ev.callbacks is None:  # already processed
+                self._collect(ev)
+            else:
+                ev.callbacks.append(self._collect)
+
+    def _collect(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev._ok:
+            ev.defuse()
+            self.fail(ev._value)
+            return
+        self._done += 1
+        if self._done >= self._need:
+            # Only events that actually fired (processed) contribute a
+            # value — a pending Timeout is scheduled but hasn't happened.
+            self.succeed({e: e._value for e in self._events if e._processed and e._ok})
+
+
+class Process(Event):
+    """A running generator; also an event that triggers when it returns.
+
+    The generator yields :class:`Event` instances.  ``return value``
+    (or ``StopIteration(value)``) becomes the process event's value.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process requires a generator, got {type(generator).__name__}")
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        boot = Event(env)
+        boot.callbacks.append(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        kicker = Event(self.env)
+        kicker.callbacks.append(lambda ev: self._throw(Interrupt(cause)))
+        kicker.succeed(delay=0.0)
+
+    def _throw(self, exc: BaseException) -> None:
+        if self._triggered:
+            return
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self._step(lambda: self._generator.throw(exc))
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        if event._ok:
+            self._step(lambda: self._generator.send(event._value))
+        else:
+            event.defuse()
+            self._step(lambda: self._generator.throw(event._value))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        self.env._active_process = self
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+        if not isinstance(target, Event):
+            self._step(
+                lambda: self._generator.throw(
+                    SimulationError(f"process {self.name!r} yielded non-event {target!r}")
+                )
+            )
+            return
+        if target.callbacks is None:
+            # Already processed: resume immediately (synchronously).
+            self._resume(target)
+        else:
+            self._target = target
+            target.callbacks.append(self._resume)
+
+
+class Environment:
+    """The simulation world: clock, calendar, and process factory."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._calendar: List = []
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (nanoseconds by convention in repro)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories ------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> Condition:
+        return Condition(self, events, wait_all=True)
+
+    def any_of(self, events: Iterable[Event]) -> Condition:
+        return Condition(self, events, wait_all=False)
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        heapq.heappush(self._calendar, (self._now + delay, priority, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._calendar[0][0] if self._calendar else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event from the calendar."""
+        if not self._calendar:
+            raise SimulationError("empty calendar")
+        when, _prio, _seq, event = heapq.heappop(self._calendar)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        event._processed = True
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the calendar drains or the clock reaches ``until``."""
+        if until is not None and until < self._now:
+            raise ValueError(f"until ({until}) is in the past (now={self._now})")
+        while self._calendar:
+            if until is not None and self._calendar[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until

@@ -1,0 +1,134 @@
+"""Measurement utilities shared by all models and experiments."""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right, insort
+from typing import Dict, List, Optional, Sequence
+
+
+class OnlineStat:
+    """Streaming mean / variance / min / max (Welford's algorithm)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class TimeWeightedStat:
+    """Time-weighted average of a piecewise-constant signal.
+
+    Used for e.g. average queue depth and LLC occupancy: call
+    :meth:`update` whenever the level changes; the mean weights each
+    level by how long it was held.
+    """
+
+    def __init__(self, start_time: float = 0.0, initial: float = 0.0):
+        self._last_time = start_time
+        self._level = initial
+        self._area = 0.0
+        self._origin = start_time
+        self.maximum = initial
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def update(self, now: float, level: float) -> None:
+        if now < self._last_time:
+            raise ValueError(f"time went backwards: {now} < {self._last_time}")
+        self._area += self._level * (now - self._last_time)
+        self._last_time = now
+        self._level = level
+        if level > self.maximum:
+            self.maximum = level
+
+    def mean(self, now: Optional[float] = None) -> float:
+        end = self._last_time if now is None else now
+        span = end - self._origin
+        if span <= 0:
+            return self._level
+        area = self._area + self._level * (end - self._last_time)
+        return area / span
+
+
+class Histogram:
+    """Exact-percentile sample container (sorted insertion).
+
+    Suitable for the sample counts in this project (10^3..10^5); keeps
+    exact percentiles, which matters for the paper's p99.999 claims.
+    """
+
+    def __init__(self) -> None:
+        self._sorted: List[float] = []
+        self._sum = 0.0
+
+    def add(self, value: float) -> None:
+        insort(self._sorted, value)
+        self._sum += value
+
+    def extend(self, values: Sequence[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def mean(self) -> float:
+        return self._sum / len(self._sorted) if self._sorted else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return self._sorted[0] if self._sorted else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._sorted[-1] if self._sorted else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile; ``pct`` in [0, 100]."""
+        if not self._sorted:
+            return 0.0
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile out of range: {pct}")
+        rank = max(1, math.ceil(pct / 100.0 * len(self._sorted)))
+        return self._sorted[min(rank, len(self._sorted)) - 1]
+
+    def count_below(self, threshold: float) -> int:
+        return bisect_right(self._sorted, threshold)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(len(self._sorted)),
+            "mean": self.mean,
+            "min": self.minimum,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "max": self.maximum,
+        }

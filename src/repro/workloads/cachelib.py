@@ -1,0 +1,193 @@
+"""CacheLib / CacheBench cloud-caching service (paper Appendix B, Fig 19).
+
+CacheBench drives ``get``/``set`` operations against a slab cache;
+each operation memcpy's the item value.  With the DTO library
+preloaded, copies at or above 8 KB go to DSA *synchronously* through
+four shared WQs; everything else (and every copy in the baseline) runs
+on the core.
+
+The paper's measured size profile is reproduced by the sampler:
+~4.8% of copies are >= 8 KB but they carry ~96.4% of the bytes.
+Threads contend for both CPU cores (``#h``) and the four WQs, which is
+why throughput gains flatten past eight cores (Fig 19a) while p99.999
+latency collapses (Fig 19b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.cpu.core import CycleCategory
+from repro.dsa.config import DeviceConfig, WqMode
+from repro.dsa.opcodes import Opcode
+from repro.mem.address import AddressSpace
+from repro.platform import Platform, spr_platform
+from repro.runtime.dml import Dml
+from repro.runtime.dto import Dto
+from repro.sim.resources import Resource
+from repro.sim.rng import make_rng
+from repro.sim.stats import Histogram
+
+KB = 1024
+
+
+@dataclass(frozen=True)
+class ItemSizeProfile:
+    """Bimodal item-value sizes matching the Appendix B measurements."""
+
+    small_mean: int = 600
+    large_mean: int = 220 * KB
+    large_fraction: float = 0.048
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        large = rng.random(count) < self.large_fraction
+        small_sizes = rng.exponential(self.small_mean, count).astype(np.int64) + 64
+        large_sizes = rng.exponential(self.large_mean, count).astype(np.int64) + 8 * KB
+        return np.where(large, large_sizes, small_sizes)
+
+
+@dataclass(frozen=True)
+class CacheOpCosts:
+    """Non-copy CPU cost of one cache operation."""
+
+    get_lookup_ns: float = 260.0  # hash + find() bookkeeping
+    set_alloc_ns: float = 420.0  # allocate() + eviction bookkeeping
+
+
+@dataclass
+class CacheBenchConfig:
+    """One Fig 19 configuration: ``#h`` cores x ``#s`` threads."""
+
+    n_cores: int = 4
+    n_threads: int = 8
+    ops_per_thread: int = 500
+    get_fraction: float = 0.9
+    use_dsa: bool = True
+    min_offload: int = 8 * KB
+    sizes: ItemSizeProfile = field(default_factory=ItemSizeProfile)
+    costs: CacheOpCosts = field(default_factory=CacheOpCosts)
+    seed: int = 7
+
+    def validate(self) -> None:
+        if self.n_cores < 1 or self.n_threads < 1 or self.ops_per_thread < 1:
+            raise ValueError("cores, threads, and ops must be >= 1")
+        if not 0.0 <= self.get_fraction <= 1.0:
+            raise ValueError(f"get fraction outside [0,1]: {self.get_fraction}")
+
+
+@dataclass
+class CacheBenchResult:
+    config: CacheBenchConfig
+    operations: int
+    elapsed_ns: float
+    get_latency: Histogram
+    set_latency: Histogram
+    offloaded: int = 0
+    software: int = 0
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.operations / self.elapsed_ns * 1e9 if self.elapsed_ns else 0.0
+
+    def tail_latency(self, pct: float = 99.999) -> float:
+        combined = Histogram()
+        combined.extend(self.get_latency._sorted)
+        combined.extend(self.set_latency._sorted)
+        return combined.percentile(pct)
+
+
+def _cachebench_thread(
+    platform: Platform,
+    cfg: CacheBenchConfig,
+    core_slots: Resource,
+    dto: Optional[Dto],
+    dml: Dml,
+    space: AddressSpace,
+    thread_id: int,
+    result: CacheBenchResult,
+) -> Generator:
+    env = platform.env
+    core = platform.core(thread_id)
+    rng = make_rng(cfg.seed + thread_id)
+    sizes = cfg.sizes.sample(rng, cfg.ops_per_thread)
+    is_get = rng.random(cfg.ops_per_thread) < cfg.get_fraction
+    scratch_src = space.allocate(4 * 1024 * KB)
+    scratch_dst = space.allocate(4 * 1024 * KB)
+
+    for op in range(cfg.ops_per_thread):
+        size = int(min(sizes[op], scratch_src.size))
+        start = env.now
+        yield core_slots.request()  # threads > cores time-share
+        try:
+            if is_get[op]:
+                yield core.spend(CycleCategory.BUSY, cfg.costs.get_lookup_ns)
+            else:
+                yield core.spend(CycleCategory.BUSY, cfg.costs.set_alloc_ns)
+            descriptor = dml.make_descriptor(
+                Opcode.MEMMOVE, size, src=scratch_src, dst=scratch_dst
+            )
+            if dto is not None:
+                yield from dto._call(core, descriptor, in_llc=False)
+                result.offloaded = dto.stats.offloaded
+                result.software = dto.stats.software
+            else:
+                yield from dml.run_software(core, descriptor)
+                result.software += 1
+        finally:
+            core_slots.release()
+        latency = env.now - start
+        (result.get_latency if is_get[op] else result.set_latency).add(latency)
+        result.operations += 1
+
+
+def run_cachebench(
+    cfg: CacheBenchConfig, platform: Optional[Platform] = None
+) -> CacheBenchResult:
+    """Run one CacheBench configuration; returns rates and tails."""
+    cfg.validate()
+    if platform is None:
+        # Four shared WQs, one on each of the socket's four DSA
+        # instances (Appendix B: "four shared DSA work queues").
+        platform = spr_platform(
+            n_devices=4,
+            device_config=DeviceConfig.single(wq_size=16, mode=WqMode.SHARED),
+        )
+    env = platform.env
+    space = AddressSpace()
+    portals = (
+        [
+            platform.open_portal(name, 0, space)
+            for name in sorted(platform.driver.devices)
+        ]
+        if cfg.use_dsa
+        else []
+    )
+    dml = Dml(
+        platform.env,
+        portals,
+        kernels=platform.kernels,
+        costs=platform.costs,
+        space=space,
+    )
+    dto = Dto(dml, min_size=cfg.min_offload) if cfg.use_dsa else None
+    core_slots = Resource(env, capacity=cfg.n_cores)
+    result = CacheBenchResult(
+        config=cfg,
+        operations=0,
+        elapsed_ns=0.0,
+        get_latency=Histogram(),
+        set_latency=Histogram(),
+    )
+    start = env.now
+    for thread_id in range(cfg.n_threads):
+        env.process(
+            _cachebench_thread(
+                platform, cfg, core_slots, dto, dml, space, thread_id, result
+            )
+        )
+    env.run()
+    result.elapsed_ns = env.now - start
+    return result

@@ -1,0 +1,228 @@
+"""X-Mem cache-pollution study (paper §4.5, Figs 12 and 13).
+
+Eight X-Mem instances probe memory latency over a configurable working
+set while background copy traffic runs three ways:
+
+* ``none`` — no co-runners;
+* ``software`` — four ``memcpy()`` processes on separate cores, whose
+  streams allocate into the shared LLC and evict the probes' data;
+* ``dsa`` — the same copy volume offloaded to DSA, whose reads do not
+  allocate and whose writes stay inside the DDIO ways.
+
+The model is time-stepped on top of the LLC occupancy model: each step
+the streams insert bytes, each X-Mem instance re-touches its working
+set at its achieved access rate, and the average access latency is the
+cache-weighted mix of L2 / LLC / DRAM latencies.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.mem.cache import SharedLLC
+from repro.platform import Platform, spr_platform
+
+MB = 1024 * 1024
+
+
+class CoRunKind(enum.Enum):
+    NONE = "none"
+    SOFTWARE = "software"
+    DSA = "dsa"
+
+
+@dataclass(frozen=True)
+class XmemParams:
+    """Probe-side knobs (X-Mem's own configuration)."""
+
+    instances: int = 8
+    working_set: int = 4 * MB
+    line: int = 64
+    #: Outstanding random accesses per instance (the latency test is a
+    #: near-dependent chain; 2 calibrates the +43% Fig 13 anchor).
+    mlp: int = 2
+    #: Private L2 slice absorbing the hot part of the working set.
+    l2_size: int = 2 * MB
+    l2_latency: float = 14.0
+    dram_latency: float = 95.0
+
+    def validate(self) -> None:
+        if self.instances < 1:
+            raise ValueError("need at least one X-Mem instance")
+        if self.working_set <= 0:
+            raise ValueError("working set must be positive")
+        if self.mlp < 1:
+            raise ValueError("memory-level parallelism must be >= 1")
+
+
+@dataclass(frozen=True)
+class CoRunParams:
+    """Background copy-traffic configuration."""
+
+    kind: CoRunKind = CoRunKind.NONE
+    streams: int = 4
+    #: Per-stream copy throughput (GB/s); a core's memcpy rate for
+    #: software, a DSA group's share for offload.
+    stream_bandwidth: float = 12.0
+    #: LLC bytes allocated per copied byte by the software path
+    #: (reads + writes both allocate).
+    footprint_factor: float = 2.0
+    #: Aggregate DSA write rate (bounded by the device fabric).
+    dsa_write_bandwidth: float = 30.0
+
+
+@dataclass
+class XmemScenarioResult:
+    """One scenario's measurements."""
+
+    kind: CoRunKind
+    working_set: int
+    mean_latency_ns: float
+    latency_series: List[Tuple[float, float]] = field(default_factory=list)
+    #: agent -> [(time_s, occupancy_bytes)] for the Fig 12 timelines.
+    occupancy_series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+
+
+def _xmem_latency(llc: SharedLLC, agent: str, params: XmemParams) -> float:
+    """Average access latency given current LLC residency."""
+    l2_fraction = min(params.l2_size, params.working_set) / params.working_set
+    beyond_l2 = params.working_set - min(params.l2_size, params.working_set)
+    if beyond_l2 <= 0:
+        return params.l2_latency
+    llc_fraction = llc.hit_fraction(agent, beyond_l2)
+    llc_latency = llc.read_latency
+    outer = llc_fraction * llc_latency + (1.0 - llc_fraction) * params.dram_latency
+    return l2_fraction * params.l2_latency + (1.0 - l2_fraction) * outer
+
+
+def run_xmem_scenario(
+    kind: CoRunKind,
+    working_set: int = 4 * MB,
+    duration_s: float = 10.0,
+    step_s: float = 0.01,
+    params: Optional[XmemParams] = None,
+    corun: Optional[CoRunParams] = None,
+    platform: Optional[Platform] = None,
+    xmem_window: Optional[Tuple[float, float]] = None,
+    sample_every: int = 10,
+) -> XmemScenarioResult:
+    """Run one co-running scenario and return latency + occupancy data.
+
+    ``xmem_window`` optionally delays/stops the probes (Fig 12 runs
+    X-Mem from 5 s to 45 s while the background copies run 0–60 s).
+    """
+    params = params or XmemParams(working_set=working_set)
+    if params.working_set != working_set:
+        params = XmemParams(
+            instances=params.instances,
+            working_set=working_set,
+            line=params.line,
+            mlp=params.mlp,
+            l2_size=params.l2_size,
+            l2_latency=params.l2_latency,
+            dram_latency=params.dram_latency,
+        )
+    params.validate()
+    corun = corun or CoRunParams(kind=kind)
+    platform = platform or spr_platform(n_devices=0)
+    llc = platform.memsys.llc
+
+    probes = [f"xmem{i}" for i in range(params.instances)]
+    streams = [f"copy{i}" for i in range(corun.streams)] if kind is not CoRunKind.NONE else []
+    result = XmemScenarioResult(kind=kind, working_set=working_set, mean_latency_ns=0.0)
+    for agent in probes + streams:
+        result.occupancy_series[agent] = []
+
+    beyond_l2 = max(0, params.working_set - params.l2_size)
+    step_ns = step_s * 1e9
+    capacity = llc.main_capacity
+    latency_sum = 0.0
+    latency_samples = 0
+    steps = int(round(duration_s / step_s))
+    for step in range(steps):
+        now_s = step * step_s
+        probes_active = True
+        if xmem_window is not None:
+            probes_active = xmem_window[0] <= now_s < xmem_window[1]
+
+        # Stream insertion rate into the main LLC region (bytes/ns).
+        if kind is CoRunKind.SOFTWARE:
+            stream_rate = corun.stream_bandwidth * corun.footprint_factor * len(streams)
+        else:
+            stream_rate = 0.0  # DSA traffic is confined to the IO ways
+        churn = stream_rate / capacity  # fraction of the cache churned per ns
+
+        # Probe equilibrium: inflow of non-resident lines balances the
+        # proportional eviction caused by the streams' churn.
+        step_latencies = []
+        probe_targets: Dict[str, float] = {}
+        for agent in probes:
+            if not probes_active:
+                llc.clear(agent, now=now_s)
+                continue
+            latency = _xmem_latency(llc, agent, params)
+            step_latencies.append(latency)
+            if beyond_l2 <= 0:
+                continue
+            touch_rate = params.mlp * params.line / latency
+            fair_share = min(beyond_l2, capacity / max(1, len(probes)))
+            if churn > 0:
+                equilibrium = touch_rate / (touch_rate / beyond_l2 + churn)
+            else:
+                equilibrium = beyond_l2
+            probe_targets[agent] = min(equilibrium, fair_share)
+
+        # Relax occupancies toward equilibrium; the time constant is the
+        # time the current traffic needs to churn the whole cache.
+        refill_rate = stream_rate + sum(
+            params.mlp * params.line / lat for lat in step_latencies
+        )
+        tau_ns = capacity / refill_rate if refill_rate > 0 else float("inf")
+        blend = 1.0 - math.exp(-step_ns / tau_ns) if math.isfinite(tau_ns) else 1.0
+        for agent, target in probe_targets.items():
+            current = llc.occupancy(agent)
+            llc.set_level(agent, current + (target - current) * blend, now=now_s)
+
+        # Streams fill what the probes leave (software), or the IO ways (DSA).
+        if kind is CoRunKind.SOFTWARE:
+            leftover = max(0.0, capacity - sum(llc.occupancy(a) for a in probes))
+            for agent in streams:
+                current = llc.occupancy(agent)
+                target = leftover / len(streams)
+                llc.set_level(agent, current + (target - current) * blend, now=now_s)
+        elif kind is CoRunKind.DSA:
+            for agent in streams:
+                llc.set_level(agent, llc.io_capacity / len(streams), io=True, now=now_s)
+
+        if step_latencies:
+            mean_step = sum(step_latencies) / len(step_latencies)
+            # Skip the warm-up before accumulating the reported mean.
+            if now_s >= min(0.5, duration_s / 4):
+                latency_sum += mean_step
+                latency_samples += 1
+            result.latency_series.append((now_s, mean_step))
+        if step % sample_every == 0:
+            for agent in probes + streams:
+                result.occupancy_series[agent].append((now_s, llc.occupancy(agent)))
+
+    result.mean_latency_ns = latency_sum / latency_samples if latency_samples else 0.0
+    return result
+
+
+def run_fig13_sweep(
+    working_sets: List[int],
+    duration_s: float = 5.0,
+    params: Optional[XmemParams] = None,
+) -> Dict[CoRunKind, List[Tuple[int, float]]]:
+    """Latency vs working-set size for the three scenarios (Fig 13)."""
+    curves: Dict[CoRunKind, List[Tuple[int, float]]] = {kind: [] for kind in CoRunKind}
+    for wss in working_sets:
+        for kind in CoRunKind:
+            scenario = run_xmem_scenario(
+                kind, working_set=wss, duration_s=duration_s, params=params
+            )
+            curves[kind].append((wss, scenario.mean_latency_ns))
+    return curves

@@ -1,0 +1,92 @@
+"""Unit tests for tables, series, and metric helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.metrics import gib, human_size, percent, speedup
+from repro.analysis.series import Series
+from repro.analysis.tables import Table
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(30.0, 10.0) == 3.0
+        assert speedup(10.0, 0.0) == 0.0
+
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [
+            (64, "64B"),
+            (1023, "1023B"),
+            (1024, "1KB"),
+            (4 * 1024, "4KB"),
+            (1536, "1.5KB"),
+            (1024 * 1024, "1MB"),
+            (4 * 1024 * 1024, "4MB"),
+        ],
+    )
+    def test_human_size(self, nbytes, expected):
+        assert human_size(nbytes) == expected
+
+    def test_human_size_negative_rejected(self):
+        with pytest.raises(ValueError):
+            human_size(-1)
+
+    def test_gib(self):
+        assert gib(1024**3) == 1.0
+
+    def test_percent(self):
+        assert percent(0.4321) == "43.2%"
+
+
+class TestSeries:
+    def test_add_and_lookup(self):
+        series = Series("s")
+        series.add(1, 10.0)
+        series.add(2, 20.0)
+        assert series.y_at(2) == 20.0
+        assert series.xs == [1, 2]
+        assert series.ys == [10.0, 20.0]
+
+    def test_missing_x_raises(self):
+        with pytest.raises(KeyError):
+            Series("s").y_at(5)
+
+    def test_monotonicity(self):
+        rising = Series("r", points=[(1, 1.0), (2, 2.0), (3, 3.0)])
+        assert rising.is_monotonic_increasing()
+        dipping = Series("d", points=[(1, 1.0), (2, 0.5)])
+        assert not dipping.is_monotonic_increasing()
+        assert dipping.is_monotonic_increasing(tolerance=0.6)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=20))
+    def test_sorted_ys_always_monotonic(self, values):
+        series = Series("p", points=list(enumerate(sorted(values))))
+        assert series.is_monotonic_increasing()
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("T", ["a", "bb"])
+        table.add_row("xxx", 1)
+        table.add_row("y", 2.5)
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "T"
+        assert "xxx" in rendered and "2.50" in rendered
+        # All data lines have equal column starts.
+        assert lines[2].startswith("---")
+
+    def test_row_arity_checked(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only one")
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            Table("T", [])
+
+    def test_float_formatting(self):
+        table = Table("T", ["v"])
+        table.add_row(3.14159)
+        assert "3.14" in table.render()

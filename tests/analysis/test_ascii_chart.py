@@ -1,0 +1,67 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.ascii_chart import MARKS, render_chart, render_experiment_charts
+from repro.analysis.series import Series
+from repro.experiments.base import ExperimentResult
+
+
+def rising(label="up"):
+    return Series(label, points=[(1, 1.0), (10, 5.0), (100, 10.0)])
+
+
+class TestRenderChart:
+    def test_contains_marks_and_legend(self):
+        chart = render_chart([rising()])
+        assert MARKS[0] in chart
+        assert "up" in chart
+
+    def test_multiple_series_distinct_marks(self):
+        chart = render_chart([rising("a"), Series("b", points=[(1, 2.0), (100, 3.0)])])
+        assert MARKS[0] in chart and MARKS[1] in chart
+        assert "a" in chart and "b" in chart
+
+    def test_axis_labels_present(self):
+        chart = render_chart([rising()])
+        assert "10" in chart  # y max
+        assert "100" in chart  # x max
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError, match="nothing to plot"):
+            render_chart([Series("empty")])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            render_chart([rising()], width=4, height=2)
+
+    def test_log_x_disabled_for_nonpositive(self):
+        series = Series("s", points=[(0, 1.0), (10, 2.0)])
+        chart = render_chart([series], log_x=True)  # silently falls back
+        assert MARKS[0] in chart
+
+    def test_dimensions(self):
+        chart = render_chart([rising()], width=40, height=10, title="T")
+        lines = chart.splitlines()
+        # title + 10 rows + axis + x labels + legend
+        assert len(lines) == 14
+        assert lines[0] == "T"
+
+    def test_flat_series_renders(self):
+        flat = Series("flat", points=[(1, 5.0), (2, 5.0)])
+        assert MARKS[0] in render_chart([flat], log_x=False)
+
+
+class TestExperimentCharts:
+    def test_groups_by_prefix(self):
+        result = ExperimentResult("x", "t", "d")
+        result.add_series(Series("sync:a", points=[(1, 1.0), (2, 2.0)]))
+        result.add_series(Series("sync:b", points=[(1, 2.0), (2, 3.0)]))
+        result.add_series(Series("async:a", points=[(1, 3.0), (2, 4.0)]))
+        output = render_experiment_charts(result)
+        assert "x [sync]" in output
+        assert "x [async]" in output
+
+    def test_no_series_message(self):
+        result = ExperimentResult("empty", "t", "d")
+        assert "no series" in render_experiment_charts(result)

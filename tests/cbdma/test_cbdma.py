@@ -1,0 +1,143 @@
+"""Unit tests for the CBDMA baseline device."""
+
+import pytest
+
+from repro.cbdma.device import (
+    CbdmaChannelBusyError,
+    CbdmaDevice,
+    CbdmaRequest,
+    CbdmaTimingParams,
+    PinningError,
+)
+from repro.mem import AddressSpace, MemorySystem
+from repro.sim import Environment
+
+KB = 1024
+
+
+def make_device(**kwargs):
+    env = Environment()
+    memsys = MemorySystem.icx(env)
+    device = CbdmaDevice(env, memsys, **kwargs)
+    space = AddressSpace()
+    return env, device, space
+
+
+def pinned_request(device, space, size=4 * KB):
+    src = space.allocate(size)
+    dst = space.allocate(size)
+    device.pin(src)
+    device.pin(dst)
+    return CbdmaRequest(src=src, dst=dst, size=size)
+
+
+class TestConstruction:
+    def test_default_channels(self):
+        _env, device, _space = make_device()
+        assert device.n_channels == 16
+
+    def test_zero_channels_rejected(self):
+        with pytest.raises(ValueError):
+            make_device(n_channels=0)
+
+    def test_timing_validation(self):
+        import dataclasses
+
+        bad = dataclasses.replace(CbdmaTimingParams(), channel_bandwidth=0.0)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+
+class TestPinning:
+    def test_unpinned_buffer_rejected(self):
+        _env, device, space = make_device()
+        src = space.allocate(4 * KB)
+        dst = space.allocate(4 * KB)
+        device.pin(src)  # destination left unpinned
+        with pytest.raises(PinningError, match="not pinned"):
+            device.submit(CbdmaRequest(src=src, dst=dst, size=4 * KB))
+
+    def test_unpin_revokes_access(self):
+        _env, device, space = make_device()
+        request = pinned_request(device, space)
+        device.unpin(request.src)
+        with pytest.raises(PinningError):
+            device.submit(request)
+
+    def test_is_pinned(self):
+        _env, device, space = make_device()
+        buf = space.allocate(KB)
+        assert not device.is_pinned(buf)
+        device.pin(buf)
+        assert device.is_pinned(buf)
+
+
+class TestTransfers:
+    def test_copy_completes(self):
+        env, device, space = make_device()
+        request = pinned_request(device, space)
+        event = device.submit(request)
+        env.run()
+        assert event.triggered
+        assert request.done
+        assert device.requests_completed == 1
+        assert device.bytes_copied == 4 * KB
+
+    def test_latency_includes_setup_and_read(self):
+        env, device, space = make_device()
+        request = pinned_request(device, space)
+        device.submit(request)
+        env.run()
+        elapsed = request.times.completed - request.times.submitted
+        timing = device.timing
+        floor = timing.channel_setup_ns + device.memsys.node(0).read_latency
+        assert elapsed > floor
+
+    def test_bad_channel_rejected(self):
+        _env, device, space = make_device(n_channels=2)
+        request = pinned_request(device, space)
+        with pytest.raises(ValueError, match="channel"):
+            device.submit(request, channel_id=5)
+
+    def test_zero_size_rejected(self):
+        _env, device, space = make_device()
+        src = space.allocate(KB)
+        dst = space.allocate(KB)
+        device.pin(src)
+        device.pin(dst)
+        with pytest.raises(ValueError, match="size"):
+            device.submit(CbdmaRequest(src=src, dst=dst, size=0))
+
+    def test_ring_overflow_raises(self):
+        env, device, space = make_device(
+            timing=CbdmaTimingParams(ring_entries=1)
+        )
+        # The channel process has not run yet, so the single ring entry
+        # is taken by the first request; the second overflows.
+        device.submit(pinned_request(device, space, size=1 << 20))
+        with pytest.raises(CbdmaChannelBusyError):
+            device.submit(pinned_request(device, space, size=1 << 20))
+
+    def test_channels_run_concurrently(self):
+        env, device, space = make_device(n_channels=2)
+        first = pinned_request(device, space, size=1 << 20)
+        second = pinned_request(device, space, size=1 << 20)
+        device.submit(first, channel_id=0)
+        device.submit(second, channel_id=1)
+        env.run()
+        # Concurrent channels share the 14 GB/s device port equally, so
+        # both finish around the same time (not back to back).
+        delta = abs(first.times.completed - second.times.completed)
+        assert delta < 0.2 * (first.times.completed - first.times.submitted)
+
+    def test_device_port_caps_aggregate(self):
+        env, device, space = make_device(n_channels=4)
+        size = 1 << 20
+        requests = [pinned_request(device, space, size=size) for _ in range(4)]
+        start = env.now
+        for index, request in enumerate(requests):
+            device.submit(request, channel_id=index)
+        env.run()
+        elapsed = env.now - start
+        aggregate = 4 * size / elapsed
+        assert aggregate == pytest.approx(device.timing.device_bandwidth, rel=0.1)

@@ -1,0 +1,78 @@
+"""Tests for the core power/energy model (§4.4 extension)."""
+
+import pytest
+
+from repro.cpu.core import CpuCore, CycleCategory
+from repro.cpu.power import CoreEnergyMeter, CorePowerParams
+from repro.sim import Environment
+
+
+@pytest.fixture
+def core():
+    return CpuCore(Environment())
+
+
+class TestParams:
+    def test_defaults_valid(self):
+        CorePowerParams().validate()
+
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError, match="ordering"):
+            CorePowerParams(umwait_w=9.0).validate()
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            CorePowerParams(idle_w=0.0).validate()
+
+
+class TestEnergyMeter:
+    def test_busy_second_costs_busy_watts(self, core):
+        meter = CoreEnergyMeter()
+        core.account(CycleCategory.BUSY, 1e9)  # one second
+        assert meter.energy_joules(core) == pytest.approx(meter.params.busy_w)
+
+    def test_umwait_cheaper_than_spin(self, core):
+        meter = CoreEnergyMeter()
+        spin_core = CpuCore(Environment())
+        core.account(CycleCategory.UMWAIT, 1e9)
+        spin_core.account(CycleCategory.WAIT_SPIN, 1e9)
+        assert meter.energy_joules(core) < meter.energy_joules(spin_core)
+
+    def test_average_power_weighted(self, core):
+        meter = CoreEnergyMeter()
+        core.account(CycleCategory.BUSY, 5e8)
+        core.account(CycleCategory.UMWAIT, 5e8)
+        expected = (meter.params.busy_w + meter.params.umwait_w) / 2
+        assert meter.average_power(core) == pytest.approx(expected)
+
+    def test_average_power_of_idle_core_is_zero(self, core):
+        assert CoreEnergyMeter().average_power(core) == 0.0
+
+    def test_breakdown_only_nonzero_categories(self, core):
+        core.account(CycleCategory.BUSY, 100.0)
+        breakdown = CoreEnergyMeter().breakdown(core)
+        assert set(breakdown) == {"busy"}
+
+
+class TestOffloadEnergySavings:
+    def test_offload_with_umwait_saves_energy_vs_software(self):
+        """The §4.4 claim end-to-end: same payload, less core energy."""
+        from repro.runtime.wait import WaitMode
+        from repro.workloads.microbench import (
+            MicrobenchConfig,
+            run_dsa_microbench,
+            run_software_microbench,
+        )
+
+        meter = CoreEnergyMeter()
+        cfg = MicrobenchConfig(
+            transfer_size=64 * 1024,
+            queue_depth=1,
+            iterations=30,
+            wait_mode=WaitMode.UMWAIT,
+        )
+        offload = run_dsa_microbench(cfg)
+        software = run_software_microbench(cfg)
+        assert meter.energy_joules(offload.cores[0]) < meter.energy_joules(
+            software.cores[0]
+        )

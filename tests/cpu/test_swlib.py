@@ -1,0 +1,107 @@
+"""Unit tests for the software kernel cost models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cpu.instructions import InstructionCosts
+from repro.cpu.swlib import DEFAULT_KERNELS, NT_FILL, SoftwareKernels, SwKernelParams
+from repro.dsa.opcodes import Opcode
+from repro.mem.cache import SharedLLC
+
+KB = 1024
+MB = 1024 * KB
+
+
+class TestKernelParams:
+    def test_time_is_base_plus_linear(self):
+        params = SwKernelParams(base_ns=50.0, dram_bandwidth=10.0, llc_bandwidth=40.0)
+        assert params.time(1000) == pytest.approx(150.0)
+        assert params.time(1000, in_llc=True) == pytest.approx(75.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            SwKernelParams(1.0, 1.0, 1.0).time(-1)
+
+    @given(st.integers(0, 1 << 24), st.integers(1, 1 << 24))
+    def test_monotonic_in_size(self, a, b):
+        params = DEFAULT_KERNELS[Opcode.MEMMOVE]
+        small, large = sorted((a, a + b))
+        assert params.time(small) <= params.time(large)
+
+
+class TestSoftwareKernels:
+    def test_every_analysed_opcode_has_a_kernel(self):
+        kernels = SoftwareKernels()
+        for opcode in (
+            Opcode.MEMMOVE,
+            Opcode.DUALCAST,
+            Opcode.FILL,
+            Opcode.COMPARE,
+            Opcode.COMPARE_PATTERN,
+            Opcode.CRCGEN,
+            Opcode.COPY_CRC,
+            Opcode.DIF_CHECK,
+            Opcode.DIF_INSERT,
+        ):
+            assert kernels.time(opcode, 4 * KB) > 0
+
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(KeyError):
+            SoftwareKernels().time(Opcode.NOOP, 100)
+
+    def test_llc_resident_faster(self):
+        kernels = SoftwareKernels()
+        assert kernels.memcpy_ns(64 * KB, in_llc=True) < kernels.memcpy_ns(64 * KB)
+
+    def test_large_copy_bandwidth_near_12(self):
+        kernels = SoftwareKernels()
+        assert kernels.throughput(Opcode.MEMMOVE, 4 * MB) == pytest.approx(12.0, rel=0.02)
+
+    def test_nt_fill_faster_than_allocating_fill(self):
+        kernels = SoftwareKernels()
+        assert kernels.memset_ns(1 * MB, non_temporal=True) < kernels.memset_ns(1 * MB)
+
+    def test_nt_fill_does_not_pollute(self):
+        assert NT_FILL.cache_footprint_factor == 0.0
+
+    def test_override_kernel(self):
+        custom = SoftwareKernels({Opcode.MEMMOVE: SwKernelParams(1.0, 100.0, 100.0)})
+        assert custom.memcpy_ns(1000) == pytest.approx(11.0)
+
+    def test_memcmp_slower_than_memcpy_per_byte(self):
+        # memcmp streams two sources from DRAM.
+        kernels = SoftwareKernels()
+        assert kernels.memcmp_ns(1 * MB) > kernels.memcpy_ns(1 * MB)
+
+
+class TestPollution:
+    def test_memcpy_pollutes_double(self):
+        kernels = SoftwareKernels()
+        llc = SharedLLC(size=100 * MB, ways=10, ddio_ways=2)
+        inserted = kernels.pollute(llc, "core0", Opcode.MEMMOVE, 1 * MB)
+        assert inserted == pytest.approx(2 * MB)
+        assert llc.occupancy("core0") == pytest.approx(2 * MB)
+
+    def test_flush_does_not_pollute(self):
+        kernels = SoftwareKernels()
+        llc = SharedLLC(size=100 * MB, ways=10, ddio_ways=2)
+        assert kernels.pollute(llc, "core0", Opcode.CACHE_FLUSH, 1 * MB) == 0.0
+
+
+class TestInstructionCosts:
+    def test_defaults_valid(self):
+        InstructionCosts().validate()
+
+    def test_enqcmd_must_exceed_movdir(self):
+        import dataclasses
+
+        bad = dataclasses.replace(InstructionCosts(), enqcmd_ns=10.0)
+        with pytest.raises(ValueError, match="non-posted"):
+            bad.validate()
+
+    def test_positive_costs_required(self):
+        import dataclasses
+
+        bad = dataclasses.replace(InstructionCosts(), poll_check_ns=0.0)
+        with pytest.raises(ValueError):
+            bad.validate()

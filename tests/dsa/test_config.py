@@ -1,0 +1,131 @@
+"""Unit tests for device configuration validation."""
+
+import pytest
+
+from repro.dsa.config import (
+    DeviceConfig,
+    DsaTimingParams,
+    EngineConfig,
+    GroupConfig,
+    TOTAL_WQ_ENTRIES,
+    WqConfig,
+    WqMode,
+)
+from repro.dsa.errors import ConfigurationError
+
+
+class TestWqConfig:
+    def test_valid(self):
+        WqConfig(wq_id=0, size=32).validate()
+
+    def test_bad_id(self):
+        with pytest.raises(ConfigurationError):
+            WqConfig(wq_id=8).validate()
+
+    def test_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            WqConfig(wq_id=0, size=0).validate()
+        with pytest.raises(ConfigurationError):
+            WqConfig(wq_id=0, size=TOTAL_WQ_ENTRIES + 1).validate()
+
+    def test_bad_priority(self):
+        with pytest.raises(ConfigurationError):
+            WqConfig(wq_id=0, priority=0).validate()
+        with pytest.raises(ConfigurationError):
+            WqConfig(wq_id=0, priority=16).validate()
+
+
+class TestDeviceConfig:
+    def test_single_layout_valid(self):
+        DeviceConfig.single().validate()
+
+    def test_paper_default_valid(self):
+        config = DeviceConfig.paper_default()
+        config.validate()
+        assert len(config.wqs) == 8
+        assert len(config.engines) == 4
+
+    def test_multi_wq_layout(self):
+        config = DeviceConfig.multi_wq(4)
+        config.validate()
+        assert len(config.groups) == 4
+
+    def test_wq_entry_overcommit_rejected(self):
+        config = DeviceConfig(
+            wqs=(WqConfig(0, size=100), WqConfig(1, size=100)),
+            engines=(EngineConfig(0),),
+            groups=(GroupConfig(0, wq_ids=(0, 1), engine_ids=(0,)),),
+        )
+        with pytest.raises(ConfigurationError, match="entries"):
+            config.validate()
+
+    def test_wq_in_two_groups_rejected(self):
+        config = DeviceConfig(
+            wqs=(WqConfig(0),),
+            engines=(EngineConfig(0), EngineConfig(1)),
+            groups=(
+                GroupConfig(0, wq_ids=(0,), engine_ids=(0,)),
+                GroupConfig(1, wq_ids=(0,), engine_ids=(1,)),
+            ),
+        )
+        with pytest.raises(ConfigurationError, match="multiple groups"):
+            config.validate()
+
+    def test_engine_in_two_groups_rejected(self):
+        config = DeviceConfig(
+            wqs=(WqConfig(0, size=16), WqConfig(1, size=16)),
+            engines=(EngineConfig(0),),
+            groups=(
+                GroupConfig(0, wq_ids=(0,), engine_ids=(0,)),
+                GroupConfig(1, wq_ids=(1,), engine_ids=(0,)),
+            ),
+        )
+        with pytest.raises(ConfigurationError, match="multiple groups"):
+            config.validate()
+
+    def test_unknown_wq_in_group_rejected(self):
+        config = DeviceConfig(
+            wqs=(WqConfig(0),),
+            engines=(EngineConfig(0),),
+            groups=(GroupConfig(0, wq_ids=(5,), engine_ids=(0,)),),
+        )
+        with pytest.raises(ConfigurationError, match="unknown WQ"):
+            config.validate()
+
+    def test_duplicate_wq_ids_rejected(self):
+        config = DeviceConfig(
+            wqs=(WqConfig(0, size=16), WqConfig(0, size=16)),
+            engines=(EngineConfig(0),),
+            groups=(GroupConfig(0, wq_ids=(0,), engine_ids=(0,)),),
+        )
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            config.validate()
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GroupConfig(0, wq_ids=(), engine_ids=(0,)).validate()
+        with pytest.raises(ConfigurationError):
+            GroupConfig(0, wq_ids=(0,), engine_ids=()).validate()
+
+
+class TestTimingParams:
+    def test_defaults_valid(self):
+        DsaTimingParams().validate()
+
+    def test_enqcmd_slower_than_movdir(self):
+        params = DsaTimingParams()
+        assert params.enqcmd_ns > params.portal_write_ns
+
+    def test_invalid_amplification(self):
+        import dataclasses
+
+        params = dataclasses.replace(DsaTimingParams(), leaky_write_amplification=0.5)
+        with pytest.raises(ConfigurationError):
+            params.validate()
+
+    def test_invalid_read_buffers(self):
+        import dataclasses
+
+        params = dataclasses.replace(DsaTimingParams(), read_buffers_per_engine=0)
+        with pytest.raises(ConfigurationError):
+            params.validate()

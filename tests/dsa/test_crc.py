@@ -1,0 +1,77 @@
+"""Unit tests for the CRC implementations (known vectors + properties)."""
+
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dsa.crc import crc16_t10, crc32_ieee, crc32c
+
+
+class TestCrc32c:
+    def test_known_vector_123456789(self):
+        # Canonical CRC-32C check value.
+        assert crc32c(b"123456789") == 0xE3069283
+
+    def test_known_vector_empty(self):
+        assert crc32c(b"") == 0x00000000
+
+    def test_known_vector_all_zeros_32(self):
+        # RFC 3720 (iSCSI) test vector: 32 bytes of zeros.
+        assert crc32c(bytes(32)) == 0x8A9136AA
+
+    def test_known_vector_all_ones_32(self):
+        # RFC 3720 test vector: 32 bytes of 0xFF.
+        assert crc32c(bytes([0xFF] * 32)) == 0x62A8AB43
+
+    def test_accepts_numpy_array(self):
+        arr = np.frombuffer(b"123456789", dtype=np.uint8)
+        assert crc32c(arr) == 0xE3069283
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            crc32c(np.zeros(4, dtype=np.uint32))
+
+    def test_seed_chaining(self):
+        whole = crc32c(b"hello world")
+        part = crc32c(b" world", seed=crc32c(b"hello"))
+        assert part == whole
+
+    @given(st.binary(min_size=0, max_size=200))
+    def test_deterministic(self, data):
+        assert crc32c(data) == crc32c(data)
+
+    @given(st.binary(min_size=1, max_size=100))
+    def test_single_bit_flip_changes_crc(self, data):
+        mutated = bytearray(data)
+        mutated[0] ^= 0x01
+        assert crc32c(bytes(mutated)) != crc32c(data)
+
+
+class TestCrc32Ieee:
+    @given(st.binary(min_size=0, max_size=300))
+    def test_matches_zlib(self, data):
+        assert crc32_ieee(data) == zlib.crc32(data)
+
+    def test_seed_chaining_matches_zlib(self):
+        seed = zlib.crc32(b"abc")
+        assert crc32_ieee(b"def", seed=seed) == zlib.crc32(b"def", seed)
+
+
+class TestCrc16T10:
+    def test_known_vector_123456789(self):
+        # CRC-16/T10-DIF check value.
+        assert crc16_t10(b"123456789") == 0xD0DB
+
+    def test_empty_is_zero(self):
+        assert crc16_t10(b"") == 0
+
+    def test_result_fits_16_bits(self):
+        assert 0 <= crc16_t10(bytes(range(256))) <= 0xFFFF
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_flip_detected(self, data):
+        mutated = bytearray(data)
+        mutated[-1] ^= 0x80
+        assert crc16_t10(bytes(mutated)) != crc16_t10(data)

@@ -1,0 +1,111 @@
+"""Unit tests for delta-record creation and application."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsa.delta import (
+    CHUNK,
+    ENTRY_BYTES,
+    DeltaOverflowError,
+    DeltaRecord,
+    apply_delta,
+    create_delta,
+)
+from repro.sim import make_rng
+
+
+def buffers(size=256, n_changes=4, seed=3):
+    rng = make_rng(seed)
+    original = rng.integers(0, 256, size=size, dtype=np.uint8)
+    modified = original.copy()
+    for chunk in rng.choice(size // CHUNK, size=n_changes, replace=False):
+        modified[chunk * CHUNK] ^= 0x5A
+    return original, modified
+
+
+class TestCreate:
+    def test_identical_buffers_empty_delta(self):
+        a = np.zeros(64, dtype=np.uint8)
+        record = create_delta(a, a.copy())
+        assert record.entries == []
+        assert record.size_bytes == 0
+
+    def test_entry_count_matches_changed_chunks(self):
+        original, modified = buffers(size=256, n_changes=4)
+        record = create_delta(original, modified)
+        assert len(record.entries) == 4
+        assert record.size_bytes == 4 * ENTRY_BYTES
+
+    def test_change_spanning_one_chunk_is_one_entry(self):
+        original = np.zeros(64, dtype=np.uint8)
+        modified = original.copy()
+        modified[8:16] = 0xFF  # exactly chunk 1
+        record = create_delta(original, modified)
+        assert [index for index, _ in record.entries] == [1]
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="differ in size"):
+            create_delta(np.zeros(8, dtype=np.uint8), np.zeros(16, dtype=np.uint8))
+
+    def test_unaligned_size_rejected(self):
+        with pytest.raises(ValueError, match="multiple"):
+            create_delta(np.zeros(10, dtype=np.uint8), np.zeros(10, dtype=np.uint8))
+
+    def test_overflow_raises(self):
+        original = np.zeros(64, dtype=np.uint8)
+        modified = np.ones(64, dtype=np.uint8)  # every chunk differs
+        with pytest.raises(DeltaOverflowError):
+            create_delta(original, modified, max_delta_size=ENTRY_BYTES * 2)
+
+
+class TestApply:
+    def test_roundtrip(self):
+        original, modified = buffers()
+        record = create_delta(original, modified)
+        assert np.array_equal(apply_delta(original, record), modified)
+
+    def test_apply_does_not_mutate_original(self):
+        original, modified = buffers()
+        record = create_delta(original, modified)
+        snapshot = original.copy()
+        apply_delta(original, record)
+        assert np.array_equal(original, snapshot)
+
+    def test_wrong_size_rejected(self):
+        original, modified = buffers(size=128)
+        record = create_delta(original, modified)
+        with pytest.raises(ValueError, match="record built for"):
+            apply_delta(np.zeros(64, dtype=np.uint8), record)
+
+    def test_out_of_range_entry_rejected(self):
+        record = DeltaRecord(source_size=16, entries=[(100, bytes(8))])
+        with pytest.raises(ValueError, match="beyond"):
+            apply_delta(np.zeros(16, dtype=np.uint8), record)
+
+
+class TestSerialization:
+    def test_roundtrip_through_bytes(self):
+        original, modified = buffers()
+        record = create_delta(original, modified)
+        blob = record.serialize()
+        restored = DeltaRecord.deserialize(blob, source_size=record.source_size)
+        assert restored.entries == record.entries
+
+    def test_bad_blob_length_rejected(self):
+        with pytest.raises(ValueError):
+            DeltaRecord.deserialize(np.zeros(7, dtype=np.uint8), source_size=64)
+
+    @settings(max_examples=25)
+    @given(st.integers(1, 16), st.integers(0, 15))
+    def test_roundtrip_property(self, n_chunks, flip_chunk):
+        size = n_chunks * CHUNK
+        rng = make_rng(n_chunks)
+        original = rng.integers(0, 256, size=size, dtype=np.uint8)
+        modified = original.copy()
+        target = flip_chunk % n_chunks
+        modified[target * CHUNK] ^= 0xFF
+        record = create_delta(original, modified)
+        blob = record.serialize()
+        restored = DeltaRecord.deserialize(blob, source_size=size)
+        assert np.array_equal(apply_delta(original, restored), modified)

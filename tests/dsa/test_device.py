@@ -1,0 +1,378 @@
+"""Integration tests: full device pipeline, calibration anchors."""
+
+import numpy as np
+import pytest
+
+from repro.dsa.config import DeviceConfig, WqMode
+from repro.dsa.descriptor import BatchDescriptor, WorkDescriptor
+from repro.dsa.errors import StatusCode
+from repro.dsa.opcodes import DescriptorFlags, Opcode
+from repro.dsa.ops import execute
+from repro.mem.address import AddressSpace
+from repro.platform import spr_platform
+from repro.sim import make_rng
+from repro.workloads.microbench import (
+    MicrobenchConfig,
+    run_cbdma_microbench,
+    run_dsa_microbench,
+    run_software_microbench,
+)
+
+KB = 1024
+MB = 1024 * KB
+
+
+def platform_hop_bound():
+    """One UPI hop (ns) on the default SPR topology."""
+    from repro.mem.numa import UpiParams
+
+    return UpiParams().hop_latency
+
+
+def submit_and_run(platform, device, descriptor, wq_id=0):
+    device.submit(descriptor, wq_id)
+    platform.env.run()
+    return descriptor.completion
+
+
+class TestFunctionalThroughDevice:
+    """Descriptors submitted to the device operate on real bytes."""
+
+    def test_memmove_copies_data(self):
+        platform = spr_platform()
+        device = platform.driver.device("dsa0")
+        space = AddressSpace()
+        device.attach_space(space)
+        src = space.allocate(4 * KB, backed=True)
+        dst = space.allocate(4 * KB, backed=True)
+        src.fill_random(make_rng(1))
+        descriptor = WorkDescriptor(
+            Opcode.MEMMOVE, pasid=space.pasid, src=src.va, dst=dst.va, size=4 * KB
+        )
+        record = submit_and_run(platform, device, descriptor)
+        assert record.status == StatusCode.SUCCESS
+        assert np.array_equal(dst.data, src.data)
+
+    def test_crc_through_device_matches_direct(self):
+        platform = spr_platform()
+        device = platform.driver.device("dsa0")
+        space = AddressSpace()
+        device.attach_space(space)
+        src = space.allocate(1 * KB, backed=True)
+        src.fill_random(make_rng(2))
+        descriptor = WorkDescriptor(
+            Opcode.CRCGEN, pasid=space.pasid, src=src.va, size=1 * KB
+        )
+        record = submit_and_run(platform, device, descriptor)
+        reference = WorkDescriptor(Opcode.CRCGEN, src=src.va, size=1 * KB)
+        execute(reference, space)
+        assert record.result == reference.completion.result
+
+    def test_invalid_descriptor_completes_with_error(self):
+        platform = spr_platform()
+        device = platform.driver.device("dsa0")
+        space = AddressSpace()
+        device.attach_space(space)
+        descriptor = WorkDescriptor(Opcode.MEMMOVE, pasid=space.pasid, size=0)
+        record = submit_and_run(platform, device, descriptor)
+        assert record.status == StatusCode.INVALID_SIZE
+
+    def test_batch_completion_summarizes_members(self):
+        platform = spr_platform()
+        device = platform.driver.device("dsa0")
+        space = AddressSpace()
+        device.attach_space(space)
+        members = []
+        for _ in range(8):
+            src = space.allocate(KB, backed=True)
+            dst = space.allocate(KB, backed=True)
+            src.fill_random(make_rng(3))
+            members.append(
+                WorkDescriptor(
+                    Opcode.MEMMOVE, pasid=space.pasid, src=src.va, dst=dst.va, size=KB
+                )
+            )
+        batch = BatchDescriptor(descriptors=members, pasid=space.pasid)
+        record = submit_and_run(platform, device, batch)
+        assert record.status == StatusCode.SUCCESS
+        assert record.bytes_completed == 8  # descriptors completed
+        assert all(m.completion.status == StatusCode.SUCCESS for m in members)
+
+    def test_page_fault_without_block_on_fault(self):
+        platform = spr_platform()
+        device = platform.driver.device("dsa0")
+        space = AddressSpace()
+        device.attach_space(space)
+        src = space.allocate(4 * KB, prefault=False)
+        dst = space.allocate(4 * KB, prefault=True)
+        descriptor = WorkDescriptor(
+            Opcode.MEMMOVE,
+            pasid=space.pasid,
+            flags=DescriptorFlags.REQUEST_COMPLETION,  # no BLOCK_ON_FAULT
+            src=src.va,
+            dst=dst.va,
+            size=4 * KB,
+        )
+        record = submit_and_run(platform, device, descriptor)
+        assert record.status == StatusCode.PAGE_FAULT
+        assert record.fault_address == src.va
+
+    def test_page_fault_with_block_on_fault_stalls_but_succeeds(self):
+        platform = spr_platform()
+        device = platform.driver.device("dsa0")
+        space = AddressSpace()
+        device.attach_space(space)
+        src = space.allocate(4 * KB, prefault=False)
+        dst = space.allocate(4 * KB, prefault=True)
+        descriptor = WorkDescriptor(
+            Opcode.MEMMOVE, pasid=space.pasid, src=src.va, dst=dst.va, size=4 * KB
+        )
+        record = submit_and_run(platform, device, descriptor)
+        assert record.status == StatusCode.SUCCESS
+        elapsed = descriptor.times.completed - descriptor.times.submitted
+        assert elapsed >= platform.memsys.iommu.params.page_fault_latency
+
+    def test_unattached_pasid_crashes_loudly(self):
+        platform = spr_platform()
+        device = platform.driver.device("dsa0")
+        space = AddressSpace()  # never attached
+        descriptor = WorkDescriptor(Opcode.NOOP, pasid=space.pasid, size=0)
+        device.submit(descriptor)
+        with pytest.raises(KeyError, match="PASID"):
+            platform.env.run()
+
+
+class TestCalibrationAnchors:
+    """The paper's published shapes (DESIGN.md §3) hold in the model."""
+
+    def test_sync_crossover_near_4kb(self):
+        """Fig 2a / Fig 6a: sync offload wins above ~4 KB, loses below."""
+        small = MicrobenchConfig(transfer_size=1 * KB, queue_depth=1, iterations=30)
+        large = MicrobenchConfig(transfer_size=16 * KB, queue_depth=1, iterations=30)
+        assert (
+            run_dsa_microbench(small).throughput
+            < run_software_microbench(small).throughput
+        )
+        assert (
+            run_dsa_microbench(large).throughput
+            > run_software_microbench(large).throughput
+        )
+
+    def test_async_crossover_near_256b(self):
+        """Fig 2b: async offload beats software around 256 B."""
+        cfg256 = MicrobenchConfig(transfer_size=256, queue_depth=32, iterations=200)
+        cfg64 = MicrobenchConfig(transfer_size=64, queue_depth=32, iterations=200)
+        assert (
+            run_dsa_microbench(cfg256).throughput
+            > run_software_microbench(cfg256).throughput
+        )
+        assert (
+            run_dsa_microbench(cfg64).throughput
+            < run_software_microbench(cfg64).throughput
+        )
+
+    def test_fabric_saturation_at_30(self):
+        cfg = MicrobenchConfig(transfer_size=256 * KB, queue_depth=32, iterations=100)
+        throughput = run_dsa_microbench(cfg).throughput
+        assert throughput == pytest.approx(30.0, rel=0.05)
+
+    def test_batching_improves_small_transfer_throughput(self):
+        """Fig 3: batches amortize submission for small sizes."""
+        base = MicrobenchConfig(transfer_size=1 * KB, queue_depth=1, iterations=60)
+        batched = MicrobenchConfig(
+            transfer_size=1 * KB, batch_size=32, queue_depth=1, iterations=30
+        )
+        assert run_dsa_microbench(batched).throughput > 2 * run_dsa_microbench(base).throughput
+
+    def test_wq_depth_improves_async_throughput(self):
+        """Fig 4: deeper WQs raise async throughput to saturation."""
+        shallow = MicrobenchConfig(
+            transfer_size=4 * KB, queue_depth=2, wq_size=2, iterations=150
+        )
+        deep = MicrobenchConfig(
+            transfer_size=4 * KB, queue_depth=32, wq_size=32, iterations=150
+        )
+        t_shallow = run_dsa_microbench(shallow).throughput
+        t_deep = run_dsa_microbench(deep).throughput
+        assert t_deep > 1.5 * t_shallow
+
+    def test_more_engines_help_small_transfers(self):
+        """Fig 7 / G5: PE-level parallelism pays off at small sizes.
+
+        A batch is processed by one engine, so batched submission (which
+        removes the submitting core as the bottleneck) exposes the
+        engine count: more PEs drain concurrent batches in parallel.
+        """
+        one = MicrobenchConfig(
+            transfer_size=512,
+            batch_size=8,
+            queue_depth=16,
+            engines_per_group=1,
+            iterations=100,
+        )
+        four = MicrobenchConfig(
+            transfer_size=512,
+            batch_size=8,
+            queue_depth=16,
+            engines_per_group=4,
+            iterations=100,
+        )
+        assert run_dsa_microbench(four).throughput > 2 * run_dsa_microbench(one).throughput
+
+    def test_single_engine_saturates_large_transfers(self):
+        """Fig 7: for big transfers one PE already hits the fabric cap."""
+        one = MicrobenchConfig(
+            transfer_size=256 * KB, queue_depth=16, engines_per_group=1, iterations=60
+        )
+        four = MicrobenchConfig(
+            transfer_size=256 * KB, queue_depth=16, engines_per_group=4, iterations=60
+        )
+        t_one = run_dsa_microbench(one).throughput
+        t_four = run_dsa_microbench(four).throughput
+        assert t_four < 1.1 * t_one
+
+    def test_swq_single_thread_slower_than_dwq(self):
+        """Fig 3/9: ENQCMD round trips throttle one-thread SWQ use."""
+        dwq = MicrobenchConfig(transfer_size=4 * KB, queue_depth=32, iterations=200)
+        swq = MicrobenchConfig(
+            transfer_size=4 * KB,
+            queue_depth=32,
+            wq_mode=WqMode.SHARED,
+            iterations=200,
+        )
+        assert run_dsa_microbench(dwq).throughput > 1.5 * run_dsa_microbench(swq).throughput
+
+    def test_swq_batching_recovers_throughput(self):
+        """Fig 3: an SWQ batch of n ~ n streaming cores."""
+        flat = MicrobenchConfig(
+            transfer_size=4 * KB, queue_depth=16, wq_mode=WqMode.SHARED, iterations=150
+        )
+        batched = MicrobenchConfig(
+            transfer_size=4 * KB,
+            batch_size=8,
+            queue_depth=16,
+            wq_mode=WqMode.SHARED,
+            iterations=60,
+        )
+        assert (
+            run_dsa_microbench(batched).throughput
+            > 2 * run_dsa_microbench(flat).throughput
+        )
+
+    def test_dsa_over_cbdma_average_near_2x(self):
+        """§4.2: DSA ~2.1x CBDMA across transfer sizes."""
+        ratios = []
+        for size in (4 * KB, 64 * KB, 1 * MB):
+            cfg = MicrobenchConfig(transfer_size=size, queue_depth=32, iterations=100)
+            ratios.append(
+                run_dsa_microbench(cfg).throughput / run_cbdma_microbench(cfg).throughput
+            )
+        average = sum(ratios) / len(ratios)
+        assert 1.7 <= average <= 2.6
+
+    def test_multi_device_scaling_then_leaky_collapse(self):
+        """Fig 10: linear scaling at 64 KB; 4-device drop at 1 MB."""
+        small = []
+        for n in (1, 2, 4):
+            cfg = MicrobenchConfig(
+                transfer_size=64 * KB,
+                queue_depth=16,
+                n_devices=n,
+                n_workers=n,
+                iterations=60,
+            )
+            small.append(run_dsa_microbench(cfg).throughput)
+        assert small[1] == pytest.approx(2 * small[0], rel=0.15)
+        assert small[2] == pytest.approx(4 * small[0], rel=0.15)
+
+        big = MicrobenchConfig(
+            transfer_size=1 * MB, queue_depth=16, n_devices=4, n_workers=4, iterations=40
+        )
+        throughput = run_dsa_microbench(big).throughput
+        assert throughput < 0.85 * small[2]  # leaky-DMA drop
+        assert throughput > 60.0  # but still far above one device
+
+    def test_remote_numa_throughput_close_to_local(self):
+        """Fig 6a: pipelining hides the UPI hop."""
+        local = MicrobenchConfig(transfer_size=64 * KB, queue_depth=32, iterations=100)
+        remote = MicrobenchConfig(
+            transfer_size=64 * KB, queue_depth=32, iterations=100, src_node=1, dst_node=1
+        )
+        t_local = run_dsa_microbench(local).throughput
+        t_remote = run_dsa_microbench(remote).throughput
+        assert t_remote > 0.9 * t_local
+
+    def test_split_buffers_beat_both_remote_sync_latency(self):
+        """Fig 6a: split src/dst locations beat both-remote, and the
+        same-node turnaround penalty is visible against pure local."""
+        same = MicrobenchConfig(transfer_size=4 * KB, queue_depth=1, iterations=40)
+        split = MicrobenchConfig(
+            transfer_size=4 * KB, queue_depth=1, iterations=40, dst_node=1
+        )
+        both_remote = MicrobenchConfig(
+            transfer_size=4 * KB, queue_depth=1, iterations=40, src_node=1, dst_node=1
+        )
+        lat_same = run_dsa_microbench(same).mean_latency_ns
+        lat_split = run_dsa_microbench(split).mean_latency_ns
+        lat_remote = run_dsa_microbench(both_remote).mean_latency_ns
+        assert lat_split < lat_remote
+        # Same-node copies pay a read/write turnaround; the gap to the
+        # split configuration stays within one UPI hop.
+        assert lat_split - lat_same < platform_hop_bound()
+
+    def test_cxl_ordering(self):
+        """Fig 6b / G4: D->D > C->D > D->C > C->C."""
+        results = {}
+        for label, (src, dst) in {
+            "dram_to_dram": (0, 0),
+            "cxl_to_dram": (2, 0),
+            "dram_to_cxl": (0, 2),
+            "cxl_to_cxl": (2, 2),
+        }.items():
+            cfg = MicrobenchConfig(
+                transfer_size=64 * KB,
+                queue_depth=32,
+                iterations=60,
+                src_node=src,
+                dst_node=dst,
+            )
+            results[label] = run_dsa_microbench(cfg).throughput
+        assert results["dram_to_dram"] > results["cxl_to_dram"]
+        assert results["cxl_to_dram"] > results["dram_to_cxl"]
+        assert results["dram_to_cxl"] > results["cxl_to_cxl"]
+
+    def test_huge_pages_barely_change_throughput(self):
+        """Fig 8: page size has little effect."""
+        from repro.mem.pagetable import PAGE_2M
+
+        base = MicrobenchConfig(transfer_size=256 * KB, queue_depth=32, iterations=60)
+        huge = MicrobenchConfig(
+            transfer_size=256 * KB, queue_depth=32, iterations=60, page_size=PAGE_2M
+        )
+        t_base = run_dsa_microbench(base).throughput
+        t_huge = run_dsa_microbench(huge).throughput
+        assert t_huge == pytest.approx(t_base, rel=0.05)
+
+    def test_llc_sourced_faster_than_dram_sourced_sync(self):
+        """Fig 15: LLC-resident sources cut sync latency."""
+        dram = MicrobenchConfig(transfer_size=4 * KB, queue_depth=1, iterations=40)
+        llc = MicrobenchConfig(
+            transfer_size=4 * KB, queue_depth=1, iterations=40, src_in_llc=True
+        )
+        assert (
+            run_dsa_microbench(llc).mean_latency_ns
+            < run_dsa_microbench(dram).mean_latency_ns
+        )
+
+    def test_umwait_dominates_at_4kb(self):
+        """Fig 11: most cycles go to UMWAIT at >= 4 KB transfers."""
+        from repro.runtime.wait import WaitMode
+
+        cfg = MicrobenchConfig(
+            transfer_size=4 * KB,
+            queue_depth=1,
+            iterations=60,
+            wait_mode=WaitMode.UMWAIT,
+        )
+        result = run_dsa_microbench(cfg)
+        assert result.umwait_fraction() > 0.5

@@ -1,0 +1,119 @@
+"""Unit tests for T10 DIF insert/check/strip/update."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsa.dif import (
+    DATA_BLOCK_SIZES,
+    PI_BYTES,
+    DifContext,
+    DifError,
+    dif_check,
+    dif_insert,
+    dif_strip,
+    dif_update,
+)
+from repro.sim import make_rng
+
+
+def random_blocks(n_blocks, block_size, seed=1):
+    rng = make_rng(seed)
+    return rng.integers(0, 256, size=n_blocks * block_size, dtype=np.uint8)
+
+
+class TestContext:
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            DifContext(block_size=1000).validate()
+
+    def test_protected_size(self):
+        assert DifContext(block_size=512).protected_block_size == 520
+        assert DifContext(block_size=4096).protected_block_size == 4104
+
+    def test_tag_ranges(self):
+        with pytest.raises(ValueError):
+            DifContext(app_tag=0x10000).validate()
+        with pytest.raises(ValueError):
+            DifContext(ref_tag_seed=2**32).validate()
+
+
+class TestInsertCheckStrip:
+    @pytest.mark.parametrize("block_size", DATA_BLOCK_SIZES)
+    def test_insert_expands_by_pi(self, block_size):
+        ctx = DifContext(block_size=block_size)
+        data = random_blocks(3, block_size)
+        protected = dif_insert(data, ctx)
+        assert len(protected) == 3 * (block_size + PI_BYTES)
+
+    def test_insert_then_check_passes(self):
+        ctx = DifContext(block_size=512, app_tag=0xBEEF, ref_tag_seed=100)
+        protected = dif_insert(random_blocks(4, 512), ctx)
+        assert dif_check(protected, ctx) == 4
+
+    def test_strip_roundtrip(self):
+        ctx = DifContext(block_size=512)
+        data = random_blocks(5, 512)
+        assert np.array_equal(dif_strip(dif_insert(data, ctx), ctx), data)
+
+    def test_corrupted_data_fails_guard(self):
+        ctx = DifContext(block_size=512)
+        protected = dif_insert(random_blocks(2, 512), ctx)
+        protected[10] ^= 0xFF
+        with pytest.raises(DifError, match="guard"):
+            dif_check(protected, ctx)
+
+    def test_wrong_app_tag_detected(self):
+        protected = dif_insert(random_blocks(1, 512), DifContext(app_tag=1))
+        with pytest.raises(DifError, match="app tag"):
+            dif_check(protected, DifContext(app_tag=2))
+
+    def test_wrong_ref_tag_detected(self):
+        protected = dif_insert(random_blocks(2, 512), DifContext(ref_tag_seed=0))
+        with pytest.raises(DifError, match="ref tag"):
+            dif_check(protected, DifContext(ref_tag_seed=7))
+
+    def test_ref_tag_check_can_be_disabled(self):
+        protected = dif_insert(random_blocks(2, 512), DifContext(ref_tag_seed=0))
+        relaxed = DifContext(ref_tag_seed=7, check_ref_tag=False)
+        assert dif_check(protected, relaxed) == 2
+
+    def test_partial_block_rejected(self):
+        ctx = DifContext(block_size=512)
+        with pytest.raises(ValueError, match="multiple"):
+            dif_insert(random_blocks(1, 512)[:100], ctx)
+
+    def test_strip_verifies_by_default(self):
+        ctx = DifContext(block_size=512)
+        protected = dif_insert(random_blocks(1, 512), ctx)
+        protected[0] ^= 1
+        with pytest.raises(DifError):
+            dif_strip(protected, ctx)
+        # And verification can be skipped.
+        out = dif_strip(protected, ctx, verify=False)
+        assert len(out) == 512
+
+    @settings(max_examples=20)
+    @given(st.integers(1, 4), st.integers(0, 0xFFFF), st.integers(0, 1000))
+    def test_roundtrip_property(self, n_blocks, app_tag, ref_seed):
+        ctx = DifContext(block_size=512, app_tag=app_tag, ref_tag_seed=ref_seed)
+        data = random_blocks(n_blocks, 512, seed=n_blocks)
+        assert np.array_equal(dif_strip(dif_insert(data, ctx), ctx), data)
+
+
+class TestUpdate:
+    def test_update_changes_tags(self):
+        old = DifContext(block_size=512, app_tag=1, ref_tag_seed=0)
+        new = DifContext(block_size=512, app_tag=2, ref_tag_seed=50)
+        data = random_blocks(3, 512)
+        updated = dif_update(dif_insert(data, old), old, new)
+        assert dif_check(updated, new) == 3
+        with pytest.raises(DifError):
+            dif_check(updated, old)
+
+    def test_update_preserves_data(self):
+        old = DifContext(app_tag=1)
+        new = DifContext(app_tag=9)
+        data = random_blocks(2, 512)
+        updated = dif_update(dif_insert(data, old), old, new)
+        assert np.array_equal(dif_strip(updated, new), data)

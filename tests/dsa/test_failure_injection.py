@@ -1,0 +1,157 @@
+"""Failure injection through the full device pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.dsa.descriptor import BatchDescriptor, WorkDescriptor
+from repro.dsa.dif import DifContext, dif_insert
+from repro.dsa.errors import StatusCode
+from repro.dsa.opcodes import DescriptorFlags, Opcode
+from repro.mem.address import AddressSpace
+from repro.platform import spr_platform
+from repro.sim import make_rng
+
+KB = 1024
+
+NO_BLOCK = DescriptorFlags.REQUEST_COMPLETION  # page faults not blocked
+
+
+def setup():
+    platform = spr_platform()
+    device = platform.driver.device("dsa0")
+    space = AddressSpace()
+    device.attach_space(space)
+    return platform, device, space
+
+
+class TestBatchPartialFailure:
+    def test_one_faulting_member_fails_the_batch(self):
+        platform, device, space = setup()
+        good_src = space.allocate(4 * KB)
+        good_dst = space.allocate(4 * KB)
+        bad_src = space.allocate(4 * KB, prefault=False)  # will fault
+        bad_dst = space.allocate(4 * KB)
+        members = [
+            WorkDescriptor(
+                Opcode.MEMMOVE, pasid=space.pasid,
+                src=good_src.va, dst=good_dst.va, size=4 * KB,
+            ),
+            WorkDescriptor(
+                Opcode.MEMMOVE, pasid=space.pasid, flags=NO_BLOCK,
+                src=bad_src.va, dst=bad_dst.va, size=4 * KB,
+            ),
+        ]
+        batch = BatchDescriptor(descriptors=members, pasid=space.pasid)
+        device.submit(batch)
+        platform.env.run()
+        assert members[0].completion.status == StatusCode.SUCCESS
+        assert members[1].completion.status == StatusCode.PAGE_FAULT
+        assert batch.completion.status == StatusCode.BATCH_FAILED
+        assert batch.completion.bytes_completed == 1  # one member succeeded
+
+    def test_invalid_member_does_not_poison_others(self):
+        platform, device, space = setup()
+        src = space.allocate(4 * KB)
+        dst = space.allocate(4 * KB)
+        members = [
+            WorkDescriptor(Opcode.MEMMOVE, pasid=space.pasid, size=0),  # invalid
+            WorkDescriptor(
+                Opcode.MEMMOVE, pasid=space.pasid, src=src.va, dst=dst.va, size=4 * KB
+            ),
+        ]
+        batch = BatchDescriptor(descriptors=members, pasid=space.pasid)
+        device.submit(batch)
+        platform.env.run()
+        assert members[0].completion.status == StatusCode.INVALID_SIZE
+        assert members[1].completion.status == StatusCode.SUCCESS
+        assert batch.completion.status == StatusCode.BATCH_FAILED
+
+
+class TestDataIntegrityFailures:
+    def test_corrupted_dif_through_device(self):
+        platform, device, space = setup()
+        ctx = DifContext(block_size=512)
+        raw = make_rng(1).integers(0, 256, 1024, dtype=np.uint8)
+        protected = space.allocate(1040, backed=True)
+        protected.data[:] = dif_insert(raw, ctx)
+        protected.data[50] ^= 0x01  # corrupt one data byte
+        descriptor = WorkDescriptor(
+            Opcode.DIF_CHECK, pasid=space.pasid, src=protected.va, size=1040, dif=ctx
+        )
+        device.submit(descriptor)
+        platform.env.run()
+        assert descriptor.completion.status == StatusCode.DIF_ERROR
+
+    def test_delta_overflow_through_device(self):
+        platform, device, space = setup()
+        original = space.allocate(1 * KB, backed=True)
+        modified = space.allocate(1 * KB, backed=True)
+        modified.data[:] = 0xFF  # everything differs
+        blob = space.allocate(4 * KB, backed=True)
+        descriptor = WorkDescriptor(
+            Opcode.CREATE_DELTA,
+            pasid=space.pasid,
+            src=original.va,
+            src2=modified.va,
+            dst=blob.va,
+            size=1 * KB,
+            delta_max_size=20,
+        )
+        device.submit(descriptor)
+        platform.env.run()
+        assert descriptor.completion.status == StatusCode.DELTA_OVERFLOW
+
+    def test_compare_mismatch_is_not_an_error(self):
+        """SUCCESS_WITH_FALSE_PREDICATE is a success status (§ Table 1)."""
+        platform, device, space = setup()
+        a = space.allocate(1 * KB, backed=True)
+        b = space.allocate(1 * KB, backed=True)
+        b.data[7] = 1
+        descriptor = WorkDescriptor(
+            Opcode.COMPARE, pasid=space.pasid, src=a.va, src2=b.va, size=1 * KB
+        )
+        device.submit(descriptor)
+        platform.env.run()
+        assert descriptor.completion.status == StatusCode.SUCCESS_WITH_FALSE_PREDICATE
+        assert descriptor.completion.status.is_success
+
+
+class TestFaultStorm:
+    def test_many_faulting_descriptors_all_complete(self):
+        """A stream of faulting descriptors completes (with errors)
+        without wedging the engine for the good traffic behind it."""
+        platform, device, space = setup()
+        faulty = []
+        for _ in range(8):
+            src = space.allocate(4 * KB, prefault=False)
+            dst = space.allocate(4 * KB)
+            descriptor = WorkDescriptor(
+                Opcode.MEMMOVE, pasid=space.pasid, flags=NO_BLOCK,
+                src=src.va, dst=dst.va, size=4 * KB,
+            )
+            faulty.append(descriptor)
+            device.submit(descriptor)
+        good_src = space.allocate(4 * KB)
+        good_dst = space.allocate(4 * KB)
+        good = WorkDescriptor(
+            Opcode.MEMMOVE, pasid=space.pasid,
+            src=good_src.va, dst=good_dst.va, size=4 * KB,
+        )
+        device.submit(good)
+        platform.env.run()
+        assert all(d.completion.status == StatusCode.PAGE_FAULT for d in faulty)
+        assert good.completion.status == StatusCode.SUCCESS
+
+    def test_blocking_faults_stall_but_recover(self):
+        platform, device, space = setup()
+        src = space.allocate(16 * KB, prefault=False)
+        dst = space.allocate(16 * KB, prefault=False)
+        descriptor = WorkDescriptor(
+            Opcode.MEMMOVE, pasid=space.pasid, src=src.va, dst=dst.va, size=16 * KB
+        )
+        device.submit(descriptor)
+        platform.env.run()
+        assert descriptor.completion.status == StatusCode.SUCCESS
+        # Both buffers faulted: at least two fault services elapsed.
+        elapsed = descriptor.times.completed - descriptor.times.submitted
+        assert elapsed >= 2 * platform.memsys.iommu.params.page_fault_latency

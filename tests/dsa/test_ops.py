@@ -1,0 +1,262 @@
+"""Unit tests for functional descriptor execution (every Table 1 op)."""
+
+import numpy as np
+import pytest
+
+from repro.dsa.crc import crc32c
+from repro.dsa.delta import create_delta
+from repro.dsa.descriptor import WorkDescriptor
+from repro.dsa.dif import DifContext, dif_insert
+from repro.dsa.errors import StatusCode
+from repro.dsa.opcodes import Opcode
+from repro.dsa.ops import execute
+from repro.mem import AddressSpace
+from repro.sim import make_rng
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+def backed(space, size, fill=None, seed=0):
+    buf = space.allocate(size, backed=True)
+    if fill is not None:
+        buf.data[:] = fill
+    elif seed is not None:
+        buf.fill_random(make_rng(seed))
+    return buf
+
+
+class TestMemmove:
+    def test_copies_bytes(self, space):
+        src = backed(space, 256, seed=1)
+        dst = backed(space, 256, fill=0)
+        desc = WorkDescriptor(Opcode.MEMMOVE, src=src.va, dst=dst.va, size=256)
+        record = execute(desc, space)
+        assert record.status == StatusCode.SUCCESS
+        assert record.bytes_completed == 256
+        assert np.array_equal(dst.data, src.data)
+
+    def test_partial_range_copy(self, space):
+        src = backed(space, 256, seed=2)
+        dst = backed(space, 256, fill=0)
+        desc = WorkDescriptor(Opcode.MEMMOVE, src=src.va + 64, dst=dst.va, size=64)
+        execute(desc, space)
+        assert np.array_equal(dst.data[:64], src.data[64:128])
+        assert not dst.data[64:].any()
+
+    def test_overlapping_forward_move(self, space):
+        buf = backed(space, 128, seed=3)
+        snapshot = buf.data.copy()
+        desc = WorkDescriptor(Opcode.MEMMOVE, src=buf.va, dst=buf.va + 8, size=64)
+        execute(desc, space)
+        assert np.array_equal(buf.data[8:72], snapshot[0:64])
+
+    def test_zero_size_invalid(self, space):
+        desc = WorkDescriptor(Opcode.MEMMOVE, size=0)
+        assert execute(desc, space).status == StatusCode.INVALID_SIZE
+
+
+class TestDualcast:
+    def test_writes_both_destinations(self, space):
+        src = backed(space, 128, seed=4)
+        d1 = backed(space, 128, fill=0)
+        d2 = backed(space, 128, fill=0)
+        desc = WorkDescriptor(Opcode.DUALCAST, src=src.va, dst=d1.va, dst2=d2.va, size=128)
+        record = execute(desc, space)
+        assert record.status == StatusCode.SUCCESS
+        assert np.array_equal(d1.data, src.data)
+        assert np.array_equal(d2.data, src.data)
+
+
+class TestFill:
+    def test_fills_with_pattern(self, space):
+        dst = backed(space, 32, fill=0)
+        desc = WorkDescriptor(Opcode.FILL, dst=dst.va, size=32, pattern=0x1122334455667788)
+        execute(desc, space)
+        expected = np.tile(
+            np.frombuffer((0x1122334455667788).to_bytes(8, "little"), dtype=np.uint8), 4
+        )
+        assert np.array_equal(dst.data, expected)
+
+    def test_non_multiple_of_pattern_size(self, space):
+        dst = backed(space, 12, fill=0)
+        desc = WorkDescriptor(Opcode.FILL, dst=dst.va, size=12, pattern=0xAB)
+        execute(desc, space)
+        assert dst.data[0] == 0xAB and dst.data[8] == 0xAB
+        assert dst.data[1] == 0 and dst.data[9] == 0
+
+
+class TestCompare:
+    def test_equal_buffers(self, space):
+        a = backed(space, 64, seed=5)
+        b = backed(space, 64)
+        b.data[:] = a.data
+        desc = WorkDescriptor(Opcode.COMPARE, src=a.va, src2=b.va, size=64)
+        record = execute(desc, space)
+        assert record.status == StatusCode.SUCCESS
+        assert record.result == 0
+
+    def test_mismatch_reports_first_offset(self, space):
+        a = backed(space, 64, fill=0)
+        b = backed(space, 64, fill=0)
+        b.data[17] = 1
+        desc = WorkDescriptor(Opcode.COMPARE, src=a.va, src2=b.va, size=64)
+        record = execute(desc, space)
+        assert record.status == StatusCode.SUCCESS_WITH_FALSE_PREDICATE
+        assert record.result == 1
+        assert record.bytes_completed == 17
+
+
+class TestComparePattern:
+    def test_matching_pattern(self, space):
+        buf = backed(space, 32, fill=0)
+        buf.data[::8] = 0xCD
+        desc = WorkDescriptor(Opcode.COMPARE_PATTERN, src=buf.va, size=32, pattern=0xCD)
+        record = execute(desc, space)
+        assert record.status == StatusCode.SUCCESS
+
+    def test_mismatching_pattern(self, space):
+        buf = backed(space, 32, fill=0)
+        desc = WorkDescriptor(Opcode.COMPARE_PATTERN, src=buf.va, size=32, pattern=0xFF)
+        record = execute(desc, space)
+        assert record.status == StatusCode.SUCCESS_WITH_FALSE_PREDICATE
+
+
+class TestCrc:
+    def test_crcgen_matches_reference(self, space):
+        src = backed(space, 512, seed=6)
+        desc = WorkDescriptor(Opcode.CRCGEN, src=src.va, size=512)
+        record = execute(desc, space)
+        assert record.result == crc32c(src.data)
+
+    def test_copy_crc_copies_and_checksums(self, space):
+        src = backed(space, 256, seed=7)
+        dst = backed(space, 256, fill=0)
+        desc = WorkDescriptor(Opcode.COPY_CRC, src=src.va, dst=dst.va, size=256)
+        record = execute(desc, space)
+        assert np.array_equal(dst.data, src.data)
+        assert record.result == crc32c(src.data)
+
+
+class TestDelta:
+    def test_create_then_apply_roundtrip(self, space):
+        original = backed(space, 256, seed=8)
+        modified = backed(space, 256)
+        modified.data[:] = original.data
+        modified.data[8:16] = 0xEE
+        delta_buf = backed(space, 1024, fill=0)
+        create = WorkDescriptor(
+            Opcode.CREATE_DELTA,
+            src=original.va,
+            src2=modified.va,
+            dst=delta_buf.va,
+            size=256,
+        )
+        record = execute(create, space)
+        assert record.status == StatusCode.SUCCESS
+        assert record.result == 10  # one differing chunk -> one entry
+
+        target = backed(space, 256)
+        target.data[:] = original.data
+        apply = WorkDescriptor(
+            Opcode.APPLY_DELTA,
+            src=delta_buf.va,
+            dst=target.va,
+            size=256,
+            delta_size=record.result,
+        )
+        record2 = execute(apply, space)
+        assert record2.status == StatusCode.SUCCESS
+        assert np.array_equal(target.data, modified.data)
+
+    def test_delta_overflow_status(self, space):
+        original = backed(space, 64, fill=0)
+        modified = backed(space, 64, fill=1)
+        delta_buf = backed(space, 1024, fill=0)
+        desc = WorkDescriptor(
+            Opcode.CREATE_DELTA,
+            src=original.va,
+            src2=modified.va,
+            dst=delta_buf.va,
+            size=64,
+            delta_max_size=10,
+        )
+        assert execute(desc, space).status == StatusCode.DELTA_OVERFLOW
+
+
+class TestDif:
+    def test_insert_check_strip_pipeline(self, space):
+        ctx = DifContext(block_size=512, app_tag=3)
+        raw = backed(space, 1024, seed=9)
+        protected = backed(space, 1040, fill=0)
+        insert = WorkDescriptor(
+            Opcode.DIF_INSERT, src=raw.va, dst=protected.va, size=1024, dif=ctx
+        )
+        record = execute(insert, space)
+        assert record.status == StatusCode.SUCCESS
+        assert record.bytes_completed == 1040
+
+        check = WorkDescriptor(Opcode.DIF_CHECK, src=protected.va, size=1040, dif=ctx)
+        record = execute(check, space)
+        assert record.status == StatusCode.SUCCESS
+        assert record.result == 2  # blocks verified
+
+        stripped = backed(space, 1024, fill=0)
+        strip = WorkDescriptor(
+            Opcode.DIF_STRIP, src=protected.va, dst=stripped.va, size=1040, dif=ctx
+        )
+        record = execute(strip, space)
+        assert record.status == StatusCode.SUCCESS
+        assert np.array_equal(stripped.data, raw.data)
+
+    def test_check_detects_corruption(self, space):
+        ctx = DifContext(block_size=512)
+        raw = make_rng(10).integers(0, 256, 512, dtype=np.uint8)
+        protected_data = dif_insert(raw, ctx)
+        protected = backed(space, len(protected_data))
+        protected.data[:] = protected_data
+        protected.data[5] ^= 0xFF
+        desc = WorkDescriptor(Opcode.DIF_CHECK, src=protected.va, size=520, dif=ctx)
+        record = execute(desc, space)
+        assert record.status == StatusCode.DIF_ERROR
+
+    def test_dif_update_retags(self, space):
+        old = DifContext(block_size=512, app_tag=1)
+        new = DifContext(block_size=512, app_tag=2)
+        raw = make_rng(11).integers(0, 256, 512, dtype=np.uint8)
+        protected = backed(space, 520)
+        protected.data[:] = dif_insert(raw, old)
+        out = backed(space, 520, fill=0)
+        desc = WorkDescriptor(
+            Opcode.DIF_UPDATE, src=protected.va, dst=out.va, size=520, dif=old, dif_new=new
+        )
+        record = execute(desc, space)
+        assert record.status == StatusCode.SUCCESS
+        check = WorkDescriptor(Opcode.DIF_CHECK, src=out.va, size=520, dif=new)
+        assert execute(check, space).status == StatusCode.SUCCESS
+
+    def test_missing_dif_context_invalid(self, space):
+        desc = WorkDescriptor(Opcode.DIF_CHECK, size=520)
+        assert execute(desc, space).status == StatusCode.INVALID_FLAGS
+
+
+class TestMisc:
+    def test_noop_succeeds(self, space):
+        assert execute(WorkDescriptor(Opcode.NOOP), space).status == StatusCode.SUCCESS
+
+    def test_cache_flush_reports_range(self, space):
+        buf = backed(space, 4096)
+        desc = WorkDescriptor(Opcode.CACHE_FLUSH, src=buf.va, size=4096)
+        record = execute(desc, space)
+        assert record.status == StatusCode.SUCCESS
+        assert record.bytes_completed == 4096
+
+    def test_completion_attached_to_descriptor(self, space):
+        src = backed(space, 64, seed=12)
+        dst = backed(space, 64)
+        desc = WorkDescriptor(Opcode.MEMMOVE, src=src.va, dst=dst.va, size=64)
+        record = execute(desc, space)
+        assert record is desc.completion
+        assert desc.completion.done

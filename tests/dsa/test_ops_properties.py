@@ -1,0 +1,114 @@
+"""Property-based tests on the functional operation layer."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dsa.descriptor import WorkDescriptor
+from repro.dsa.errors import StatusCode
+from repro.dsa.opcodes import Opcode
+from repro.dsa.ops import execute
+from repro.mem import AddressSpace
+from repro.sim import make_rng
+
+
+def backed_space(sizes, seed=0):
+    space = AddressSpace()
+    rng = make_rng(seed)
+    buffers = []
+    for size in sizes:
+        buf = space.allocate(size, backed=True)
+        buf.fill_random(rng)
+        buffers.append(buf)
+    return space, buffers
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 4096), st.integers(0, 1000))
+def test_memmove_preserves_payload(size, seed):
+    space, (src, dst) = backed_space([4096, 4096], seed=seed)
+    record = execute(
+        WorkDescriptor(Opcode.MEMMOVE, src=src.va, dst=dst.va, size=size), space
+    )
+    assert record.status == StatusCode.SUCCESS
+    assert np.array_equal(dst.data[:size], src.data[:size])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 2048), st.integers(0, 2**64 - 1))
+def test_fill_then_compare_pattern_succeeds(size, pattern):
+    space, (dst,) = backed_space([2048])
+    execute(WorkDescriptor(Opcode.FILL, dst=dst.va, size=size, pattern=pattern), space)
+    record = execute(
+        WorkDescriptor(Opcode.COMPARE_PATTERN, src=dst.va, size=size, pattern=pattern),
+        space,
+    )
+    assert record.status == StatusCode.SUCCESS
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 2048), st.integers(0, 500))
+def test_copy_then_compare_succeeds(size, seed):
+    space, (src, dst) = backed_space([2048, 2048], seed=seed)
+    execute(WorkDescriptor(Opcode.MEMMOVE, src=src.va, dst=dst.va, size=size), space)
+    record = execute(
+        WorkDescriptor(Opcode.COMPARE, src=src.va, src2=dst.va, size=size), space
+    )
+    assert record.status == StatusCode.SUCCESS
+    assert record.result == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2047), st.integers(1, 255), st.integers(0, 400))
+def test_compare_detects_any_single_byte_change(offset, flip, seed):
+    size = 2048
+    space, (src, dst) = backed_space([size, size], seed=seed)
+    dst.data[:] = src.data
+    dst.data[offset] = (int(dst.data[offset]) + flip) % 256
+    record = execute(
+        WorkDescriptor(Opcode.COMPARE, src=src.va, src2=dst.va, size=size), space
+    )
+    assert record.status == StatusCode.SUCCESS_WITH_FALSE_PREDICATE
+    assert record.bytes_completed == offset
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 8), st.integers(0, 300))
+def test_dualcast_destinations_identical(kb, seed):
+    size = kb * 512
+    space, (src, d1, d2) = backed_space([4096, 4096, 4096], seed=seed)
+    record = execute(
+        WorkDescriptor(Opcode.DUALCAST, src=src.va, dst=d1.va, dst2=d2.va, size=size),
+        space,
+    )
+    assert record.status == StatusCode.SUCCESS
+    assert np.array_equal(d1.data[:size], d2.data[:size])
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 16), st.integers(0, 300))
+def test_delta_roundtrip_through_descriptors(chunks, seed):
+    size = chunks * 128  # multiple of 8
+    space, (original, modified, blob, target) = backed_space(
+        [2048, 2048, 4096, 2048], seed=seed
+    )
+    modified.data[:] = original.data
+    modified.data[0] ^= 0xFF
+    create = WorkDescriptor(
+        Opcode.CREATE_DELTA,
+        src=original.va,
+        src2=modified.va,
+        dst=blob.va,
+        size=size,
+    )
+    record = execute(create, space)
+    assert record.status == StatusCode.SUCCESS
+    target.data[:] = original.data
+    apply_desc = WorkDescriptor(
+        Opcode.APPLY_DELTA,
+        src=blob.va,
+        dst=target.va,
+        size=size,
+        delta_size=record.result,
+    )
+    assert execute(apply_desc, space).status == StatusCode.SUCCESS
+    assert np.array_equal(target.data[:size], modified.data[:size])

@@ -1,0 +1,114 @@
+"""Tests for the 64-byte descriptor wire format."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsa.descriptor import DESCRIPTOR_BYTES, WorkDescriptor
+from repro.dsa.opcodes import DescriptorFlags, Opcode
+from repro.dsa.wire import WireFormatError, pack_descriptor, unpack_descriptor
+
+
+def test_image_is_exactly_64_bytes():
+    descriptor = WorkDescriptor(Opcode.MEMMOVE, size=4096)
+    assert len(pack_descriptor(descriptor)) == DESCRIPTOR_BYTES
+
+
+def test_opcode_at_documented_offset():
+    descriptor = WorkDescriptor(Opcode.CRCGEN, size=64)
+    image = pack_descriptor(descriptor)
+    assert image[6] == int(Opcode.CRCGEN)
+
+
+def test_roundtrip_simple_copy():
+    descriptor = WorkDescriptor(
+        Opcode.MEMMOVE, pasid=7, src=0x1000, dst=0x2000, size=4096
+    )
+    restored = unpack_descriptor(pack_descriptor(descriptor))
+    assert restored.opcode == descriptor.opcode
+    assert restored.pasid == 7
+    assert restored.src == 0x1000
+    assert restored.dst == 0x2000
+    assert restored.size == 4096
+    assert restored.flags == descriptor.flags
+
+
+def test_bad_length_rejected():
+    with pytest.raises(WireFormatError, match="64 bytes"):
+        unpack_descriptor(b"\x00" * 63)
+
+
+def test_unknown_opcode_rejected():
+    descriptor = WorkDescriptor(Opcode.MEMMOVE, size=64)
+    image = bytearray(pack_descriptor(descriptor))
+    image[6] = 0xEE
+    with pytest.raises(WireFormatError, match="opcode"):
+        unpack_descriptor(bytes(image))
+
+
+def test_pasid_range_enforced():
+    descriptor = WorkDescriptor(Opcode.MEMMOVE, pasid=1 << 20, size=64)
+    with pytest.raises(WireFormatError, match="PASID"):
+        pack_descriptor(descriptor)
+
+
+def test_size_range_enforced():
+    descriptor = WorkDescriptor(Opcode.NOOP)
+    descriptor.size = 1 << 32
+    with pytest.raises(WireFormatError, match="32-bit"):
+        pack_descriptor(descriptor)
+
+
+_flags = st.sampled_from(
+    [
+        DescriptorFlags.REQUEST_COMPLETION,
+        DescriptorFlags.REQUEST_COMPLETION | DescriptorFlags.BLOCK_ON_FAULT,
+        DescriptorFlags.REQUEST_COMPLETION | DescriptorFlags.CACHE_CONTROL,
+        DescriptorFlags.REQUEST_COMPLETION
+        | DescriptorFlags.FENCE
+        | DescriptorFlags.COMPLETION_INTERRUPT,
+    ]
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    opcode=st.sampled_from(list(Opcode)),
+    pasid=st.integers(0, (1 << 20) - 1),
+    flags=_flags,
+    src=st.integers(0, 2**64 - 1),
+    src2=st.integers(0, 2**64 - 1),
+    dst=st.integers(0, 2**64 - 1),
+    dst2=st.integers(0, 2**64 - 1),
+    size=st.integers(0, 2**32 - 1),
+    pattern=st.integers(0, 2**64 - 1),
+    delta_size=st.integers(0, 2**32 - 1),
+)
+def test_roundtrip_property(
+    opcode, pasid, flags, src, src2, dst, dst2, size, pattern, delta_size
+):
+    descriptor = WorkDescriptor(
+        opcode=opcode,
+        pasid=pasid,
+        flags=flags,
+        src=src,
+        src2=src2,
+        dst=dst,
+        dst2=dst2,
+        size=size,
+        pattern=pattern,
+        delta_size=delta_size,
+    )
+    restored = unpack_descriptor(pack_descriptor(descriptor))
+    for field in (
+        "opcode",
+        "pasid",
+        "flags",
+        "src",
+        "src2",
+        "dst",
+        "dst2",
+        "size",
+        "pattern",
+        "delta_size",
+    ):
+        assert getattr(restored, field) == getattr(descriptor, field), field

@@ -1,0 +1,186 @@
+"""Unit tests for work queues, the group arbiter, and the device ATC."""
+
+import pytest
+
+from repro.dsa.arbiter import GroupArbiter
+from repro.dsa.atc import DeviceAtc
+from repro.dsa.config import WqConfig, WqMode
+from repro.dsa.descriptor import WorkDescriptor
+from repro.dsa.errors import SubmissionError
+from repro.dsa.opcodes import Opcode
+from repro.dsa.wq import WorkQueue
+from repro.mem.iommu import Iommu
+from repro.mem.pagetable import PAGE_4K, PageTable
+from repro.sim import Environment
+
+
+def make_desc(size=64):
+    return WorkDescriptor(Opcode.MEMMOVE, size=size)
+
+
+class TestWorkQueue:
+    def test_submit_and_occupancy(self):
+        env = Environment()
+        wq = WorkQueue(env, WqConfig(0, size=4))
+        assert wq.submit(make_desc())
+        assert wq.occupancy == 1
+
+    def test_dwq_overflow_raises(self):
+        env = Environment()
+        wq = WorkQueue(env, WqConfig(0, size=1, mode=WqMode.DEDICATED))
+        wq.submit(make_desc())
+        with pytest.raises(SubmissionError, match="full DWQ"):
+            wq.submit(make_desc())
+
+    def test_swq_overflow_returns_false(self):
+        env = Environment()
+        wq = WorkQueue(env, WqConfig(0, size=1, mode=WqMode.SHARED))
+        assert wq.submit(make_desc())
+        assert not wq.submit(make_desc())
+        assert wq.rejected == 1
+
+    def test_submit_stamps_time(self):
+        env = Environment(initial_time=42.0)
+        wq = WorkQueue(env, WqConfig(0, size=4))
+        desc = make_desc()
+        wq.submit(desc)
+        assert desc.times.submitted == 42.0
+
+    def test_pop_fifo(self):
+        env = Environment()
+        wq = WorkQueue(env, WqConfig(0, size=4))
+        a, b = make_desc(), make_desc()
+        wq.submit(a)
+        wq.submit(b)
+        assert wq.pop() is a
+        assert wq.pop() is b
+
+    def test_pop_empty_raises(self):
+        env = Environment()
+        wq = WorkQueue(env, WqConfig(0, size=4))
+        with pytest.raises(RuntimeError):
+            wq.pop()
+
+    def test_enqueue_hook_fires(self):
+        env = Environment()
+        wq = WorkQueue(env, WqConfig(0, size=4))
+        fired = []
+        wq.on_enqueue = fired.append
+        wq.submit(make_desc())
+        assert fired == [wq]
+
+
+class TestGroupArbiter:
+    def _wqs(self, env, priorities):
+        return [
+            WorkQueue(env, WqConfig(i, size=64, priority=p))
+            for i, p in enumerate(priorities)
+        ]
+
+    def test_immediate_delivery_when_work_pending(self):
+        env = Environment()
+        wqs = self._wqs(env, [1])
+        arbiter = GroupArbiter(env, wqs)
+        desc = make_desc()
+        wqs[0].submit(desc)
+        event = arbiter.get()
+        assert event.triggered and event.value is desc
+
+    def test_pe_blocks_until_submission(self):
+        env = Environment()
+        wqs = self._wqs(env, [1])
+        arbiter = GroupArbiter(env, wqs)
+        got = []
+
+        def pe(env):
+            descriptor = yield arbiter.get()
+            got.append((env.now, descriptor))
+
+        def producer(env):
+            yield env.timeout(9.0)
+            wqs[0].submit(make_desc())
+
+        env.process(pe(env))
+        env.process(producer(env))
+        env.run()
+        assert got and got[0][0] == 9.0
+
+    def test_priority_weighting(self):
+        """A priority-3 WQ should be served ~3x as often as priority-1."""
+        env = Environment()
+        wqs = self._wqs(env, [3, 1])
+        arbiter = GroupArbiter(env, wqs)
+        for _ in range(40):
+            wqs[0].submit(make_desc())
+            wqs[1].submit(make_desc())
+        for _ in range(40):
+            arbiter.get()
+        drained_0 = 40 - wqs[0].occupancy
+        drained_1 = 40 - wqs[1].occupancy
+        assert drained_0 + drained_1 == 40
+        assert drained_0 == pytest.approx(30, abs=2)
+
+    def test_no_starvation(self):
+        env = Environment()
+        wqs = self._wqs(env, [15, 1])
+        arbiter = GroupArbiter(env, wqs)
+        for _ in range(32):
+            wqs[0].submit(make_desc())
+            wqs[1].submit(make_desc())
+        for _ in range(32):
+            arbiter.get()
+        assert 32 - wqs[1].occupancy >= 2  # low-priority WQ still served
+
+    def test_empty_wq_list_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            GroupArbiter(env, [])
+
+
+class TestDeviceAtc:
+    def _atc(self, entries=4):
+        iommu = Iommu()
+        table = PageTable(PAGE_4K)
+        table.map_range(0, 64 * PAGE_4K)
+        iommu.attach(1, table)
+        return DeviceAtc(iommu, entries=entries, hit_latency=5.0)
+
+    def test_miss_then_hit(self):
+        atc = self._atc()
+        first, _ = atc.translate(1, 0x1000)
+        second, _ = atc.translate(1, 0x1000)
+        assert second == 5.0
+        assert first > second
+        assert atc.hits == 1 and atc.misses == 1
+
+    def test_lru_capacity(self):
+        atc = self._atc(entries=2)
+        for page in range(4):
+            atc.translate(1, page * PAGE_4K)
+        assert len(atc) == 2
+
+    def test_range_translation_critical_path_only_first_page(self):
+        atc = self._atc(entries=64)
+        critical, faults = atc.translate_range(1, 0, 8 * PAGE_4K)
+        assert faults == 0
+        # Critical path = first page only; the other 7 overlap with data.
+        single, _ = self._atc().translate(1, 0)
+        assert critical == pytest.approx(single)
+
+    def test_fault_stalls_critical_path(self):
+        iommu = Iommu()
+        iommu.attach(1, PageTable(PAGE_4K))  # nothing pre-mapped
+        atc = DeviceAtc(iommu, entries=16, hit_latency=5.0)
+        critical, faults = atc.translate_range(1, 0, 2 * PAGE_4K)
+        assert faults == 2
+        assert critical >= 2 * iommu.params.page_fault_latency
+
+    def test_invalidate_pasid(self):
+        atc = self._atc()
+        atc.translate(1, 0)
+        atc.invalidate_pasid(1)
+        assert len(atc) == 0
+
+    def test_zero_size_range(self):
+        atc = self._atc()
+        assert atc.translate_range(1, 0, 0) == (0.0, 0)

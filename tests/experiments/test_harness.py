@@ -1,0 +1,63 @@
+"""Tests for the experiment registry, result container, and quick runs.
+
+Every registered experiment gets a quick-mode smoke test: it must run,
+produce at least one table, and keep all its paper anchors.
+"""
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.experiments import all_experiments, get_experiment, run_experiment
+from repro.experiments.base import AnchorCheck, ExperimentResult
+
+
+class TestRegistry:
+    def test_lists_all_paper_items(self):
+        experiments = all_experiments()
+        assert "table1" in experiments and "table2" in experiments
+        for figure in (2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 19, 21):
+            assert f"fig{figure}" in experiments
+        assert "cbdma" in experiments
+        assert "ablations" in experiments
+        assert "guidelines" in experiments
+        assert len(experiments) == 23
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    def test_modules_expose_run(self):
+        for exp_id in all_experiments():
+            module = get_experiment(exp_id)
+            assert callable(module.run)
+
+
+class TestResultContainer:
+    def test_anchor_rendering(self):
+        check = AnchorCheck("x", "1", "2", holds=False)
+        assert "MISS" in check.render()
+        assert "OK" in AnchorCheck("x", "1", "1", holds=True).render()
+
+    def test_result_render_includes_everything(self):
+        result = ExperimentResult("id", "Title", "Desc")
+        table = Table("T", ["c"])
+        table.add_row("v")
+        result.tables.append(table)
+        result.check("anchor", "paper", "measured", True)
+        rendered = result.render()
+        assert "Title" in rendered and "T" in rendered and "anchor" in rendered
+        assert result.anchors_hold
+
+    def test_anchors_hold_false_on_miss(self):
+        result = ExperimentResult("id", "t", "d")
+        result.check("bad", "x", "y", False)
+        assert not result.anchors_hold
+
+
+@pytest.mark.parametrize("exp_id", all_experiments())
+def test_quick_run_keeps_anchors(exp_id):
+    result = run_experiment(exp_id, quick=True)
+    assert result.exp_id == exp_id
+    assert result.tables, f"{exp_id} produced no tables"
+    missed = [anchor.name for anchor in result.anchors if not anchor.holds]
+    assert not missed, f"{exp_id} missed anchors: {missed}"

@@ -1,0 +1,138 @@
+"""Unit tests for the fair-share bandwidth link model."""
+
+import pytest
+
+from repro.mem.link import FairShareLink, SerialLink
+from repro.sim import Environment
+
+
+class TestFairShareLink:
+    def test_single_flow_runs_at_full_bandwidth(self):
+        env = Environment()
+        link = FairShareLink(env, bandwidth=10.0)  # 10 B/ns
+        done = []
+
+        def proc(env):
+            yield link.transfer(1000.0)
+            done.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert done == [pytest.approx(100.0)]
+
+    def test_two_equal_flows_share_evenly(self):
+        env = Environment()
+        link = FairShareLink(env, bandwidth=10.0)
+        done = []
+
+        def proc(env, tag):
+            yield link.transfer(1000.0)
+            done.append((tag, env.now))
+
+        env.process(proc(env, "a"))
+        env.process(proc(env, "b"))
+        env.run()
+        # Both flows at 5 B/ns -> 200 ns each.
+        assert done[0][1] == pytest.approx(200.0)
+        assert done[1][1] == pytest.approx(200.0)
+
+    def test_late_joiner_slows_first_flow(self):
+        env = Environment()
+        link = FairShareLink(env, bandwidth=10.0)
+        done = {}
+
+        def first(env):
+            yield link.transfer(1000.0)
+            done["first"] = env.now
+
+        def second(env):
+            yield env.timeout(50.0)
+            yield link.transfer(250.0)
+            done["second"] = env.now
+
+        env.process(first(env))
+        env.process(second(env))
+        env.run()
+        # First: 500 B in 50ns solo, then 5 B/ns shared.
+        # Second finishes 250 B at 5 B/ns in 50 ns (at t=100).
+        assert done["second"] == pytest.approx(100.0)
+        # First then has 250 B left at 10 B/ns -> t = 125.
+        assert done["first"] == pytest.approx(125.0)
+
+    def test_zero_byte_transfer_is_instant(self):
+        env = Environment()
+        link = FairShareLink(env, bandwidth=1.0)
+        ev = link.transfer(0.0)
+        assert ev.triggered
+
+    def test_negative_transfer_rejected(self):
+        env = Environment()
+        link = FairShareLink(env, bandwidth=1.0)
+        with pytest.raises(ValueError):
+            link.transfer(-1.0)
+
+    def test_invalid_bandwidth_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            FairShareLink(env, bandwidth=0.0)
+
+    def test_bytes_completed_accumulates(self):
+        env = Environment()
+        link = FairShareLink(env, bandwidth=10.0)
+        link.transfer(100.0)
+        link.transfer(200.0)
+        env.run()
+        assert link.bytes_completed == pytest.approx(300.0)
+
+    def test_many_flows_aggregate_to_bandwidth(self):
+        env = Environment()
+        link = FairShareLink(env, bandwidth=8.0)
+        done = []
+
+        def proc(env):
+            yield link.transfer(800.0)
+            done.append(env.now)
+
+        for _ in range(8):
+            env.process(proc(env))
+        env.run()
+        # 8 flows x 800 B = 6400 B at 8 B/ns -> all complete at 800 ns.
+        assert all(t == pytest.approx(800.0) for t in done)
+
+    def test_instantaneous_rate(self):
+        env = Environment()
+        link = FairShareLink(env, bandwidth=12.0)
+        assert link.instantaneous_rate() == 12.0
+        link.transfer(1e9)
+        link.transfer(1e9)
+        assert link.instantaneous_rate() == 6.0
+
+
+class TestSerialLink:
+    def test_transfers_queue_back_to_back(self):
+        env = Environment()
+        link = SerialLink(env, bandwidth=2.0)
+        times = []
+
+        def proc(env):
+            yield link.transfer(100.0)
+            times.append(env.now)
+
+        env.process(proc(env))
+        env.process(proc(env))
+        env.run()
+        assert times == [pytest.approx(50.0), pytest.approx(100.0)]
+
+    def test_idle_gap_not_credited(self):
+        env = Environment()
+        link = SerialLink(env, bandwidth=1.0)
+        times = []
+
+        def proc(env):
+            yield env.timeout(100.0)
+            yield link.transfer(10.0)
+            times.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert times == [pytest.approx(110.0)]

@@ -1,0 +1,104 @@
+"""Property-based tests for the fair-share link model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.link import FairShareLink
+from repro.sim import Environment
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(0.0, 500.0), st.floats(1.0, 1e5)),
+        min_size=1,
+        max_size=12,
+    ),
+    st.floats(1.0, 50.0),
+)
+def test_all_flows_complete_and_respect_capacity(flows, bandwidth):
+    """Total service time is bounded below by total bytes / bandwidth."""
+    env = Environment()
+    link = FairShareLink(env, bandwidth=bandwidth)
+    done = []
+
+    def proc(env, delay, nbytes):
+        yield env.timeout(delay)
+        yield link.transfer(nbytes)
+        done.append(env.now)
+
+    for delay, nbytes in flows:
+        env.process(proc(env, delay, nbytes))
+    env.run()
+    assert len(done) == len(flows)
+    total_bytes = sum(nbytes for _d, nbytes in flows)
+    first_start = min(delay for delay, _n in flows)
+    makespan = max(done) - first_start
+    assert makespan >= total_bytes / bandwidth - 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.floats(1.0, 1e5), min_size=1, max_size=10),
+    st.floats(1.0, 50.0),
+)
+def test_single_flow_lower_bound(sizes, bandwidth):
+    """No flow finishes faster than its solo transfer time."""
+    env = Environment()
+    link = FairShareLink(env, bandwidth=bandwidth)
+    completions = {}
+
+    def proc(env, index, nbytes):
+        start = env.now
+        yield link.transfer(nbytes)
+        completions[index] = env.now - start
+
+    for index, nbytes in enumerate(sizes):
+        env.process(proc(env, index, nbytes))
+    env.run()
+    for index, nbytes in enumerate(sizes):
+        assert completions[index] >= nbytes / bandwidth - 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 10), st.floats(10.0, 1e5))
+def test_equal_simultaneous_flows_finish_together(count, nbytes):
+    env = Environment()
+    link = FairShareLink(env, bandwidth=8.0)
+    done = []
+
+    def proc(env):
+        yield link.transfer(nbytes)
+        done.append(env.now)
+
+    for _ in range(count):
+        env.process(proc(env))
+    env.run()
+    assert max(done) == pytest.approx(min(done))
+    assert max(done) == pytest.approx(count * nbytes / 8.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.floats(1.0, 1e6), st.floats(0.5, 20.0), st.floats(0.1, 0.99))
+def test_per_flow_cap_binds_single_flow(nbytes, bandwidth, cap_fraction):
+    cap = bandwidth * cap_fraction
+    env = Environment()
+    link = FairShareLink(env, bandwidth=bandwidth, per_flow_cap=cap)
+    done = []
+
+    def proc(env):
+        yield link.transfer(nbytes)
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert done[0] == pytest.approx(nbytes / cap)
+
+
+def test_bytes_completed_tracks_totals():
+    env = Environment()
+    link = FairShareLink(env, bandwidth=10.0)
+    for nbytes in (100.0, 200.0, 300.0):
+        link.transfer(nbytes)
+    env.run()
+    assert link.bytes_completed == pytest.approx(600.0)

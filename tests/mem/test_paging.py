@@ -1,0 +1,165 @@
+"""Unit tests for page tables, TLB, and IOMMU translation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.iommu import Iommu, IommuParams
+from repro.mem.pagetable import PAGE_2M, PAGE_4K, PageTable
+from repro.mem.tlb import Tlb
+
+
+class TestPageTable:
+    def test_walk_latency_depends_on_page_size(self):
+        assert PageTable(PAGE_4K).walk_latency > PageTable(PAGE_2M).walk_latency
+
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            PageTable(page_size=1234)
+
+    def test_translate_faults_once_per_page(self):
+        table = PageTable(PAGE_4K)
+        _pa, fault1 = table.translate(0x1000)
+        _pa, fault2 = table.translate(0x1008)
+        assert fault1 and not fault2
+        assert table.minor_faults == 1
+
+    def test_translation_preserves_page_offset(self):
+        table = PageTable(PAGE_4K)
+        pa, _ = table.translate(0x1234)
+        assert pa % PAGE_4K == 0x234
+
+    def test_map_range_prevents_faults(self):
+        table = PageTable(PAGE_4K)
+        table.map_range(0x10000, 3 * PAGE_4K)
+        for offset in range(0, 3 * PAGE_4K, PAGE_4K):
+            _pa, fault = table.translate(0x10000 + offset)
+            assert not fault
+
+    def test_pages_spanned(self):
+        table = PageTable(PAGE_4K)
+        assert table.pages_spanned(0, 1) == 1
+        assert table.pages_spanned(0, PAGE_4K) == 1
+        assert table.pages_spanned(0, PAGE_4K + 1) == 2
+        assert table.pages_spanned(PAGE_4K - 1, 2) == 2
+        assert table.pages_spanned(0, 0) == 0
+
+    def test_huge_pages_span_fewer_pages(self):
+        small = PageTable(PAGE_4K)
+        huge = PageTable(PAGE_2M)
+        size = 8 * 1024 * 1024
+        assert huge.pages_spanned(0, size) < small.pages_spanned(0, size)
+
+    @given(st.integers(0, 2**40), st.integers(1, 2**24))
+    def test_pages_spanned_covers_range(self, va, size):
+        table = PageTable(PAGE_4K)
+        pages = table.pages_spanned(va, size)
+        assert pages * PAGE_4K >= size
+        assert (pages - 1) * PAGE_4K < size + (va % PAGE_4K) + PAGE_4K
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            PageTable().translate(-1)
+
+
+class TestTlb:
+    def test_miss_then_fill_then_hit(self):
+        tlb = Tlb(entries=4, page_size=PAGE_4K)
+        assert not tlb.lookup(0x1000)
+        tlb.fill(0x1000)
+        assert tlb.lookup(0x1000)
+        assert tlb.hits == 1 and tlb.misses == 1
+
+    def test_lru_eviction(self):
+        tlb = Tlb(entries=2, page_size=PAGE_4K)
+        tlb.fill(0 * PAGE_4K)
+        tlb.fill(1 * PAGE_4K)
+        tlb.lookup(0 * PAGE_4K)  # refresh page 0
+        tlb.fill(2 * PAGE_4K)  # evicts page 1 (LRU)
+        assert tlb.lookup(0 * PAGE_4K)
+        assert not tlb.lookup(1 * PAGE_4K)
+
+    def test_capacity_bound(self):
+        tlb = Tlb(entries=3, page_size=PAGE_4K)
+        for i in range(10):
+            tlb.fill(i * PAGE_4K)
+        assert len(tlb) == 3
+
+    def test_invalidate_all(self):
+        tlb = Tlb(entries=4, page_size=PAGE_4K)
+        tlb.fill(0)
+        tlb.invalidate_all()
+        assert not tlb.lookup(0)
+
+    def test_hit_rate(self):
+        tlb = Tlb(entries=4, page_size=PAGE_4K)
+        assert tlb.hit_rate == 0.0
+        tlb.fill(0)
+        tlb.lookup(0)
+        tlb.lookup(PAGE_4K)
+        assert tlb.hit_rate == pytest.approx(0.5)
+
+
+class TestIommu:
+    def _attached(self, page_size=PAGE_4K):
+        iommu = Iommu(IommuParams())
+        table = PageTable(page_size)
+        iommu.attach(pasid=7, table=table)
+        return iommu, table
+
+    def test_translate_requires_attached_pasid(self):
+        iommu = Iommu()
+        with pytest.raises(KeyError):
+            iommu.translate(99, 0x1000)
+
+    def test_double_attach_rejected(self):
+        iommu, table = self._attached()
+        with pytest.raises(ValueError):
+            iommu.attach(7, table)
+
+    def test_fault_cost_dominates_unmapped_page(self):
+        iommu, table = self._attached()
+        latency, faulted = iommu.translate(7, 0x5000)
+        assert faulted
+        assert latency >= iommu.params.page_fault_latency
+
+    def test_prefaulted_page_avoids_fault(self):
+        iommu, table = self._attached()
+        table.map_range(0x5000, PAGE_4K)
+        latency, faulted = iommu.translate(7, 0x5000)
+        assert not faulted
+        assert latency < iommu.params.page_fault_latency
+
+    def test_iotlb_hit_is_cheapest(self):
+        iommu, table = self._attached()
+        table.map_range(0x5000, PAGE_4K)
+        first, _ = iommu.translate(7, 0x5000)
+        second, _ = iommu.translate(7, 0x5000)
+        assert second == iommu.params.iotlb_hit_latency
+        assert second < first
+
+    def test_range_translation_counts_faults(self):
+        iommu, table = self._attached()
+        first, pipelined, faults = iommu.range_translation_cost(7, 0, 4 * PAGE_4K)
+        assert faults == 4
+        assert first > 0 and pipelined > 0
+
+    def test_range_translation_huge_pages_fewer_translations(self):
+        iommu4k, t4k = self._attached()
+        iommu2m = Iommu()
+        iommu2m.attach(7, PageTable(PAGE_2M))
+        size = 8 * 1024 * 1024
+        t4k.map_range(0, size)
+        _f4, pipelined_4k, _ = iommu4k.range_translation_cost(7, 0, size)
+        iommu2m._tables[7].map_range(0, size)
+        _f2, pipelined_2m, _ = iommu2m.range_translation_cost(7, 0, size)
+        assert pipelined_2m < pipelined_4k
+
+    def test_detach_then_translate_fails(self):
+        iommu, _table = self._attached()
+        iommu.detach(7)
+        with pytest.raises(KeyError):
+            iommu.translate(7, 0)
+
+    def test_zero_size_range(self):
+        iommu, _ = self._attached()
+        assert iommu.range_translation_cost(7, 0, 0) == (0.0, 0.0, 0)

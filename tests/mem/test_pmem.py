@@ -1,0 +1,100 @@
+"""Tests for the persistent-memory tier and raw-image submission."""
+
+import pytest
+
+from repro.mem.pmem import OPTANE_BANK, PmemParams
+from repro.mem.system import MemorySystem, TierKind
+from repro.platform import spr_platform
+from repro.sim import Environment
+from repro.workloads.microbench import MicrobenchConfig, run_dsa_microbench
+
+KB = 1024
+
+
+def platform_with_pmem():
+    platform = spr_platform()
+    platform.memsys.add_pmem_node(3, socket=0, params=OPTANE_BANK)
+    return platform
+
+
+class TestPmemParams:
+    def test_defaults_valid(self):
+        OPTANE_BANK.validate()
+
+    def test_write_cliff_required(self):
+        with pytest.raises(ValueError, match="cliff"):
+            PmemParams(read_bandwidth=8.0, write_bandwidth=10.0).validate()
+
+    def test_wrong_params_type_rejected(self):
+        env = Environment()
+        system = MemorySystem.spr(env)
+        from repro.mem.dram import DDR5_8CH
+
+        with pytest.raises(TypeError, match="PmemParams"):
+            system.add_pmem_node(3, socket=0, params=DDR5_8CH)
+
+
+class TestPmemTier:
+    def test_node_kind(self):
+        platform = platform_with_pmem()
+        assert platform.memsys.node(3).kind is TierKind.PMEM
+
+    def test_read_latency_above_dram(self):
+        platform = platform_with_pmem()
+        assert platform.memsys.read_latency(3, 0) > platform.memsys.read_latency(0, 0)
+
+    def test_write_cliff_shapes_dma_throughput(self):
+        """G4 on PMEM: reads from PMEM far outrun writes to it."""
+        promote = run_dsa_microbench(
+            MicrobenchConfig(
+                transfer_size=256 * KB, queue_depth=16, iterations=40, src_node=3
+            ),
+            platform=platform_with_pmem(),
+        ).throughput
+        demote = run_dsa_microbench(
+            MicrobenchConfig(
+                transfer_size=256 * KB, queue_depth=16, iterations=40, dst_node=3
+            ),
+            platform=platform_with_pmem(),
+        ).throughput
+        assert promote > 2 * demote
+        assert demote == pytest.approx(OPTANE_BANK.write_bandwidth, rel=0.15)
+
+    def test_dram_copy_unaffected_by_pmem_presence(self):
+        base = run_dsa_microbench(
+            MicrobenchConfig(transfer_size=64 * KB, queue_depth=16, iterations=40)
+        ).throughput
+        with_pmem = run_dsa_microbench(
+            MicrobenchConfig(transfer_size=64 * KB, queue_depth=16, iterations=40),
+            platform=platform_with_pmem(),
+        ).throughput
+        assert with_pmem == pytest.approx(base, rel=0.02)
+
+
+class TestRawSubmission:
+    def test_wire_image_round_trip_through_device(self):
+        import numpy as np
+
+        from repro.dsa.descriptor import WorkDescriptor
+        from repro.dsa.errors import StatusCode
+        from repro.dsa.opcodes import Opcode
+        from repro.dsa.wire import pack_descriptor
+        from repro.mem.address import AddressSpace
+        from repro.sim import make_rng
+
+        platform = spr_platform()
+        device = platform.driver.device("dsa0")
+        space = AddressSpace()
+        device.attach_space(space)
+        src = space.allocate(4 * KB, backed=True)
+        dst = space.allocate(4 * KB, backed=True)
+        src.fill_random(make_rng(9))
+        image = pack_descriptor(
+            WorkDescriptor(
+                Opcode.MEMMOVE, pasid=space.pasid, src=src.va, dst=dst.va, size=4 * KB
+            )
+        )
+        decoded = device.submit_raw(image)
+        platform.env.run()
+        assert decoded.completion.status == StatusCode.SUCCESS
+        assert np.array_equal(dst.data, src.data)

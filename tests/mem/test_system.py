@@ -1,0 +1,213 @@
+"""Unit tests for the composed MemorySystem, NUMA and CXL tiers."""
+
+import pytest
+
+from repro.mem import AddressSpace, Buffer, MemorySystem
+from repro.mem.cxl import CxlMemoryParams
+from repro.mem.numa import NumaTopology, UpiParams
+from repro.mem.system import SAME_NODE_TURNAROUND_NS, TierKind
+from repro.sim import Environment
+
+
+class TestNumaTopology:
+    def test_socket_bounds(self):
+        topo = NumaTopology(sockets=2)
+        with pytest.raises(ValueError):
+            topo.place_node(0, socket=2)
+
+    def test_unplaced_node_raises(self):
+        topo = NumaTopology()
+        with pytest.raises(KeyError):
+            topo.socket_of(5)
+
+    def test_remote_detection(self):
+        topo = NumaTopology(sockets=2)
+        topo.place_node(0, 0)
+        topo.place_node(1, 1)
+        assert not topo.is_remote(0, 0)
+        assert topo.is_remote(0, 1)
+
+    def test_crossing_cost(self):
+        topo = NumaTopology(sockets=2, upi=UpiParams(hop_latency=50.0))
+        topo.place_node(1, 1)
+        cost, remote = topo.crossing_cost(0, 1)
+        assert remote and cost == 50.0
+
+
+class TestMemorySystemConstruction:
+    def test_spr_preset_has_two_dram_nodes(self):
+        env = Environment()
+        system = MemorySystem.spr(env)
+        assert set(system.nodes) == {0, 1}
+        assert all(n.kind is TierKind.DRAM for n in system.nodes.values())
+
+    def test_spr_with_cxl_adds_node(self):
+        env = Environment()
+        system = MemorySystem.spr(env, with_cxl=True)
+        assert system.node(2).kind is TierKind.CXL
+
+    def test_icx_llc_smaller_than_spr(self):
+        env = Environment()
+        assert MemorySystem.icx(env).llc.size < MemorySystem.spr(env).llc.size
+
+    def test_duplicate_node_rejected(self):
+        env = Environment()
+        system = MemorySystem.spr(env)
+        from repro.mem.dram import DDR5_8CH
+
+        with pytest.raises(ValueError):
+            system.add_dram_node(0, socket=0, params=DDR5_8CH)
+
+    def test_unknown_node_raises(self):
+        env = Environment()
+        system = MemorySystem.spr(env)
+        with pytest.raises(KeyError):
+            system.node(42)
+
+
+class TestLatencies:
+    def test_remote_read_adds_upi_hop(self):
+        env = Environment()
+        system = MemorySystem.spr(env)
+        local = system.read_latency(0, from_socket=0)
+        remote = system.read_latency(1, from_socket=0)
+        assert remote == pytest.approx(local + system.topology.upi.hop_latency)
+
+    def test_llc_read_is_fastest(self):
+        env = Environment()
+        system = MemorySystem.spr(env)
+        assert system.read_latency(0, 0, in_llc=True) < system.read_latency(0, 0)
+
+    def test_cxl_write_latency_exceeds_read(self):
+        env = Environment()
+        system = MemorySystem.spr(env, with_cxl=True)
+        assert system.write_latency(2, 0) > system.read_latency(2, 0)
+
+    def test_cxl_latency_exceeds_dram(self):
+        env = Environment()
+        system = MemorySystem.spr(env, with_cxl=True)
+        assert system.read_latency(2, 0) > system.read_latency(0, 0)
+
+    def test_same_node_turnaround_penalty(self):
+        env = Environment()
+        system = MemorySystem.spr(env)
+        plain = system.write_latency(0, 0)
+        loaded = system.write_latency(0, 0, same_node_as_read=True)
+        assert loaded == pytest.approx(plain + SAME_NODE_TURNAROUND_NS)
+
+    def test_ddio_write_goes_to_llc(self):
+        env = Environment()
+        system = MemorySystem.spr(env)
+        assert system.write_latency(0, 0, to_llc=True) == system.llc.write_latency
+
+
+class TestFlows:
+    def test_local_read_flow_completes(self):
+        env = Environment()
+        system = MemorySystem.spr(env)
+        done = []
+
+        def proc(env):
+            yield system.read_flow(0, 1000.0, from_socket=0)
+            done.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert done and done[0] > 0
+
+    def test_remote_flow_limited_by_upi(self):
+        env = Environment()
+        system = MemorySystem.spr(env)
+        done = {}
+
+        def proc(env, label, node):
+            yield system.read_flow(node, 100_000.0, from_socket=0)
+            done[label] = env.now
+
+        # Three concurrent streams per side: the UPI link (62 GB/s)
+        # paces the remote ones below the per-stream DRAM ceiling.
+        for index in range(3):
+            env.process(proc(env, f"local{index}", 0))
+            env.process(proc(env, f"remote{index}", 1))
+        env.run()
+        assert done["remote0"] > done["local0"]
+
+    def test_single_stream_capped_below_node_bandwidth(self):
+        env = Environment()
+        system = MemorySystem.spr(env)
+        node = system.node(0)
+        assert node.read_link.per_flow_cap is not None
+        assert node.read_link.per_flow_cap < node.read_link.bandwidth
+        assert node.read_link.instantaneous_rate() == node.read_link.per_flow_cap
+
+    def test_cxl_write_flow_slower_than_read_flow(self):
+        env = Environment()
+        system = MemorySystem.spr(env, with_cxl=True)
+        done = {}
+
+        def run_flow(env, label, flow):
+            yield flow
+            done[label] = env.now
+
+        env.process(run_flow(env, "read", system.read_flow(2, 1e6, from_socket=0)))
+        env.run()
+        t_read = done["read"]
+        env2 = Environment()
+        system2 = MemorySystem.spr(env2, with_cxl=True)
+        env2.process(run_flow(env2, "write", system2.write_flow(2, 1e6, from_socket=0)))
+        env2.run()
+        assert done["write"] > t_read
+
+
+class TestAddressSpace:
+    def test_allocate_returns_disjoint_buffers(self):
+        space = AddressSpace()
+        a = space.allocate(4096)
+        b = space.allocate(4096)
+        assert a.va + a.size <= b.va
+
+    def test_alignment(self):
+        space = AddressSpace()
+        buf = space.allocate(100, align=4096)
+        assert buf.va % 4096 == 0
+
+    def test_bad_alignment_rejected(self):
+        space = AddressSpace()
+        with pytest.raises(ValueError):
+            space.allocate(100, align=100)
+
+    def test_prefault_populates_pagetable(self):
+        space = AddressSpace()
+        buf = space.allocate(3 * 4096, prefault=True)
+        assert space.page_table.is_mapped(buf.va)
+        assert space.page_table.is_mapped(buf.va + buf.size - 1)
+
+    def test_no_prefault_leaves_pages_unmapped(self):
+        space = AddressSpace()
+        buf = space.allocate(4096, prefault=False)
+        assert not space.page_table.is_mapped(buf.va)
+
+    def test_buffer_at_interior_address(self):
+        space = AddressSpace()
+        buf = space.allocate(4096)
+        assert space.buffer_at(buf.va + 100) is buf
+
+    def test_buffer_at_unknown_address_raises(self):
+        space = AddressSpace()
+        with pytest.raises(KeyError):
+            space.buffer_at(0xDEAD0000)
+
+    def test_unbacked_buffer_rejects_data_access(self):
+        buf = Buffer(va=0x1000, size=64, node=0, pasid=1, backed=False)
+        with pytest.raises(RuntimeError):
+            _ = buf.data
+
+    def test_backed_buffer_view_bounds(self):
+        buf = Buffer(va=0x1000, size=64, node=0, pasid=1, backed=True)
+        assert len(buf.view(0, 64)) == 64
+        with pytest.raises(ValueError):
+            buf.view(60, 10)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Buffer(va=0, size=0, node=0, pasid=1)

@@ -1,0 +1,118 @@
+"""Tests for the DML high-level operation wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.dsa.crc import crc32c
+from repro.mem import AddressSpace
+from repro.platform import spr_platform
+from repro.runtime.dml import Dml, DmlPath
+from repro.sim import make_rng
+
+KB = 1024
+
+
+@pytest.fixture
+def stack():
+    platform = spr_platform()
+    space = AddressSpace()
+    portal = platform.open_portal("dsa0", 0, space)
+    dml = Dml(
+        platform.env,
+        [portal],
+        kernels=platform.kernels,
+        costs=platform.costs,
+        space=space,
+    )
+    return platform, space, dml, platform.core(0)
+
+
+def run(platform, generator):
+    out = {}
+
+    def proc(env):
+        out["value"] = yield from generator
+
+    platform.env.process(proc(platform.env))
+    platform.env.run()
+    return out["value"]
+
+
+class TestWrappers:
+    def test_mem_move(self, stack):
+        platform, space, dml, core = stack
+        src = space.allocate(32 * KB, backed=True)
+        dst = space.allocate(32 * KB, backed=True)
+        src.fill_random(make_rng(1))
+        run(platform, dml.mem_move(core, src, dst, 32 * KB, path=DmlPath.HARDWARE))
+        assert np.array_equal(dst.data, src.data)
+
+    def test_fill(self, stack):
+        platform, space, dml, core = stack
+        dst = space.allocate(16 * KB, backed=True)
+        run(
+            platform,
+            dml.fill(core, dst, 16 * KB, 0x4141414141414141, path=DmlPath.HARDWARE),
+        )
+        assert (dst.data == 0x41).all()
+
+    def test_compare_equal_and_unequal(self, stack):
+        platform, space, dml, core = stack
+        a = space.allocate(16 * KB, backed=True)
+        b = space.allocate(16 * KB, backed=True)
+        a.fill_random(make_rng(2))
+        b.data[:] = a.data
+        assert run(platform, dml.compare(core, a, b, 16 * KB, path=DmlPath.HARDWARE)) == 0
+        b.data[5] ^= 1
+        assert run(platform, dml.compare(core, a, b, 16 * KB, path=DmlPath.HARDWARE)) == 1
+
+    def test_crc_matches_reference(self, stack):
+        platform, space, dml, core = stack
+        src = space.allocate(8 * KB, backed=True)
+        src.fill_random(make_rng(3))
+        value = run(platform, dml.crc(core, src, 8 * KB, path=DmlPath.HARDWARE))
+        assert value == crc32c(src.data)
+
+    def test_dualcast(self, stack):
+        platform, space, dml, core = stack
+        src = space.allocate(8 * KB, backed=True)
+        d1 = space.allocate(8 * KB, backed=True)
+        d2 = space.allocate(8 * KB, backed=True)
+        src.fill_random(make_rng(4))
+        run(platform, dml.dualcast(core, src, d1, d2, 8 * KB, path=DmlPath.HARDWARE))
+        assert np.array_equal(d1.data, src.data)
+        assert np.array_equal(d2.data, src.data)
+
+    def test_delta_create_apply(self, stack):
+        platform, space, dml, core = stack
+        original = space.allocate(2 * KB, backed=True)
+        modified = space.allocate(2 * KB, backed=True)
+        blob = space.allocate(4 * KB, backed=True)
+        original.fill_random(make_rng(5))
+        modified.data[:] = original.data
+        modified.data[100] ^= 0xFF
+        delta_size = run(
+            platform,
+            dml.create_delta(
+                core, original, modified, blob, 2 * KB, path=DmlPath.HARDWARE
+            ),
+        )
+        assert delta_size == 10
+        target = space.allocate(2 * KB, backed=True)
+        target.data[:] = original.data
+        run(
+            platform,
+            dml.apply_delta(
+                core, blob, target, 2 * KB, delta_size, path=DmlPath.HARDWARE
+            ),
+        )
+        assert np.array_equal(target.data, modified.data)
+
+    def test_wrappers_work_on_software_path_too(self, stack):
+        platform, space, dml, core = stack
+        src = space.allocate(4 * KB, backed=True)
+        dst = space.allocate(4 * KB, backed=True)
+        src.fill_random(make_rng(6))
+        run(platform, dml.mem_move(core, src, dst, 4 * KB, path=DmlPath.SOFTWARE))
+        assert np.array_equal(dst.data, src.data)
+        assert dml.jobs_software == 1

@@ -1,0 +1,134 @@
+"""Unit tests for the IDXD-like driver and accel-config facade."""
+
+import pytest
+
+from repro.dsa.config import DeviceConfig, WqMode
+from repro.mem import AddressSpace, MemorySystem
+from repro.platform import spr_platform
+from repro.runtime.accel_config import AccelConfig, parse_device_config
+from repro.runtime.driver import DriverError, IdxdDriver
+from repro.sim import Environment
+
+
+@pytest.fixture
+def driver():
+    env = Environment()
+    return IdxdDriver(env, MemorySystem.spr(env))
+
+
+class TestLifecycle:
+    def test_register_then_enable(self, driver):
+        driver.register_device("dsa0")
+        driver.enable("dsa0")
+        assert driver.is_enabled("dsa0")
+
+    def test_double_register_rejected(self, driver):
+        driver.register_device("dsa0")
+        with pytest.raises(DriverError, match="already registered"):
+            driver.register_device("dsa0")
+
+    def test_double_enable_rejected(self, driver):
+        driver.register_device("dsa0")
+        driver.enable("dsa0")
+        with pytest.raises(DriverError, match="already enabled"):
+            driver.enable("dsa0")
+
+    def test_disable_unknown_rejected(self, driver):
+        with pytest.raises(DriverError):
+            driver.disable("nope")
+
+    def test_unknown_device_lookup(self, driver):
+        with pytest.raises(DriverError, match="unknown device"):
+            driver.device("ghost")
+
+
+class TestPortals:
+    def test_portal_requires_enabled_device(self, driver):
+        driver.register_device("dsa0")
+        with pytest.raises(DriverError, match="not enabled"):
+            driver.open_portal("dsa0", 0, AddressSpace())
+
+    def test_portal_attaches_pasid(self, driver):
+        driver.register_device("dsa0")
+        driver.enable("dsa0")
+        space = AddressSpace()
+        portal = driver.open_portal("dsa0", 0, space)
+        assert portal.pasid == space.pasid
+        assert driver.memsys.iommu.is_attached(space.pasid)
+
+    def test_dwq_exclusive_to_one_pasid(self, driver):
+        driver.register_device("dsa0")
+        driver.enable("dsa0")
+        driver.open_portal("dsa0", 0, AddressSpace())
+        with pytest.raises(DriverError, match="dedicated"):
+            driver.open_portal("dsa0", 0, AddressSpace())
+
+    def test_swq_shared_by_many(self, driver):
+        config = DeviceConfig.single(mode=WqMode.SHARED)
+        driver.register_device("dsa0", config=config)
+        driver.enable("dsa0")
+        for _ in range(4):
+            driver.open_portal("dsa0", 0, AddressSpace())
+
+    def test_close_portal_releases_dwq(self, driver):
+        driver.register_device("dsa0")
+        driver.enable("dsa0")
+        portal = driver.open_portal("dsa0", 0, AddressSpace())
+        driver.close_portal(portal)
+        driver.open_portal("dsa0", 0, AddressSpace())  # no error
+
+    def test_disable_clears_dwq_ownership(self, driver):
+        driver.register_device("dsa0")
+        driver.enable("dsa0")
+        driver.open_portal("dsa0", 0, AddressSpace())
+        driver.disable("dsa0")
+        driver.enable("dsa0")
+        driver.open_portal("dsa0", 0, AddressSpace())  # fresh ownership
+
+
+class TestAccelConfig:
+    SPEC = {
+        "wqs": [
+            {"id": 0, "size": 16, "mode": "dedicated", "priority": 5},
+            {"id": 1, "size": 16, "mode": "shared", "priority": 1},
+        ],
+        "engines": [0, 1],
+        "groups": [{"id": 0, "wqs": [0, 1], "engines": [0, 1]}],
+    }
+
+    def test_parse_round_trip(self):
+        config = parse_device_config(self.SPEC)
+        assert len(config.wqs) == 2
+        assert config.wqs[1].mode is WqMode.SHARED
+        assert config.wqs[0].priority == 5
+
+    def test_load_config_registers_and_enables(self, driver):
+        tool = AccelConfig(driver)
+        device = tool.load_config("dsa0", self.SPEC)
+        assert driver.is_enabled("dsa0")
+        assert device.wq(1).mode is WqMode.SHARED
+
+    def test_list_devices_inventory(self, driver):
+        tool = AccelConfig(driver)
+        tool.load_config("dsa0", self.SPEC)
+        inventory = tool.list_devices()
+        assert inventory["dsa0"]["enabled"]
+        assert len(inventory["dsa0"]["wqs"]) == 2
+        assert inventory["dsa0"]["groups"][0]["engines"] == [0, 1]
+
+    def test_invalid_spec_rejected(self, driver):
+        from repro.dsa.errors import ConfigurationError
+
+        bad = dict(self.SPEC, groups=[{"id": 0, "wqs": [7], "engines": [0]}])
+        with pytest.raises(ConfigurationError):
+            AccelConfig(driver).load_config("dsa0", bad)
+
+
+class TestPlatformHelpers:
+    def test_spr_platform_devices(self):
+        platform = spr_platform(n_devices=2)
+        assert set(platform.driver.devices) == {"dsa0", "dsa1"}
+
+    def test_core_identity_cached(self):
+        platform = spr_platform()
+        assert platform.core(3) is platform.core(3)

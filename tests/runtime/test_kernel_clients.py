@@ -1,0 +1,144 @@
+"""Tests for in-kernel clients and the DWQ credit tracker."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.core import CycleCategory
+from repro.dsa.config import DeviceConfig, WqMode
+from repro.dsa.descriptor import WorkDescriptor
+from repro.dsa.opcodes import Opcode
+from repro.mem import AddressSpace
+from repro.platform import spr_platform
+from repro.runtime.kernel_clients import ClearPageEngine
+from repro.runtime.submit import DwqCreditTracker
+
+KB = 1024
+
+
+class TestClearPageEngine:
+    def _engine(self, **kwargs):
+        platform = spr_platform()
+        device = platform.driver.device("dsa0")
+        return platform, ClearPageEngine(platform.env, device, **kwargs)
+
+    def test_pages_cleared_counted(self):
+        platform, engine = self._engine(pages_per_batch=8)
+        core = platform.core(0)
+
+        def proc(env):
+            yield from engine.clear_pages(core, 20)
+
+        platform.env.process(proc(platform.env))
+        platform.env.run()
+        assert engine.stats.pages_cleared == 20
+        assert engine.stats.batches_submitted == 3  # 8 + 8 + 4
+        assert engine.stats.bytes_zeroed == 20 * 4 * KB
+
+    def test_pages_really_zeroed(self):
+        platform, engine = self._engine(pages_per_batch=4)
+        core = platform.core(0)
+
+        def proc(env):
+            yield from engine.clear_pages(core, 4, backed=True)
+
+        platform.env.process(proc(platform.env))
+        platform.env.run()
+        for buffer in engine.space._buffers.values():
+            assert not buffer.data.any()
+
+    def test_core_mostly_idle_while_clearing(self):
+        platform, engine = self._engine(pages_per_batch=32)
+        core = platform.core(0)
+
+        def proc(env):
+            yield from engine.clear_pages(core, 256)
+
+        platform.env.process(proc(platform.env))
+        platform.env.run()
+        assert core.time_in(CycleCategory.IDLE) > core.time_in(CycleCategory.SUBMIT)
+
+    def test_beats_software_clear(self):
+        platform, engine = self._engine(pages_per_batch=32)
+        core = platform.core(0)
+        start = platform.env.now
+
+        def proc(env):
+            yield from engine.clear_pages(core, 512)
+
+        platform.env.process(proc(platform.env))
+        platform.env.run()
+        offload_ns = platform.env.now - start
+        assert offload_ns < engine.software_clear_time(512)
+
+    def test_invalid_args(self):
+        platform, engine = self._engine()
+        with pytest.raises(ValueError):
+            ClearPageEngine(platform.env, platform.driver.device("dsa0"), pages_per_batch=0)
+
+        def proc(env):
+            yield from engine.clear_pages(platform.core(0), 0)
+
+        platform.env.process(proc(platform.env))
+        with pytest.raises(ValueError):
+            platform.env.run()
+
+
+class TestDwqCreditTracker:
+    def _portal(self, wq_size=4, mode=WqMode.DEDICATED):
+        platform = spr_platform(
+            device_config=DeviceConfig.single(wq_size=wq_size, mode=mode)
+        )
+        space = AddressSpace()
+        portal = platform.open_portal("dsa0", 0, space)
+        return platform, space, portal
+
+    def test_starts_with_wq_size_credits(self):
+        _platform, _space, portal = self._portal(wq_size=4)
+        tracker = DwqCreditTracker(portal)
+        assert tracker.available == 4
+
+    def test_rejects_shared_wqs(self):
+        _platform, _space, portal = self._portal(mode=WqMode.SHARED)
+        with pytest.raises(ValueError, match="dedicated"):
+            DwqCreditTracker(portal)
+
+    def test_acquire_release_cycle(self):
+        _platform, _space, portal = self._portal(wq_size=2)
+        tracker = DwqCreditTracker(portal)
+        assert tracker.try_acquire()
+        assert tracker.try_acquire()
+        assert not tracker.try_acquire()
+        tracker.release()
+        assert tracker.try_acquire()
+
+    def test_over_release_rejected(self):
+        _platform, _space, portal = self._portal(wq_size=2)
+        tracker = DwqCreditTracker(portal)
+        with pytest.raises(RuntimeError, match="without a matching"):
+            tracker.release()
+
+    def test_submit_with_credit_never_overflows(self):
+        """Hammer a tiny DWQ far beyond its size: no SubmissionError."""
+        platform, space, portal = self._portal(wq_size=2)
+        tracker = DwqCreditTracker(portal)
+        core = platform.core(0)
+        completed = []
+
+        def producer(env):
+            for index in range(20):
+                src = space.allocate(64 * KB)
+                dst = space.allocate(64 * KB)
+                descriptor = WorkDescriptor(
+                    Opcode.MEMMOVE, pasid=space.pasid, src=src.va, dst=dst.va, size=64 * KB
+                )
+                yield from tracker.submit_with_credit(env, core, descriptor)
+                env.process(reaper(env, descriptor))
+
+        def reaper(env, descriptor):
+            yield descriptor.completion_event
+            tracker.release()
+            completed.append(descriptor)
+
+        platform.env.process(producer(platform.env))
+        platform.env.run()
+        assert len(completed) == 20

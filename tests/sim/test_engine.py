@@ -1,0 +1,279 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, SimulationError
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    env.timeout(5.0)
+    env.run()
+    assert env.now == 5.0
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_process_receives_timeout_value():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        value = yield env.timeout(1.0, value="hello")
+        seen.append(value)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == ["hello"]
+
+
+def test_process_return_value_becomes_event_value():
+    env = Environment()
+
+    def inner(env):
+        yield env.timeout(1.0)
+        return 42
+
+    def outer(env, results):
+        result = yield env.process(inner(env))
+        results.append(result)
+
+    results = []
+    env.process(outer(env, results))
+    env.run()
+    assert results == [42]
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+
+    def proc(env, delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(proc(env, 3.0, "c"))
+    env.process(proc(env, 1.0, "a"))
+    env.process(proc(env, 2.0, "b"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fifo():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(5):
+        env.process(proc(env, tag))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_run_until_stops_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(100.0)
+
+    env.process(proc(env))
+    env.run(until=10.0)
+    assert env.now == 10.0
+
+
+def test_run_until_past_raises():
+    env = Environment(initial_time=50.0)
+    with pytest.raises(ValueError):
+        env.run(until=10.0)
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    gate = env.event()
+    seen = []
+
+    def waiter(env):
+        value = yield gate
+        seen.append((env.now, value))
+
+    def opener(env):
+        yield env.timeout(7.0)
+        gate.succeed("open")
+
+    env.process(waiter(env))
+    env.process(opener(env))
+    env.run()
+    assert seen == [(7.0, "open")]
+
+
+def test_event_double_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_failed_event_raises_in_process():
+    env = Environment()
+    caught = []
+
+    def proc(env, gate):
+        try:
+            yield gate
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    gate = env.event()
+    env.process(proc(env, gate))
+    gate.fail(RuntimeError("boom"))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_failed_event_crashes_run():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("unhandled"))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_process_crash_propagates_to_waiter():
+    env = Environment()
+    caught = []
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise ValueError("bad process")
+
+    def waiter(env):
+        try:
+            yield env.process(bad(env))
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter(env))
+    env.run()
+    assert caught == ["bad process"]
+
+
+def test_interrupt_is_delivered():
+    env = Environment()
+    log = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as intr:
+            log.append((env.now, intr.cause))
+
+    def attacker(env, proc):
+        yield env.timeout(5.0)
+        proc.interrupt("preempted")
+
+    proc = env.process(victim(env))
+    env.process(attacker(env, proc))
+    env.run()
+    assert log == [(5.0, "preempted")]
+
+
+def test_interrupt_finished_process_raises():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    proc = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    times = []
+
+    def proc(env):
+        yield env.all_of([env.timeout(1.0), env.timeout(5.0), env.timeout(3.0)])
+        times.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert times == [5.0]
+
+
+def test_any_of_waits_for_first_event():
+    env = Environment()
+    times = []
+
+    def proc(env):
+        yield env.any_of([env.timeout(9.0), env.timeout(2.0)])
+        times.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert times == [2.0]
+
+
+def test_all_of_empty_triggers_immediately():
+    env = Environment()
+    done = []
+
+    def proc(env):
+        yield env.all_of([])
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert done == [0.0]
+
+
+def test_yield_non_event_raises():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(4.0)
+    assert env.peek() == 4.0
+    env.run()
+    assert env.peek() == float("inf")
+
+
+def test_nested_processes_compose():
+    env = Environment()
+
+    def leaf(env, n):
+        yield env.timeout(float(n))
+        return n * n
+
+    def root(env, out):
+        total = 0
+        for n in (1, 2, 3):
+            total += yield env.process(leaf(env, n))
+        out.append((env.now, total))
+
+    out = []
+    env.process(root(env, out))
+    env.run()
+    assert out == [(6.0, 14)]

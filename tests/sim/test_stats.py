@@ -1,0 +1,112 @@
+"""Unit tests for the measurement utilities."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import Histogram, OnlineStat, TimeWeightedStat
+
+
+class TestOnlineStat:
+    def test_empty(self):
+        stat = OnlineStat()
+        assert stat.count == 0
+        assert stat.mean == 0.0
+        assert stat.variance == 0.0
+
+    def test_known_values(self):
+        stat = OnlineStat()
+        for v in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            stat.add(v)
+        assert stat.mean == pytest.approx(5.0)
+        assert stat.minimum == 2.0
+        assert stat.maximum == 9.0
+        assert stat.stdev == pytest.approx(math.sqrt(32 / 7))
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200))
+    def test_matches_batch_mean(self, values):
+        stat = OnlineStat()
+        for v in values:
+            stat.add(v)
+        assert stat.mean == pytest.approx(sum(values) / len(values), abs=1e-6)
+        assert stat.minimum == min(values)
+        assert stat.maximum == max(values)
+
+
+class TestTimeWeightedStat:
+    def test_constant_signal(self):
+        tw = TimeWeightedStat(initial=3.0)
+        assert tw.mean(now=10.0) == 3.0
+
+    def test_step_signal(self):
+        tw = TimeWeightedStat()
+        tw.update(5.0, 10.0)  # level 0 for [0,5), then 10
+        assert tw.mean(now=10.0) == pytest.approx(5.0)
+
+    def test_maximum_tracked(self):
+        tw = TimeWeightedStat()
+        tw.update(1.0, 7.0)
+        tw.update(2.0, 3.0)
+        assert tw.maximum == 7.0
+
+    def test_time_backwards_rejected(self):
+        tw = TimeWeightedStat()
+        tw.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            tw.update(4.0, 2.0)
+
+    @given(st.lists(st.tuples(st.floats(0.01, 10.0), st.floats(0, 100)), min_size=1, max_size=50))
+    def test_mean_is_bounded_by_levels(self, steps):
+        tw = TimeWeightedStat()
+        now = 0.0
+        levels = [0.0]
+        for dt, level in steps:
+            now += dt
+            tw.update(now, level)
+            levels.append(level)
+        mean = tw.mean(now + 1.0)
+        assert min(levels) - 1e-9 <= mean <= max(levels) + 1e-9
+
+
+class TestHistogram:
+    def test_empty_summary(self):
+        hist = Histogram()
+        assert hist.percentile(99) == 0.0
+        assert hist.mean == 0.0
+
+    def test_percentiles_exact(self):
+        hist = Histogram()
+        hist.extend(range(1, 101))  # 1..100
+        assert hist.percentile(50) == 50
+        assert hist.percentile(99) == 99
+        assert hist.percentile(100) == 100
+        assert hist.percentile(1) == 1
+
+    def test_percentile_out_of_range(self):
+        hist = Histogram()
+        hist.add(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_count_below(self):
+        hist = Histogram()
+        hist.extend([1, 2, 3, 4, 5])
+        assert hist.count_below(3) == 3
+        assert hist.count_below(0.5) == 0
+
+    def test_summary_keys(self):
+        hist = Histogram()
+        hist.extend([1.0, 2.0, 3.0])
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+
+    @given(st.lists(st.floats(0, 1e9), min_size=1, max_size=300))
+    def test_max_percentile_is_max(self, values):
+        hist = Histogram()
+        hist.extend(values)
+        assert hist.percentile(100) == max(values)
+        assert hist.minimum == min(values)

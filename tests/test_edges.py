@@ -1,0 +1,134 @@
+"""Edge-case batch: descriptor lifecycle, DML waits, xmem inputs."""
+
+import pytest
+
+from repro.dsa.descriptor import CompletionRecord, Timestamps, WorkDescriptor
+from repro.dsa.errors import StatusCode
+from repro.dsa.opcodes import Opcode
+from repro.mem import AddressSpace
+from repro.platform import spr_platform
+from repro.runtime.dml import Dml, DmlJob, DmlPath
+
+KB = 1024
+MB = 1024 * KB
+
+
+class TestDescriptorLifecycle:
+    def test_completion_record_done_semantics(self):
+        record = CompletionRecord()
+        assert not record.done
+        record.status = StatusCode.SUCCESS
+        assert record.done
+
+    def test_wait_time_requires_full_lifecycle(self):
+        times = Timestamps()
+        with pytest.raises(ValueError, match="incomplete"):
+            times.wait_time()
+        times.submitted = 10.0
+        times.completed = 25.0
+        assert times.wait_time() == 15.0
+
+    def test_cache_control_property(self):
+        from repro.dsa.opcodes import DescriptorFlags
+
+        descriptor = WorkDescriptor(Opcode.MEMMOVE, size=64)
+        assert not descriptor.cache_control
+        descriptor.flags |= DescriptorFlags.CACHE_CONTROL
+        assert descriptor.cache_control
+
+    def test_invalid_opcode_type(self):
+        descriptor = WorkDescriptor.__new__(WorkDescriptor)
+        descriptor.opcode = "not-an-opcode"
+        descriptor.size = 64
+        assert descriptor.validate() == StatusCode.INVALID_OPCODE
+
+
+class TestDmlEdges:
+    def test_wait_on_software_job_is_immediate(self):
+        platform = spr_platform()
+        space = AddressSpace()
+        dml = Dml(platform.env, [platform.open_portal("dsa0", 0, space)], space=space)
+        core = platform.core(0)
+        src = space.allocate(KB)
+        dst = space.allocate(KB)
+        descriptor = dml.make_descriptor(Opcode.MEMMOVE, KB, src=src, dst=dst)
+        out = {}
+
+        def proc(env):
+            status = yield from dml.run_software(core, descriptor)
+            job = DmlJob(descriptor, portal=None, software=True)
+            out["status"] = yield from dml.wait(core, job)
+            out["first"] = status
+
+        platform.env.process(proc(platform.env))
+        platform.env.run()
+        assert out["status"] == out["first"] == StatusCode.SUCCESS
+
+    def test_negative_threshold_rejected(self):
+        platform = spr_platform()
+        with pytest.raises(ValueError):
+            Dml(platform.env, [], auto_threshold=-1)
+
+    def test_job_done_tracks_completion(self):
+        platform = spr_platform()
+        space = AddressSpace()
+        dml = Dml(platform.env, [platform.open_portal("dsa0", 0, space)], space=space)
+        core = platform.core(0)
+        src = space.allocate(64 * KB)
+        dst = space.allocate(64 * KB)
+        descriptor = dml.make_descriptor(Opcode.MEMMOVE, 64 * KB, src=src, dst=dst)
+        states = {}
+
+        def proc(env):
+            job = yield from dml.submit_async(core, descriptor)
+            states["after_submit"] = job.done
+            yield from dml.wait(core, job)
+            states["after_wait"] = job.done
+
+        platform.env.process(proc(platform.env))
+        platform.env.run()
+        assert states == {"after_submit": False, "after_wait": True}
+
+
+class TestXmemEdges:
+    def test_fig13_sweep_latencies_positive(self):
+        from repro.workloads.xmem import run_fig13_sweep
+
+        curves = run_fig13_sweep([2 * MB], duration_s=0.3)
+        for points in curves.values():
+            assert all(latency > 0 for _wss, latency in points)
+
+    def test_custom_corun_params_respected(self):
+        from repro.workloads.xmem import CoRunKind, CoRunParams, run_xmem_scenario
+
+        gentle = CoRunParams(
+            kind=CoRunKind.SOFTWARE, streams=1, stream_bandwidth=2.0
+        )
+        harsh = CoRunParams(
+            kind=CoRunKind.SOFTWARE, streams=8, stream_bandwidth=12.0
+        )
+        lat_gentle = run_xmem_scenario(
+            CoRunKind.SOFTWARE, working_set=4 * MB, duration_s=1.0, corun=gentle
+        ).mean_latency_ns
+        lat_harsh = run_xmem_scenario(
+            CoRunKind.SOFTWARE, working_set=4 * MB, duration_s=1.0, corun=harsh
+        ).mean_latency_ns
+        assert lat_harsh > lat_gentle
+
+
+class TestGuidelinesCli:
+    def test_cli_list_and_advise(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out and "guidelines" in out
+        assert main(["advise", "65536"]) == 0
+        out = capsys.readouterr().out
+        assert "OFFLOAD" in out
+
+    def test_cli_advise_small_stays_on_cpu(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["advise", "64", "--sync-only"]) == 0
+        assert "keep on the CPU" in capsys.readouterr().out

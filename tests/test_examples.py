@@ -1,0 +1,33 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Each example prints a final "<name>: OK" sentinel; running them as
+real subprocesses catches import errors, API drift, and assertion
+failures inside the examples themselves.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_are_present():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 4  # quickstart + at least three scenarios
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs_clean(example):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / example)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    sentinel = f"{example[:-3]}: OK"
+    assert sentinel in completed.stdout, f"missing sentinel {sentinel!r}"

@@ -1,0 +1,141 @@
+"""Tests for the executable G1-G6 advisor."""
+
+import pytest
+
+from repro.dsa.config import WqMode
+from repro.dsa.opcodes import Opcode
+from repro.guidelines import OffloadAdvisor, Recommendation
+from repro.mem.system import TierKind
+
+KB = 1024
+
+
+@pytest.fixture
+def advisor():
+    return OffloadAdvisor()
+
+
+class TestDerivedThresholds:
+    def test_sync_threshold_in_4_to_16k(self, advisor):
+        """The modelled sync crossover lands where the paper's does."""
+        threshold = advisor.sync_threshold()
+        assert 4 * KB <= threshold <= 16 * KB
+
+    def test_async_threshold_near_256b(self, advisor):
+        threshold = advisor.async_threshold()
+        assert 128 <= threshold <= 512
+
+    def test_async_threshold_below_sync(self, advisor):
+        assert advisor.async_threshold() < advisor.sync_threshold()
+
+    def test_thresholds_follow_calibration(self):
+        """Slower software makes offload attractive earlier."""
+        from repro.cpu.swlib import SoftwareKernels, SwKernelParams
+
+        slow = OffloadAdvisor(
+            kernels=SoftwareKernels(
+                {Opcode.MEMMOVE: SwKernelParams(60.0, 3.0, 10.0, 2.0)}
+            )
+        )
+        assert slow.sync_threshold() < OffloadAdvisor().sync_threshold()
+
+
+class TestRecommend:
+    def test_large_transfer_offloads(self, advisor):
+        rec = advisor.recommend(64 * KB)
+        assert rec.use_dsa and rec.asynchronous
+        assert "G2" in rec.guidelines
+
+    def test_small_transfer_stays_on_core(self, advisor):
+        rec = advisor.recommend(128, asynchronous_possible=False)
+        assert not rec.use_dsa
+        assert any("on the core" in reason for reason in rec.reasons)
+
+    def test_pollution_sensitivity_flips_small_transfers(self, advisor):
+        rec = advisor.recommend(128, pollution_sensitive_corunners=True)
+        assert rec.use_dsa
+
+    def test_contiguous_data_uses_single_descriptor(self, advisor):
+        rec = advisor.recommend(1 * KB * 1024, contiguous=True)
+        assert rec.batch_size == 1
+        assert "G1" in rec.guidelines
+
+    def test_scattered_data_batches(self, advisor):
+        rec = advisor.recommend(64 * KB, contiguous=False)
+        assert rec.batch_size > 1
+
+    def test_sync_sweet_spot_batch(self, advisor):
+        rec = advisor.recommend(
+            64 * KB, asynchronous_possible=False, contiguous=False
+        )
+        assert 4 <= rec.batch_size <= 8
+
+    def test_hot_consumer_sets_cache_control(self, advisor):
+        rec = advisor.recommend(64 * KB, consumer_reads_soon=True)
+        assert rec.cache_control
+        assert "G3" in rec.guidelines
+
+    def test_streaming_keeps_llc_clean(self, advisor):
+        rec = advisor.recommend(64 * KB, consumer_reads_soon=False)
+        assert not rec.cache_control
+
+    def test_more_threads_than_wqs_shares(self, advisor):
+        rec = advisor.recommend(64 * KB, submitting_threads=8, available_wqs=4)
+        assert rec.wq_mode is WqMode.SHARED
+        assert "G6" in rec.guidelines
+
+    def test_enough_wqs_dedicates(self, advisor):
+        rec = advisor.recommend(64 * KB, submitting_threads=2, available_wqs=4)
+        assert rec.wq_mode is WqMode.DEDICATED
+
+    def test_invalid_size_rejected(self, advisor):
+        with pytest.raises(ValueError):
+            advisor.recommend(0)
+
+    def test_recommendation_cite_dedups(self):
+        rec = Recommendation(use_dsa=True)
+        rec.cite("G1", "a")
+        rec.cite("G1", "b")
+        assert rec.guidelines == ["G1"]
+        assert len(rec.reasons) == 2
+
+
+class TestTierAdvice:
+    def test_dram_to_cxl_warns_about_writes(self, advisor):
+        advice = advisor.recommend_tier_destination(TierKind.DRAM, TierKind.CXL)
+        assert any("destination" in line for line in advice)
+
+    def test_cxl_to_dram_is_the_fast_direction(self, advisor):
+        advice = advisor.recommend_tier_destination(TierKind.CXL, TierKind.DRAM)
+        assert any("fast" in line for line in advice)
+
+    def test_cxl_to_cxl_flagged_slowest(self, advisor):
+        advice = advisor.recommend_tier_destination(TierKind.CXL, TierKind.CXL)
+        assert any("lowest throughput" in line for line in advice)
+
+
+class TestEngineAdvice:
+    def test_small_transfers_want_more_engines(self, advisor):
+        assert advisor.recommend_engines(512) >= 2
+
+    def test_large_transfers_need_one(self, advisor):
+        assert advisor.recommend_engines(1 << 20) == 1
+
+    def test_matches_fig7_measurement(self, advisor):
+        """The advisor's engine count actually helps in the simulator."""
+        from repro.workloads.microbench import MicrobenchConfig, run_dsa_microbench
+
+        engines = advisor.recommend_engines(512)
+        one = run_dsa_microbench(
+            MicrobenchConfig(
+                transfer_size=512, batch_size=8, queue_depth=8,
+                engines_per_group=1, iterations=40,
+            )
+        )
+        advised = run_dsa_microbench(
+            MicrobenchConfig(
+                transfer_size=512, batch_size=8, queue_depth=8,
+                engines_per_group=engines, iterations=40,
+            )
+        )
+        assert advised.throughput > 1.5 * one.throughput

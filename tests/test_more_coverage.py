@@ -1,0 +1,143 @@
+"""Additional coverage: 16-byte patterns, platform edges, misc results."""
+
+import numpy as np
+import pytest
+
+from repro.dsa.descriptor import WorkDescriptor
+from repro.dsa.errors import StatusCode
+from repro.dsa.opcodes import Opcode
+from repro.dsa.ops import execute
+from repro.mem import AddressSpace
+from repro.platform import spr_platform
+
+KB = 1024
+
+
+class TestWidePatterns:
+    def _space_with_dst(self, size=64):
+        space = AddressSpace()
+        return space, space.allocate(size, backed=True)
+
+    def test_16_byte_fill(self):
+        space, dst = self._space_with_dst(64)
+        descriptor = WorkDescriptor(
+            Opcode.FILL,
+            dst=dst.va,
+            size=64,
+            pattern=0x0807060504030201,
+            pattern2=0x100F0E0D0C0B0A09,
+            pattern_bytes=16,
+        )
+        assert execute(descriptor, space).status == StatusCode.SUCCESS
+        expected = np.tile(np.arange(1, 17, dtype=np.uint8), 4)
+        assert np.array_equal(dst.data, expected)
+
+    def test_16_byte_compare_pattern_roundtrip(self):
+        space, dst = self._space_with_dst(48)
+        fill = WorkDescriptor(
+            Opcode.FILL, dst=dst.va, size=48,
+            pattern=0xAAAAAAAAAAAAAAAA, pattern2=0xBBBBBBBBBBBBBBBB,
+            pattern_bytes=16,
+        )
+        execute(fill, space)
+        check = WorkDescriptor(
+            Opcode.COMPARE_PATTERN, src=dst.va, size=48,
+            pattern=0xAAAAAAAAAAAAAAAA, pattern2=0xBBBBBBBBBBBBBBBB,
+            pattern_bytes=16,
+        )
+        assert execute(check, space).status == StatusCode.SUCCESS
+        # An 8-byte view of the same data must mismatch.
+        check8 = WorkDescriptor(
+            Opcode.COMPARE_PATTERN, src=dst.va, size=48,
+            pattern=0xAAAAAAAAAAAAAAAA, pattern_bytes=8,
+        )
+        assert execute(check8, space).status == StatusCode.SUCCESS_WITH_FALSE_PREDICATE
+
+    def test_invalid_pattern_width_rejected(self):
+        space, dst = self._space_with_dst()
+        descriptor = WorkDescriptor(
+            Opcode.FILL, dst=dst.va, size=64, pattern_bytes=12
+        )
+        assert execute(descriptor, space).status == StatusCode.INVALID_FLAGS
+
+    def test_default_is_8_bytes(self):
+        assert WorkDescriptor(Opcode.FILL, dst=0x1000, size=8).pattern_bytes == 8
+
+
+class TestPlatformEdges:
+    def test_duplicate_device_name_rejected(self):
+        from repro.runtime.driver import DriverError
+
+        platform = spr_platform()
+        with pytest.raises(DriverError, match="already registered"):
+            platform.add_device("dsa0")
+
+    def test_run_until(self):
+        platform = spr_platform()
+        platform.run(until=100.0)
+        assert platform.env.now == 100.0
+
+    def test_icx_has_no_dsa_devices(self):
+        from repro.platform import icx_platform
+
+        assert not icx_platform().driver.devices
+
+
+class TestResultHelpers:
+    def test_spdk_throughput_property(self):
+        from repro.workloads.spdk import DigestMode, SpdkConfig, run_spdk_target
+
+        result = run_spdk_target(
+            SpdkConfig(digest=DigestMode.NONE, target_cores=2, queue_depth=16, ios=100)
+        )
+        assert result.throughput == pytest.approx(
+            result.iops * result.config.io_size / 1e9, rel=1e-6
+        )
+
+    def test_vhost_stall_accounting_nonnegative(self):
+        from repro.workloads.vhost import VhostConfig, run_vhost
+
+        result = run_vhost(VhostConfig(packet_size=1518, bursts=20, use_dsa=True))
+        assert result.dsa_stall_ns >= 0.0
+
+    def test_microbench_umwait_fraction_zero_for_spin(self):
+        from repro.workloads.microbench import MicrobenchConfig, run_dsa_microbench
+
+        result = run_dsa_microbench(
+            MicrobenchConfig(transfer_size=4 * KB, queue_depth=4, iterations=10)
+        )
+        assert result.umwait_fraction() == 0.0
+
+
+class TestConditionValues:
+    def test_all_of_value_maps_events(self):
+        from repro.sim import Environment
+
+        env = Environment()
+        seen = {}
+
+        def proc(env):
+            a = env.timeout(1.0, value="a")
+            b = env.timeout(2.0, value="b")
+            values = yield env.all_of([a, b])
+            seen.update({k.value: v for k, v in zip([a, b], [values[a], values[b]])})
+
+        env.process(proc(env))
+        env.run()
+        assert seen == {"a": "a", "b": "b"}
+
+    def test_any_of_returns_first(self):
+        from repro.sim import Environment
+
+        env = Environment()
+        out = {}
+
+        def proc(env):
+            fast = env.timeout(1.0, value="fast")
+            slow = env.timeout(5.0, value="slow")
+            values = yield env.any_of([fast, slow])
+            out["keys"] = [e.value for e in values]
+
+        env.process(proc(env))
+        env.run()
+        assert out["keys"] == ["fast"]

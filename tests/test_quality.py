@@ -1,0 +1,72 @@
+"""Repository-level quality gates: determinism and documentation."""
+
+import importlib
+import pathlib
+import pkgutil
+
+import pytest
+
+import repro
+
+SRC_ROOT = pathlib.Path(repro.__file__).parent
+
+
+def _all_modules():
+    names = ["repro"]
+    for module in pkgutil.walk_packages([str(SRC_ROOT)], prefix="repro."):
+        names.append(module.name)
+    return names
+
+
+class TestDocumentation:
+    @pytest.mark.parametrize("module_name", _all_modules())
+    def test_every_module_has_a_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip(), f"{module_name} undocumented"
+
+    def test_public_api_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing {name!r}"
+
+
+class TestDeterminism:
+    def test_microbench_is_deterministic(self):
+        """Two identical runs produce byte-identical measurements."""
+        from repro.workloads.microbench import MicrobenchConfig, run_dsa_microbench
+
+        def one_run():
+            cfg = MicrobenchConfig(transfer_size=4096, queue_depth=8, iterations=40)
+            result = run_dsa_microbench(cfg)
+            return (result.throughput, result.mean_latency_ns, result.elapsed_ns)
+
+        assert one_run() == one_run()
+
+    def test_experiment_is_deterministic(self):
+        from repro.experiments import run_experiment
+
+        first = run_experiment("fig4", quick=True)
+        second = run_experiment("fig4", quick=True)
+        for label, series in first.series.items():
+            assert second.series[label].points == series.points
+
+    def test_seeded_workload_is_deterministic(self):
+        from repro.workloads.cachelib import CacheBenchConfig, run_cachebench
+
+        cfg = CacheBenchConfig(n_cores=2, n_threads=4, ops_per_thread=50)
+        a = run_cachebench(cfg)
+        b = run_cachebench(CacheBenchConfig(n_cores=2, n_threads=4, ops_per_thread=50))
+        assert a.ops_per_second == b.ops_per_second
+
+
+class TestUnits:
+    def test_bandwidth_units_are_bytes_per_ns(self):
+        """1 GB/s == 1 byte/ns: the project-wide convention holds."""
+        from repro.mem.link import FairShareLink
+        from repro.sim import Environment
+
+        env = Environment()
+        link = FairShareLink(env, bandwidth=1.0)  # "1 GB/s"
+        event = link.transfer(1e9)  # one gigabyte
+        env.run()
+        assert event.triggered
+        assert env.now == pytest.approx(1e9)  # one second in ns

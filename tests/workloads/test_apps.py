@@ -1,0 +1,236 @@
+"""Tests for the Vhost, CacheLib, SPDK, and libfabric case studies."""
+
+import pytest
+
+from repro.workloads.cachelib import CacheBenchConfig, ItemSizeProfile, run_cachebench
+from repro.workloads.libfabric import (
+    allreduce,
+    bert_step,
+    measure_transfer,
+    pingpong_speedup,
+)
+from repro.workloads.spdk import DigestMode, SpdkConfig, run_spdk_target
+from repro.workloads.vhost import RecordingArray, VhostConfig, run_vhost
+from repro.sim import make_rng
+
+KB = 1024
+MB = 1024 * KB
+
+
+class TestVhost:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            VhostConfig(packet_size=32).validate()
+        with pytest.raises(ValueError):
+            VhostConfig(bursts=0).validate()
+
+    def test_all_packets_forwarded(self):
+        result = run_vhost(VhostConfig(packet_size=512, bursts=20, use_dsa=True))
+        assert result.packets_forwarded == 20 * 32
+
+    def test_dsa_rate_flat_across_packet_sizes(self):
+        """Fig 16b: offloaded forwarding rate is size-independent."""
+        small = run_vhost(VhostConfig(packet_size=256, bursts=50, use_dsa=True))
+        large = run_vhost(VhostConfig(packet_size=1518, bursts=50, use_dsa=True))
+        assert large.forwarding_rate_mpps == pytest.approx(
+            small.forwarding_rate_mpps, rel=0.05
+        )
+
+    def test_cpu_rate_drops_with_packet_size(self):
+        """Paper: ~38% forwarding-rate drop from 256 B to 1 KB."""
+        small = run_vhost(VhostConfig(packet_size=256, bursts=50, use_dsa=False))
+        large = run_vhost(VhostConfig(packet_size=1024, bursts=50, use_dsa=False))
+        drop = 1 - large.forwarding_rate_mpps / small.forwarding_rate_mpps
+        assert 0.2 <= drop <= 0.45
+
+    def test_speedup_range_above_256b(self):
+        """Fig 16b: 1.14-2.29x for packets above 256 B."""
+        for size, low, high in ((512, 1.1, 1.9), (1518, 1.9, 2.6)):
+            cpu = run_vhost(VhostConfig(packet_size=size, bursts=50, use_dsa=False))
+            dsa = run_vhost(VhostConfig(packet_size=size, bursts=50, use_dsa=True))
+            ratio = dsa.forwarding_rate_mpps / cpu.forwarding_rate_mpps
+            assert low <= ratio <= high
+
+    def test_copy_share_grows_with_packet_size(self):
+        """Paper: ~30% of cycles at 512 B, 50+% above 1 KB."""
+        mid = run_vhost(VhostConfig(packet_size=512, bursts=30, use_dsa=False))
+        big = run_vhost(VhostConfig(packet_size=1518, bursts=30, use_dsa=False))
+        assert 0.25 <= mid.copy_cycle_fraction <= 0.45
+        assert big.copy_cycle_fraction >= 0.5
+
+    def test_multi_queue_forwarding(self):
+        result = run_vhost(VhostConfig(packet_size=512, bursts=20, n_queues=4))
+        assert result.packets_forwarded == 4 * 20 * 32
+
+
+class TestRecordingArray:
+    def test_in_order_release(self):
+        array = RecordingArray()
+        indices = [array.record() for _ in range(3)]
+        array.mark_completed(indices[0])
+        assert array.release_prefix() == 1
+
+    def test_out_of_order_blocks_prefix(self):
+        array = RecordingArray()
+        indices = [array.record() for _ in range(3)]
+        array.mark_completed(indices[2])
+        assert array.release_prefix() == 0
+        array.mark_completed(indices[0])
+        array.mark_completed(indices[1])
+        assert array.release_prefix() == 3
+        assert array.reordered == 1
+
+    def test_overflow_rejected(self):
+        array = RecordingArray(capacity=1)
+        array.record()
+        with pytest.raises(RuntimeError):
+            array.record()
+
+    def test_bad_index_rejected(self):
+        array = RecordingArray()
+        with pytest.raises(IndexError):
+            array.mark_completed(0)
+
+
+class TestCacheLib:
+    def test_size_profile_matches_paper(self):
+        """Appendix B: ~4.8% of copies >= 8 KB carrying ~96% of bytes."""
+        sizes = ItemSizeProfile().sample(make_rng(1), 200_000)
+        large = sizes >= 8 * KB
+        count_fraction = large.mean()
+        byte_fraction = sizes[large].sum() / sizes.sum()
+        assert 0.03 <= count_fraction <= 0.07
+        assert 0.90 <= byte_fraction <= 0.99
+
+    def test_dsa_improves_throughput_at_4_cores(self):
+        base = run_cachebench(
+            CacheBenchConfig(n_cores=4, n_threads=8, use_dsa=False, ops_per_thread=150)
+        )
+        dsa = run_cachebench(
+            CacheBenchConfig(n_cores=4, n_threads=8, use_dsa=True, ops_per_thread=150)
+        )
+        assert dsa.ops_per_second > 1.2 * base.ops_per_second
+
+    def test_improvement_declines_beyond_8_cores(self):
+        """Fig 19a: gains flatten when cores outnumber the 4 WQs."""
+
+        def improvement(cores, threads):
+            base = run_cachebench(
+                CacheBenchConfig(
+                    n_cores=cores, n_threads=threads, use_dsa=False, ops_per_thread=150
+                )
+            )
+            dsa = run_cachebench(
+                CacheBenchConfig(
+                    n_cores=cores, n_threads=threads, use_dsa=True, ops_per_thread=150
+                )
+            )
+            return dsa.ops_per_second / base.ops_per_second
+
+        assert improvement(4, 8) > improvement(12, 24)
+
+    def test_tail_latency_improves(self):
+        """Fig 19b: p99.9+ falls when big copies go to DSA."""
+        base = run_cachebench(
+            CacheBenchConfig(n_cores=4, n_threads=8, use_dsa=False, ops_per_thread=200)
+        )
+        dsa = run_cachebench(
+            CacheBenchConfig(n_cores=4, n_threads=8, use_dsa=True, ops_per_thread=200)
+        )
+        assert dsa.tail_latency(99.9) < base.tail_latency(99.9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheBenchConfig(n_cores=0).validate()
+        with pytest.raises(ValueError):
+            CacheBenchConfig(get_fraction=1.5).validate()
+
+
+class TestSpdk:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpdkConfig(io_size=100).validate()
+        with pytest.raises(ValueError):
+            SpdkConfig(target_cores=0).validate()
+
+    def test_dsa_matches_no_digest_iops(self):
+        """Fig 21: DSA offload ~ no-digest at the same core count."""
+        none = run_spdk_target(
+            SpdkConfig(digest=DigestMode.NONE, target_cores=4, queue_depth=128, ios=800)
+        )
+        dsa = run_spdk_target(
+            SpdkConfig(digest=DigestMode.DSA, target_cores=4, queue_depth=128, ios=800)
+        )
+        assert dsa.iops == pytest.approx(none.iops, rel=0.08)
+
+    def test_isal_needs_more_cores(self):
+        isal4 = run_spdk_target(
+            SpdkConfig(digest=DigestMode.ISAL, target_cores=4, queue_depth=128, ios=800)
+        )
+        none4 = run_spdk_target(
+            SpdkConfig(digest=DigestMode.NONE, target_cores=4, queue_depth=128, ios=800)
+        )
+        assert isal4.iops < 0.8 * none4.iops
+
+    def test_dsa_latency_close_to_no_digest(self):
+        none = run_spdk_target(
+            SpdkConfig(digest=DigestMode.NONE, target_cores=6, queue_depth=64, ios=600)
+        )
+        isal = run_spdk_target(
+            SpdkConfig(digest=DigestMode.ISAL, target_cores=6, queue_depth=64, ios=600)
+        )
+        dsa = run_spdk_target(
+            SpdkConfig(digest=DigestMode.DSA, target_cores=6, queue_depth=64, ios=600)
+        )
+        assert dsa.latency.mean < 1.1 * none.latency.mean
+        assert isal.latency.mean > dsa.latency.mean
+
+    def test_large_io_saturates_network(self):
+        result = run_spdk_target(
+            SpdkConfig(
+                io_size=128 * KB,
+                digest=DigestMode.NONE,
+                target_cores=4,
+                queue_depth=96,
+                ios=600,
+            )
+        )
+        assert result.throughput == pytest.approx(
+            result.config.costs.network_bandwidth, rel=0.3
+        )
+
+
+class TestLibfabric:
+    def test_large_message_pingpong_speedup(self):
+        """Fig 17a: up to ~5.1x at large sizes."""
+        assert 4.0 <= pingpong_speedup(4 * MB) <= 5.5
+
+    def test_small_message_speedup_modest(self):
+        assert pingpong_speedup(4 * KB) < 2.0
+
+    def test_speedup_grows_with_size(self):
+        speedups = [pingpong_speedup(s) for s in (16 * KB, 128 * KB, 1 * MB)]
+        assert speedups == sorted(speedups)
+
+    def test_allreduce_speedup_near_5x_large(self):
+        """Fig 17b: 5.0-5.2x for >= 1 MB messages, flat across ranks."""
+        for ranks in (2, 4, 8):
+            result = allreduce(16 * MB, ranks)
+            assert 4.4 <= result.speedup <= 5.8
+
+    def test_allreduce_needs_two_ranks(self):
+        with pytest.raises(ValueError):
+            allreduce(1 * MB, ranks=1)
+
+    def test_bert_anchors(self):
+        """Appendix A: AR 2.8x/3.3x and e2e 3.7%/8.8% for 2/8 ranks."""
+        two = bert_step(2)
+        eight = bert_step(8)
+        assert 2.3 <= two.allreduce_speedup <= 3.3
+        assert eight.allreduce_speedup > two.allreduce_speedup
+        assert 0.02 <= two.end_to_end_speedup - 1 <= 0.06
+        assert 0.06 <= eight.end_to_end_speedup - 1 <= 0.12
+
+    def test_transfer_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            measure_transfer(0, use_dsa=False)

@@ -1,0 +1,140 @@
+"""Unit tests for the microbenchmark driver itself."""
+
+import pytest
+
+from repro.dsa.opcodes import Opcode
+from repro.runtime.wait import WaitMode
+from repro.workloads.microbench import (
+    MicrobenchConfig,
+    run_cbdma_microbench,
+    run_dsa_microbench,
+    run_software_microbench,
+    sweep,
+)
+
+KB = 1024
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        MicrobenchConfig().validate()
+
+    def test_bad_transfer_size(self):
+        with pytest.raises(ValueError):
+            MicrobenchConfig(transfer_size=0).validate()
+
+    def test_queue_depth_beyond_dwq_size(self):
+        with pytest.raises(ValueError, match="credits"):
+            MicrobenchConfig(queue_depth=64, wq_size=32).validate()
+
+    def test_synchronous_flag(self):
+        assert MicrobenchConfig(queue_depth=1).synchronous
+        assert not MicrobenchConfig(queue_depth=2).synchronous
+
+    def test_payload_per_unit(self):
+        cfg = MicrobenchConfig(transfer_size=100, batch_size=7)
+        assert cfg.payload_per_unit == 700
+
+
+class TestDsaRunner:
+    def test_accounts_all_iterations(self):
+        cfg = MicrobenchConfig(transfer_size=1 * KB, queue_depth=4, iterations=25)
+        result = run_dsa_microbench(cfg)
+        assert result.operations == 25
+        assert result.payload_bytes == 25 * KB
+        assert len(result.latency) == 25
+
+    def test_batch_counts_members(self):
+        cfg = MicrobenchConfig(
+            transfer_size=1 * KB, batch_size=4, queue_depth=2, iterations=10
+        )
+        result = run_dsa_microbench(cfg)
+        assert result.operations == 40
+        assert result.payload_bytes == 40 * KB
+
+    def test_multiple_workers_aggregate(self):
+        cfg = MicrobenchConfig(
+            transfer_size=1 * KB, queue_depth=4, iterations=10, n_workers=3, n_devices=3
+        )
+        result = run_dsa_microbench(cfg)
+        assert result.operations == 30
+        assert len(result.cores) == 3
+
+    def test_crc_operation_runs(self):
+        cfg = MicrobenchConfig(
+            opcode=Opcode.CRCGEN, transfer_size=4 * KB, queue_depth=8, iterations=20
+        )
+        assert run_dsa_microbench(cfg).throughput > 0
+
+    def test_fill_operation_runs(self):
+        cfg = MicrobenchConfig(
+            opcode=Opcode.FILL, transfer_size=4 * KB, queue_depth=8, iterations=20
+        )
+        assert run_dsa_microbench(cfg).throughput > 0
+
+    def test_dualcast_moves_double_bytes(self):
+        cfg = MicrobenchConfig(
+            opcode=Opcode.DUALCAST, transfer_size=64 * KB, queue_depth=8, iterations=30
+        )
+        copy = MicrobenchConfig(transfer_size=64 * KB, queue_depth=8, iterations=30)
+        # Dualcast writes twice the data -> lower payload throughput.
+        assert run_dsa_microbench(cfg).throughput < run_dsa_microbench(copy).throughput
+
+    def test_umwait_mode_tracks_fraction(self):
+        cfg = MicrobenchConfig(
+            transfer_size=16 * KB,
+            queue_depth=1,
+            iterations=20,
+            wait_mode=WaitMode.UMWAIT,
+        )
+        result = run_dsa_microbench(cfg)
+        assert 0.0 < result.umwait_fraction() <= 1.0
+
+
+class TestSoftwareRunner:
+    def test_throughput_matches_kernel_model(self):
+        from repro.cpu.swlib import SoftwareKernels
+
+        cfg = MicrobenchConfig(transfer_size=64 * KB, queue_depth=1, iterations=10)
+        result = run_software_microbench(cfg)
+        expected = SoftwareKernels().throughput(Opcode.MEMMOVE, 64 * KB)
+        assert result.throughput == pytest.approx(expected, rel=0.01)
+
+    def test_workers_scale_aggregate_throughput(self):
+        one = run_software_microbench(
+            MicrobenchConfig(transfer_size=64 * KB, iterations=10, n_workers=1)
+        )
+        four = run_software_microbench(
+            MicrobenchConfig(transfer_size=64 * KB, iterations=10, n_workers=4)
+        )
+        assert four.throughput == pytest.approx(4 * one.throughput, rel=0.01)
+
+
+class TestCbdmaRunner:
+    def test_rejects_non_copy_ops(self):
+        with pytest.raises(ValueError, match="copy only"):
+            run_cbdma_microbench(MicrobenchConfig(opcode=Opcode.CRCGEN))
+
+    def test_rejects_batching(self):
+        with pytest.raises(ValueError, match="batch"):
+            run_cbdma_microbench(MicrobenchConfig(batch_size=4))
+
+    def test_saturates_at_channel_bandwidth(self):
+        cfg = MicrobenchConfig(transfer_size=1 << 20, queue_depth=16, iterations=30)
+        result = run_cbdma_microbench(cfg)
+        assert result.throughput == pytest.approx(14.0, rel=0.05)
+
+
+class TestSweep:
+    def test_cartesian_axes(self):
+        base = MicrobenchConfig(iterations=5, queue_depth=2)
+        results = sweep(
+            base,
+            run_software_microbench,
+            transfer_size=[256, 512],
+            batch_size=[1, 2],
+        )
+        assert len(results) == 4
+        points = [p for p, _r in results]
+        assert {"transfer_size": 256, "batch_size": 1} in points
+        assert {"transfer_size": 512, "batch_size": 2} in points

@@ -1,0 +1,105 @@
+"""Unit tests for the X-Mem cache-pollution workload (Figs 12-13)."""
+
+import pytest
+
+from repro.workloads.xmem import (
+    CoRunKind,
+    XmemParams,
+    run_fig13_sweep,
+    run_xmem_scenario,
+)
+
+MB = 1024 * 1024
+
+
+class TestParams:
+    def test_defaults_valid(self):
+        XmemParams().validate()
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            XmemParams(instances=0).validate()
+        with pytest.raises(ValueError):
+            XmemParams(mlp=0).validate()
+
+
+class TestScenarios:
+    def test_software_corun_inflates_latency_at_4mb(self):
+        """Fig 13 anchor: ~+43% at 4 MB working set."""
+        none = run_xmem_scenario(CoRunKind.NONE, working_set=4 * MB, duration_s=2.0)
+        soft = run_xmem_scenario(CoRunKind.SOFTWARE, working_set=4 * MB, duration_s=2.0)
+        ratio = soft.mean_latency_ns / none.mean_latency_ns
+        assert 1.25 <= ratio <= 1.75
+
+    def test_dsa_corun_barely_moves_latency(self):
+        none = run_xmem_scenario(CoRunKind.NONE, working_set=4 * MB, duration_s=2.0)
+        dsa = run_xmem_scenario(CoRunKind.DSA, working_set=4 * MB, duration_s=2.0)
+        assert dsa.mean_latency_ns <= 1.05 * none.mean_latency_ns
+
+    def test_small_working_set_unaffected(self):
+        """Inside L2, no scenario matters."""
+        none = run_xmem_scenario(CoRunKind.NONE, working_set=1 * MB, duration_s=1.0)
+        soft = run_xmem_scenario(CoRunKind.SOFTWARE, working_set=1 * MB, duration_s=1.0)
+        assert soft.mean_latency_ns == pytest.approx(none.mean_latency_ns, rel=0.02)
+
+    def test_huge_working_set_converges(self):
+        """Beyond the LLC everything misses; curves meet (Fig 13 tail)."""
+        none = run_xmem_scenario(CoRunKind.NONE, working_set=64 * MB, duration_s=2.0)
+        soft = run_xmem_scenario(CoRunKind.SOFTWARE, working_set=64 * MB, duration_s=2.0)
+        assert soft.mean_latency_ns <= 1.15 * none.mean_latency_ns
+
+    def test_latency_monotonic_in_working_set(self):
+        latencies = [
+            run_xmem_scenario(CoRunKind.NONE, working_set=wss, duration_s=1.0).mean_latency_ns
+            for wss in (1 * MB, 4 * MB, 16 * MB, 64 * MB)
+        ]
+        assert latencies == sorted(latencies)
+
+
+class TestFig12Timelines:
+    def test_memcpy_dominates_llc_in_software_scenario(self):
+        scenario = run_xmem_scenario(
+            CoRunKind.SOFTWARE, working_set=4 * MB, duration_s=2.0
+        )
+        final_copy = scenario.occupancy_series["copy0"][-1][1]
+        final_probe = scenario.occupancy_series["xmem0"][-1][1]
+        assert final_copy > 5 * final_probe
+
+    def test_dsa_writes_confined_to_io_ways(self):
+        from repro.platform import spr_platform
+
+        platform = spr_platform(n_devices=0)
+        scenario = run_xmem_scenario(
+            CoRunKind.DSA, working_set=4 * MB, duration_s=2.0, platform=platform
+        )
+        io_total = sum(
+            scenario.occupancy_series[f"copy{i}"][-1][1] for i in range(4)
+        )
+        assert io_total <= platform.memsys.llc.io_capacity * 1.01
+        # Probes keep their full beyond-L2 footprint.
+        assert scenario.occupancy_series["xmem0"][-1][1] == pytest.approx(
+            2 * MB, rel=0.05
+        )
+
+    def test_xmem_window_gates_probes(self):
+        scenario = run_xmem_scenario(
+            CoRunKind.SOFTWARE,
+            working_set=4 * MB,
+            duration_s=2.0,
+            xmem_window=(0.5, 1.5),
+        )
+        times = [t for t, _v in scenario.occupancy_series["xmem0"]]
+        values = dict(scenario.occupancy_series["xmem0"])
+        before = [v for t, v in scenario.occupancy_series["xmem0"] if t < 0.45]
+        after = [v for t, v in scenario.occupancy_series["xmem0"] if t > 1.6]
+        assert max(before) == 0.0
+        assert max(after) == 0.0
+        during = [v for t, v in scenario.occupancy_series["xmem0"] if 0.8 < t < 1.4]
+        assert max(during) > 0.0
+
+
+class TestFig13Sweep:
+    def test_sweep_covers_all_kinds(self):
+        curves = run_fig13_sweep([1 * MB, 4 * MB], duration_s=0.5)
+        assert set(curves) == set(CoRunKind)
+        assert [wss for wss, _lat in curves[CoRunKind.NONE]] == [1 * MB, 4 * MB]
