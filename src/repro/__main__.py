@@ -5,6 +5,7 @@ Usage::
     python -m repro list                 # enumerate experiments
     python -m repro run fig10            # run one, print its output
     python -m repro run all --quick      # everything, reduced sweeps
+    python -m repro run fig5 --trace out.json --metrics   # observability
     python -m repro advise 65536         # G1-G6 advice for one transfer
 """
 
@@ -14,8 +15,19 @@ import argparse
 import sys
 import time
 
+from repro.analysis.tables import Table
 from repro.experiments import all_experiments, run_experiment
 from repro.guidelines import OffloadAdvisor
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    install_metrics,
+    install_tracer,
+    metrics_table,
+    uninstall_metrics,
+    uninstall_tracer,
+    write_chrome_trace,
+)
 
 
 def _cmd_list(_args) -> int:
@@ -26,19 +38,57 @@ def _cmd_list(_args) -> int:
 
 def _cmd_run(args) -> int:
     targets = all_experiments() if args.experiment == "all" else [args.experiment]
+    tracer = None
+    if args.trace:
+        tracer = Tracer()
+        install_tracer(tracer)
+    registry = MetricsRegistry()
+    install_metrics(registry)
+    summary_rows = []
     failures = 0
-    for exp_id in targets:
-        start = time.time()
-        result = run_experiment(exp_id, quick=args.quick)
-        print(result.render())
-        if args.chart and result.series:
-            from repro.analysis.ascii_chart import render_experiment_charts
+    try:
+        for exp_id in targets:
+            registry.clear()  # per-experiment snapshots under shared names
+            start = time.time()
+            result = run_experiment(exp_id, quick=args.quick)
+            wall = time.time() - start
+            print(result.render())
+            if args.chart and result.series:
+                from repro.analysis.ascii_chart import render_experiment_charts
 
-            print()
-            print(render_experiment_charts(result))
-        print(f"[{exp_id} finished in {time.time() - start:.1f}s]\n")
-        if not result.anchors_hold:
-            failures += 1
+                print()
+                print(render_experiment_charts(result))
+            if args.metrics:
+                print()
+                print(metrics_table(registry, title=f"Metrics — {exp_id}").render())
+            print(f"[{exp_id} finished in {wall:.1f}s]\n")
+            held = sum(1 for anchor in result.anchors if anchor.holds)
+            summary_rows.append(
+                (exp_id, held, len(result.anchors), wall, len(result.metrics))
+            )
+            if not result.anchors_hold:
+                failures += 1
+    finally:
+        uninstall_metrics()
+        if tracer is not None:
+            uninstall_tracer()
+    if tracer is not None:
+        count = write_chrome_trace(tracer, args.trace)
+        print(f"wrote {count} trace events to {args.trace} (open in ui.perfetto.dev)")
+    if len(targets) > 1:
+        table = Table(
+            "Run summary",
+            ["Experiment", "Anchors", "Status", "Wall (s)", "Metrics"],
+        )
+        for exp_id, held, total, wall, n_metrics in summary_rows:
+            table.add_row(
+                exp_id,
+                f"{held}/{total}",
+                "pass" if held == total else "FAIL",
+                f"{wall:.1f}",
+                n_metrics,
+            )
+        print(table.render())
     if failures:
         print(f"{failures} experiment(s) missed paper anchors", file=sys.stderr)
     return 1 if failures else 0
@@ -82,6 +132,16 @@ def main(argv=None) -> int:
     run_parser.add_argument("experiment")
     run_parser.add_argument("--quick", action="store_true", help="reduced sweeps")
     run_parser.add_argument("--chart", action="store_true", help="ASCII plots of the series")
+    run_parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="export a Chrome/Perfetto trace.json of the run to PATH",
+    )
+    run_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics-registry snapshot after each experiment",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     advise = sub.add_parser("advise", help="G1-G6 advice for a transfer size")

@@ -50,6 +50,10 @@ class CpuCore:
     def time_in(self, category: CycleCategory) -> float:
         return self._time[category]
 
+    def times(self) -> Dict[CycleCategory, float]:
+        """Copy of the per-category time table (snapshot harvesting)."""
+        return dict(self._time)
+
     def cycles_in(self, category: CycleCategory) -> float:
         return self._time[category] * self.frequency_ghz
 

@@ -28,6 +28,8 @@ class GroupArbiter:
         self._current_weight: Dict[int, int] = {wq.wq_id: 0 for wq in wqs}
         self._waiting_pes: List[Event] = []
         self.dispatched = 0
+        owner = self.wqs[0].name.rsplit(".", 1)[0]
+        self._m_dispatched = env.metrics.counter(f"{owner}.arbiter.dispatched")
         for wq in self.wqs:
             wq.on_enqueue = self._on_enqueue
 
@@ -62,6 +64,7 @@ class GroupArbiter:
         assert best is not None
         self._current_weight[best.wq_id] -= total
         self.dispatched += 1
+        self._m_dispatched.add()
         descriptor = best.pop()
         # The WQ's priority also shapes the descriptor's fabric share
         # while its data streams (QoS under port contention, §3.4).

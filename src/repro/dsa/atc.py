@@ -8,23 +8,40 @@ multiple processes share the device without flushes between them (F1).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Tuple
+from typing import Optional, Tuple, TYPE_CHECKING
 
 from repro.mem.iommu import Iommu
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
+
 
 class DeviceAtc:
-    """LRU cache of (pasid, vpn) → translation, backed by the IOMMU."""
+    """LRU cache of (pasid, vpn) → translation, backed by the IOMMU.
 
-    def __init__(self, iommu: Iommu, entries: int = 128, hit_latency: float = 8.0):
+    When the owning device passes a metrics registry, hits and misses
+    are also published live as ``<name>.hits`` / ``<name>.misses``.
+    """
+
+    def __init__(
+        self,
+        iommu: Iommu,
+        entries: int = 128,
+        hit_latency: float = 8.0,
+        metrics: Optional["MetricsRegistry"] = None,
+        name: str = "atc",
+    ):
         if entries < 1:
             raise ValueError(f"ATC entries must be >= 1, got {entries}")
         self.iommu = iommu
         self.entries = entries
         self.hit_latency = hit_latency
+        self.name = name
         self._cache: "OrderedDict[Tuple[int, int], bool]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self._m_hits = metrics.counter(f"{name}.hits") if metrics else None
+        self._m_misses = metrics.counter(f"{name}.misses") if metrics else None
 
     def __len__(self) -> int:
         return len(self._cache)
@@ -38,8 +55,12 @@ class DeviceAtc:
         if key in self._cache:
             self._cache.move_to_end(key)
             self.hits += 1
+            if self._m_hits is not None:
+                self._m_hits.add()
             return self.hit_latency, False
         self.misses += 1
+        if self._m_misses is not None:
+            self._m_misses.add()
         latency, faulted = self.iommu.translate(pasid, va)
         if len(self._cache) >= self.entries:
             self._cache.popitem(last=False)

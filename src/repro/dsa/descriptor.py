@@ -82,6 +82,9 @@ class WorkDescriptor:
     #: Fabric-share weight, set by the arbiter from the WQ priority
     #: (the §3.4 QoS/traffic-class behaviour under port contention).
     dispatch_weight: float = 1.0
+    #: Tracer track (timeline) id for this descriptor's lifecycle spans;
+    #: -1 until tracing assigns one (see repro.obs.tracer).
+    trace_track: int = -1
 
     def validate(self) -> Optional[StatusCode]:
         """Static descriptor checks the device performs before execution."""
@@ -122,6 +125,8 @@ class BatchDescriptor:
     completion_event: Optional[object] = None
     #: Fabric-share weight inherited by the batch's members.
     dispatch_weight: float = 1.0
+    #: Tracer track (timeline) id; -1 until tracing assigns one.
+    trace_track: int = -1
 
     def validate(self) -> Optional[StatusCode]:
         if not self.descriptors:

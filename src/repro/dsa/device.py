@@ -69,12 +69,18 @@ class DsaDevice:
         self.name = name
         self.socket = socket
         self.atc = DeviceAtc(
-            memsys.iommu, entries=self.timing.atc_entries, hit_latency=self.timing.atc_hit_ns
+            memsys.iommu,
+            entries=self.timing.atc_entries,
+            hit_latency=self.timing.atc_hit_ns,
+            metrics=env.metrics,
+            name=f"{name}.atc",
         )
         self.port = FairShareLink(env, self.timing.fabric_bandwidth, f"{name}.port")
+        self._m_completed = env.metrics.counter(f"{name}.descriptors_completed")
+        self._m_bytes = env.metrics.counter(f"{name}.bytes_processed")
 
         self._wqs: Dict[int, WorkQueue] = {
-            wq_cfg.wq_id: WorkQueue(env, wq_cfg) for wq_cfg in self.config.wqs
+            wq_cfg.wq_id: WorkQueue(env, wq_cfg, owner=name) for wq_cfg in self.config.wqs
         }
         self.groups: Dict[int, Group] = {}
         for group_cfg in self.config.groups:
@@ -180,6 +186,8 @@ class DsaDevice:
             # each member work descriptor completes.
             self.descriptors_completed += 1
             self.bytes_processed += descriptor.size
+            self._m_completed.add()
+            self._m_bytes.add(descriptor.size)
             self._inflight_write_bytes = max(
                 0.0, self._inflight_write_bytes - estimate_write_bytes(descriptor)
             )

@@ -111,6 +111,8 @@ class ProcessingEngine:
         self.read_buffers = Resource(self.env, capacity=buffers)
         self.descriptors_processed = 0
         self._inflight: List[Event] = []
+        self.agent = f"{device.name}.pe{engine_id}"
+        self._m_data_phases = self.env.metrics.counter(f"{self.agent}.data_phases")
         self._process = self.env.process(self._run(), name=f"{device.name}.pe{engine_id}")
 
     # -- main loop ------------------------------------------------------------
@@ -139,6 +141,17 @@ class ProcessingEngine:
             timing.batch_fetch_base_ns
             + timing.batch_fetch_per_descriptor_ns * len(batch.descriptors)
         )
+        tracer = self.env.tracer
+        if tracer.enabled and batch.trace_track >= 0:
+            tracer.complete(
+                self.env.now,
+                fetch,
+                "batch_fetch",
+                "batch",
+                self.agent,
+                batch.trace_track,
+                {"descriptors": len(batch.descriptors)},
+            )
         yield self.env.timeout(fetch)
         events: List[Event] = []
         for work in batch.descriptors:
@@ -200,7 +213,12 @@ class ProcessingEngine:
         device = self.device
         timing = device.timing
         env = self.env
+        tracer = env.tracer
+        traced = tracer.enabled and work.trace_track >= 0
+        agent, track = self.agent, work.trace_track
         try:
+            if traced:
+                tracer.begin(env.now, "translate", "translate", agent, track)
             space = device.space_for(work.pasid)
             try:
                 demand = io_demand(work, space)
@@ -209,6 +227,9 @@ class ProcessingEngine:
                 # reports an unrecoverable translation fault.
                 work.completion.status = StatusCode.PAGE_FAULT
                 work.completion.fault_address = work.src or work.dst
+                if traced:
+                    tracer.instant(env.now, "unmapped_address", "translate", agent, track)
+                    tracer.end(env.now, "translate", "translate", agent, track)
                 yield env.timeout(timing.completion_write_ns)
                 work.times.completed = env.now
                 device._complete(work)
@@ -217,25 +238,51 @@ class ProcessingEngine:
             # Address translation: first page on the critical path,
             # page faults stall for their full service time.
             translate_ns = 0.0
+            total_faults = 0
             for buffer, nbytes in demand.reads + demand.writes:
                 va = buffer.va
                 latency, faults = device.atc.translate_range(work.pasid, va, nbytes)
                 translate_ns = max(translate_ns, latency)
+                total_faults += faults
                 if faults and not work.block_on_fault:
                     work.completion.status = StatusCode.PAGE_FAULT
                     work.completion.fault_address = va
+                    if traced:
+                        tracer.instant(
+                            env.now, "page_fault", "translate", agent, track, {"va": va}
+                        )
+                        tracer.end(env.now, "translate", "translate", agent, track)
                     yield env.timeout(timing.completion_write_ns)
                     work.times.completed = env.now
                     device._complete(work)
                     return
             if translate_ns:
                 yield env.timeout(translate_ns)
+            if traced:
+                tracer.end(
+                    env.now,
+                    "translate",
+                    "translate",
+                    agent,
+                    track,
+                    {"faults": total_faults} if total_faults else None,
+                )
+                tracer.begin(
+                    env.now,
+                    "execute",
+                    "execute",
+                    agent,
+                    track,
+                    {"opcode": work.opcode.name, "size": work.size},
+                )
 
             if work.opcode is Opcode.CACHE_FLUSH:
                 yield env.timeout(work.size / timing.cache_flush_bandwidth)
                 self._finish_functional(work, space, demand)
                 yield env.timeout(timing.completion_write_ns)
                 work.times.completed = env.now
+                if traced:
+                    tracer.end(env.now, "execute", "execute", agent, track)
                 device._complete(work)
                 return
 
@@ -260,10 +307,20 @@ class ProcessingEngine:
             self._finish_functional(work, space, demand)
             yield env.timeout(timing.completion_write_ns)
             work.times.completed = env.now
+            if traced:
+                tracer.end(
+                    env.now,
+                    "execute",
+                    "execute",
+                    agent,
+                    track,
+                    {"status": work.completion.status.name},
+                )
             device._complete(work)
         finally:
             self.read_buffers.release()
             self.descriptors_processed += 1
+            self._m_data_phases.add()
 
     def _build_flows(self, work: WorkDescriptor, demand: IoDemand):
         """Create the bandwidth flows for one descriptor's data."""

@@ -8,6 +8,11 @@ them.  The submission contract mirrors hardware:
   :class:`~repro.dsa.errors.SubmissionError`.
 * **SWQ** — ENQCMD returns a retry status when the queue is full;
   :meth:`WorkQueue.submit` returns ``False`` and the submitter retries.
+
+Observability: each queue keeps a time-weighted occupancy gauge and
+enqueue/reject counters under ``<owner>.wq<id>.*`` in the environment's
+metrics registry, and opens a ``queue`` span on the descriptor's trace
+track from enqueue until the arbiter dispatches it.
 """
 
 from __future__ import annotations
@@ -25,15 +30,20 @@ Descriptor = Union[WorkDescriptor, BatchDescriptor]
 class WorkQueue:
     """Bounded descriptor queue with an enqueue notification hook."""
 
-    def __init__(self, env: Environment, config: WqConfig):
+    def __init__(self, env: Environment, config: WqConfig, owner: str = "dsa"):
         config.validate()
         self.env = env
         self.config = config
+        self.name = f"{owner}.wq{config.wq_id}"
         self._items: List[Descriptor] = []
         #: Set by the owning group; fired on every successful enqueue.
         self.on_enqueue: Optional[Callable[["WorkQueue"], None]] = None
         self.enqueued = 0
         self.rejected = 0
+        metrics = env.metrics
+        self._m_occupancy = metrics.gauge(f"{self.name}.occupancy")
+        self._m_enqueued = metrics.counter(f"{self.name}.enqueued")
+        self._m_rejected = metrics.counter(f"{self.name}.rejected")
 
     @property
     def wq_id(self) -> int:
@@ -67,6 +77,7 @@ class WorkQueue:
         """Enqueue one descriptor; semantics depend on the WQ mode."""
         if self.is_full:
             self.rejected += 1
+            self._m_rejected.add()
             if self.config.mode is WqMode.DEDICATED:
                 raise SubmissionError(
                     f"MOVDIR64B to full DWQ {self.wq_id} "
@@ -77,6 +88,15 @@ class WorkQueue:
         descriptor.times.submitted = self.env.now
         self._items.append(descriptor)
         self.enqueued += 1
+        self._m_enqueued.add()
+        self._m_occupancy.update(self.env.now, len(self._items))
+        tracer = self.env.tracer
+        if tracer.enabled:
+            if descriptor.trace_track < 0:
+                descriptor.trace_track = tracer.next_track()
+            tracer.begin(
+                self.env.now, "queued", "queue", self.name, descriptor.trace_track
+            )
         if self.on_enqueue is not None:
             self.on_enqueue(self)
         return True
@@ -85,4 +105,11 @@ class WorkQueue:
         """Remove and return the head descriptor (arbiter only)."""
         if not self._items:
             raise RuntimeError(f"pop from empty WQ {self.wq_id}")
-        return self._items.pop(0)
+        descriptor = self._items.pop(0)
+        self._m_occupancy.update(self.env.now, len(self._items))
+        tracer = self.env.tracer
+        if tracer.enabled and descriptor.trace_track >= 0:
+            tracer.end(
+                self.env.now, "queued", "queue", self.name, descriptor.trace_track
+            )
+        return descriptor

@@ -33,6 +33,9 @@ class ExperimentResult:
     tables: List[Table] = field(default_factory=list)
     series: Dict[str, Series] = field(default_factory=dict)
     anchors: List[AnchorCheck] = field(default_factory=list)
+    #: Flat metrics snapshot captured after the run when a shared
+    #: registry is installed (``python -m repro run --metrics``).
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     def add_series(self, series: Series) -> None:
         self.series[series.label] = series

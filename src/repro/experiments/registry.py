@@ -50,5 +50,16 @@ def get_experiment(exp_id: str):
 
 
 def run_experiment(exp_id: str, quick: bool = False) -> ExperimentResult:
-    """Run one experiment and return its result."""
-    return get_experiment(exp_id).run(quick=quick)
+    """Run one experiment and return its result.
+
+    When a shared metrics registry is installed (the CLI's
+    ``--metrics`` path), the registry's state after the run is attached
+    to the result as a flat snapshot.
+    """
+    from repro.obs import installed_metrics
+
+    result = get_experiment(exp_id).run(quick=quick)
+    registry = installed_metrics()
+    if registry is not None:
+        result.metrics = registry.snapshot()
+    return result

@@ -38,6 +38,20 @@ class Iommu:
         self._iotlbs: Dict[int, Tlb] = {}
         self.translations = 0
         self.page_faults = 0
+        self._m_translations = None
+        self._m_iotlb_misses = None
+        self._m_page_faults = None
+
+    def attach_metrics(self, registry, prefix: str = "iommu") -> None:
+        """Publish live counters into ``registry`` under ``prefix``.
+
+        The IOMMU is constructed clock-free, so the owning
+        :class:`~repro.mem.system.MemorySystem` wires metrics in after
+        the fact (see ``docs/OBSERVABILITY.md`` for the names).
+        """
+        self._m_translations = registry.counter(f"{prefix}.translations")
+        self._m_iotlb_misses = registry.counter(f"{prefix}.iotlb_misses")
+        self._m_page_faults = registry.counter(f"{prefix}.page_faults")
 
     def attach(self, pasid: int, table: PageTable) -> None:
         """Register a process address space (PASID) with the IOMMU."""
@@ -63,9 +77,13 @@ class Iommu:
         if table is None:
             raise KeyError(f"PASID {pasid} not attached to IOMMU")
         self.translations += 1
+        if self._m_translations is not None:
+            self._m_translations.add()
         iotlb = self._iotlbs[pasid]
         if iotlb.lookup(va):
             return self.params.iotlb_hit_latency, False
+        if self._m_iotlb_misses is not None:
+            self._m_iotlb_misses.add()
         latency = self.params.iotlb_hit_latency + self.params.walk_overhead
         mapped_before = table.is_mapped(va)
         _pa, _minor = table.translate(va)
@@ -73,6 +91,8 @@ class Iommu:
         faulted = not mapped_before
         if faulted:
             self.page_faults += 1
+            if self._m_page_faults is not None:
+                self._m_page_faults.add()
             latency += self.params.page_fault_latency
         iotlb.fill(va)
         return latency, faulted

@@ -50,6 +50,9 @@ class MemoryNode:
     write_link: FairShareLink
     #: Shared internal bus (CXL devices); None for DRAM nodes.
     internal_link: Optional[FairShareLink] = None
+    #: Live byte counters (``mem.<tier><id>.rd/wr.bytes``), set on register.
+    rd_bytes: Optional[object] = None
+    wr_bytes: Optional[object] = None
 
 
 class MemorySystem:
@@ -66,6 +69,7 @@ class MemorySystem:
         self.llc = llc or SharedLLC(size=105 * 1024 * 1024)
         self.topology = topology or NumaTopology()
         self.iommu = iommu or Iommu()
+        self.iommu.attach_metrics(env.metrics, prefix="mem.iommu")
         self._nodes: Dict[int, MemoryNode] = {}
         self._upi_links: Dict[int, FairShareLink] = {}
 
@@ -143,6 +147,9 @@ class MemorySystem:
     def _register(self, node: MemoryNode) -> None:
         if node.node_id in self._nodes:
             raise ValueError(f"node {node.node_id} already exists")
+        prefix = f"mem.{node.kind.value}{node.node_id}"
+        node.rd_bytes = self.env.metrics.counter(f"{prefix}.rd.bytes")
+        node.wr_bytes = self.env.metrics.counter(f"{prefix}.wr.bytes")
         self._nodes[node.node_id] = node
         self.topology.place_node(node.node_id, node.socket)
         if node.socket not in self._upi_links:
@@ -192,6 +199,7 @@ class MemorySystem:
         return self._flow(self.node(node_id), nbytes, from_socket, write=True)
 
     def _flow(self, node: MemoryNode, nbytes: float, from_socket: int, write: bool) -> Event:
+        (node.wr_bytes if write else node.rd_bytes).add(nbytes)
         link = node.write_link if write else node.read_link
         flows = [link.transfer(nbytes)]
         if node.internal_link is not None:

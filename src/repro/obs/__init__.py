@@ -1,0 +1,47 @@
+"""Observability: simulator-wide tracing, metrics, and trace export.
+
+See ``docs/OBSERVABILITY.md`` for the event-category and metric-naming
+conventions and the Perfetto workflow.
+"""
+
+from repro.obs.export import chrome_trace_events, metrics_table, write_chrome_trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    HistogramMetric,
+    MetricsRegistry,
+    install_metrics,
+    installed_metrics,
+    uninstall_metrics,
+)
+from repro.obs.phases import PHASE_CATEGORIES, phase_breakdown, span_durations
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    install_tracer,
+    installed_tracer,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "PHASE_CATEGORIES",
+    "Tracer",
+    "chrome_trace_events",
+    "install_metrics",
+    "install_tracer",
+    "installed_metrics",
+    "installed_tracer",
+    "metrics_table",
+    "phase_breakdown",
+    "span_durations",
+    "uninstall_metrics",
+    "uninstall_tracer",
+    "write_chrome_trace",
+]

@@ -1,0 +1,79 @@
+"""Exporters: Chrome/Perfetto ``trace.json`` and metrics text tables.
+
+The Chrome trace-event format is a JSON array of event objects with
+``ph`` (phase), ``ts`` (microseconds), ``pid``/``tid``, ``name``,
+``cat``, and optional ``args``/``dur`` fields.  The output of
+:func:`write_chrome_trace` loads directly in ``ui.perfetto.dev`` or
+``chrome://tracing``.  Each tracer *agent* becomes one process row
+(named via ``process_name`` metadata events) and each *track* one
+thread row inside it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.analysis.tables import Table
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+#: Simulated time is in nanoseconds; Chrome ``ts`` is in microseconds.
+_NS_TO_US = 1e-3
+
+
+def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    """Convert a tracer's records into Chrome trace-event dicts."""
+    pids: Dict[str, int] = {}
+    out: List[Dict[str, Any]] = []
+    for phase, ts, name, cat, agent, track, args in tracer.events:
+        pid = pids.get(agent)
+        if pid is None:
+            pid = len(pids) + 1
+            pids[agent] = pid
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": agent},
+                }
+            )
+        event: Dict[str, Any] = {
+            "ph": phase,
+            "ts": ts * _NS_TO_US,
+            "name": name,
+            "cat": cat,
+            "pid": pid,
+            "tid": track,
+        }
+        if phase == "X":
+            args = dict(args) if args else {}
+            event["dur"] = args.pop("_dur", 0.0) * _NS_TO_US
+        if phase == "i":
+            event["s"] = "t"  # thread-scoped instant
+        if args:
+            event["args"] = args
+        out.append(event)
+    return out
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> int:
+    """Write the trace as a JSON event array; returns the event count."""
+    events = chrome_trace_events(tracer)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(events, fh)
+    return len(events)
+
+
+def metrics_table(registry: MetricsRegistry, title: str = "Metrics") -> Table:
+    """Render a registry snapshot as an aligned text table."""
+    table = Table(title, ["Metric", "Value"])
+    for name, value in sorted(registry.snapshot().items()):
+        if value == int(value) and abs(value) < 1e15:
+            rendered = str(int(value))
+        else:
+            rendered = f"{value:.2f}"
+        table.add_row(name, rendered)
+    return table

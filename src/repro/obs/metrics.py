@@ -1,0 +1,162 @@
+"""Registry of named counters, gauges, and histograms.
+
+Components register metrics under hierarchical dotted names
+(``dsa0.wq1.occupancy``, ``mem.dram0.rd.bytes``, ``core0.wait.spin_ns``)
+and update them as the simulation runs.  A registry is clock-free: the
+time-weighted gauges take ``now`` explicitly, so one registry can be
+shared across several :class:`~repro.sim.engine.Environment` instances
+(the CLI installs a shared registry for ``--metrics``).
+
+Hot-path discipline: components create their metric objects **once**
+(at construction) and keep them in attributes, so each update is an
+attribute access plus a float add — no per-event name lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.sim.stats import Histogram as _SampleHistogram
+from repro.sim.stats import TimeWeightedStat
+
+
+class Counter:
+    """Monotonic accumulator (counts or totals, e.g. bytes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Piecewise-constant level, time-weighted over simulated time.
+
+    Backed by :class:`~repro.sim.stats.TimeWeightedStat`.  When a shared
+    registry sees updates from a *new* simulation (time goes backwards),
+    the gauge restarts its averaging epoch at the new clock rather than
+    raising — the level and maximum carry over, the mean restarts.
+    """
+
+    __slots__ = ("name", "_stat")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._stat = TimeWeightedStat()
+
+    def update(self, now: float, level: float) -> None:
+        if now < self._stat._last_time:
+            fresh = TimeWeightedStat(start_time=now, initial=self._stat.level)
+            fresh.maximum = max(self._stat.maximum, self._stat.level)
+            self._stat = fresh
+        self._stat.update(now, level)
+
+    @property
+    def level(self) -> float:
+        return self._stat.level
+
+    @property
+    def maximum(self) -> float:
+        return self._stat.maximum
+
+    def mean(self, now: Optional[float] = None) -> float:
+        return self._stat.mean(now)
+
+
+class HistogramMetric:
+    """Named sample distribution with exact percentiles."""
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.samples = _SampleHistogram()
+
+    def add(self, value: float) -> None:
+        self.samples.add(value)
+
+
+Metric = Union[Counter, Gauge, HistogramMetric]
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics, snapshotable to a flat dict."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[Tuple[str, Metric]]:
+        return iter(sorted(self._metrics.items()))
+
+    def _get_or_create(self, name: str, kind: type) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, requested {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> HistogramMetric:
+        return self._get_or_create(name, HistogramMetric)  # type: ignore[return-value]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten every metric into ``{dotted.name: value}``.
+
+        Counters export their value under their own name; gauges export
+        ``.level`` / ``.mean`` / ``.max`` leaves; histograms export
+        ``.count`` / ``.mean`` / ``.p50`` / ``.p99`` / ``.max`` leaves.
+        """
+        flat: Dict[str, float] = {}
+        for name, metric in sorted(self._metrics.items()):
+            if isinstance(metric, Counter):
+                flat[name] = metric.value
+            elif isinstance(metric, Gauge):
+                flat[f"{name}.level"] = metric.level
+                flat[f"{name}.mean"] = metric.mean()
+                flat[f"{name}.max"] = metric.maximum
+            else:
+                summary = metric.samples.summary()
+                for leaf in ("count", "mean", "p50", "p99", "max"):
+                    flat[f"{name}.{leaf}"] = summary[leaf]
+        return dict(sorted(flat.items()))
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+
+_installed: Optional[MetricsRegistry] = None
+
+
+def install_metrics(registry: MetricsRegistry) -> None:
+    """Share ``registry`` with every Environment created afterwards."""
+    global _installed
+    _installed = registry
+
+
+def uninstall_metrics() -> None:
+    global _installed
+    _installed = None
+
+
+def installed_metrics() -> Optional[MetricsRegistry]:
+    return _installed

@@ -1,0 +1,91 @@
+"""Reconstruct descriptor phase timelines from an exported trace.
+
+The instrumentation in :mod:`repro.runtime` and :mod:`repro.dsa` emits
+every lifecycle phase of a descriptor — ``alloc``, ``prepare``,
+``submit``, ``queue``, ``translate``, ``execute``, ``wait`` — as
+begin/end spans on that descriptor's track.  These helpers invert the
+export: given the *trace alone* (the parsed ``trace.json`` array), they
+rebuild per-descriptor phase durations and the Fig 5-style average
+breakdown.  This is the calibration-debugging workflow described in
+``docs/OBSERVABILITY.md``: when an anchor drifts, diff the phase
+breakdown of a good run against the drifted one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+#: The descriptor lifecycle categories, in paper (Fig 5) order.
+PHASE_CATEGORIES: Tuple[str, ...] = (
+    "alloc",
+    "prepare",
+    "submit",
+    "queue",
+    "translate",
+    "execute",
+    "wait",
+)
+
+def span_durations(events: Iterable[Dict[str, Any]]) -> Dict[int, Dict[str, float]]:
+    """Pair begin/end events; sum durations per category per track id.
+
+    ``events`` is the parsed Chrome trace array.  ``E`` closes the
+    innermost open ``B`` on the same ``(pid, tid)`` thread (Chrome
+    stack semantics); ``X`` events contribute their ``dur`` directly.
+    Metadata (``M``) and instant (``i``) events are ignored.  Unclosed
+    spans are dropped (the run ended mid-span).
+
+    Track ids (``tid``) are globally unique per logical timeline in
+    this tracer (one per descriptor), while one descriptor's phases are
+    emitted by several agents (core, WQ, engine — distinct ``pid``
+    rows); totals are therefore merged across ``pid`` by ``tid``.
+    """
+    stacks: Dict[Tuple[int, int], List[Tuple[str, float]]] = {}
+    totals: Dict[int, Dict[str, float]] = {}
+
+    def book(tid: int, cat: str, dur: float) -> None:
+        totals.setdefault(tid, {})
+        totals[tid][cat] = totals[tid].get(cat, 0.0) + dur
+
+    for event in events:
+        phase = event.get("ph")
+        if phase not in ("B", "E", "X"):
+            continue
+        tid = event.get("tid", 0)
+        thread = (event.get("pid", 0), tid)
+        if phase == "B":
+            stacks.setdefault(thread, []).append((event.get("cat", ""), event["ts"]))
+        elif phase == "E":
+            stack = stacks.get(thread)
+            if not stack:
+                raise ValueError(f"unbalanced 'E' event on thread {thread}: {event}")
+            cat, start = stack.pop()
+            book(tid, cat, event["ts"] - start)
+        else:  # X
+            book(tid, event.get("cat", ""), event.get("dur", 0.0))
+    return totals
+
+
+def phase_breakdown(
+    events: Iterable[Dict[str, Any]],
+    categories: Tuple[str, ...] = PHASE_CATEGORIES,
+) -> Dict[str, float]:
+    """Average per-descriptor time in each lifecycle phase (Fig 5 shape).
+
+    A *descriptor track* is any track id that carries at least one of
+    the lifecycle categories.  Returns ``{category: mean_duration}`` in
+    the trace's time unit (microseconds for an exported ``trace.json``)
+    over those tracks; categories never observed map to 0.0.
+    """
+    per_track = span_durations(events)
+    descriptor_tracks = [
+        cats for cats in per_track.values() if any(c in cats for c in categories)
+    ]
+    if not descriptor_tracks:
+        return {category: 0.0 for category in categories}
+    breakdown = {}
+    for category in categories:
+        breakdown[category] = sum(
+            cats.get(category, 0.0) for cats in descriptor_tracks
+        ) / len(descriptor_tracks)
+    return breakdown

@@ -1,0 +1,168 @@
+"""Event tracing against the simulated clock.
+
+The tracer records *spans* (begin/end pairs) and *instant* events that
+components emit while a simulation runs: descriptor lifecycle phases,
+translation stalls, waits.  The design goals, in order:
+
+1. **Near-zero cost when disabled.**  Model code holds the tracer in a
+   local and checks one attribute (``tracer.enabled``) before building
+   argument dicts; the disabled tracer is the :data:`NULL_TRACER`
+   singleton whose record methods are pure no-ops.
+2. **Simulated time, not wall time.**  Every record method takes the
+   timestamp explicitly (callers pass ``env.now``), so one tracer can
+   be shared by several :class:`~repro.sim.engine.Environment`
+   instances without owning any clock.
+3. **Chrome-trace-shaped.**  Events map 1:1 onto the Chrome/Perfetto
+   trace-event format (phases ``B``/``E``/``X``/``i``); the exporter in
+   :mod:`repro.obs.export` only reshapes, it never infers.
+
+Tracks
+------
+Spans that belong to one logical timeline (one descriptor's lifecycle,
+one core's host-side work) share a *track* — an integer that becomes
+the Chrome ``tid``.  Per-descriptor tracks come from
+:meth:`Tracer.next_track`; the runtime stamps the track id onto the
+descriptor (``descriptor.trace_track``) so device-side components can
+keep emitting on the same timeline.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Any, Dict, List, Optional, Tuple
+
+#: One recorded event: (phase, ts_ns, name, category, agent, track, args).
+#: ``phase`` follows the Chrome trace-event letters: "B" begin, "E" end,
+#: "X" complete (with duration stored in args under "_dur"), "i" instant.
+TraceRecord = Tuple[str, float, str, str, str, int, Optional[Dict[str, Any]]]
+
+#: Track used for events that belong to no particular timeline.
+DEFAULT_TRACK = 0
+
+
+class Tracer:
+    """Append-only in-memory recorder of trace events."""
+
+    __slots__ = ("enabled", "events", "_tracks")
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self.events: List[TraceRecord] = []
+        self._tracks = count(1)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def next_track(self) -> int:
+        """A fresh track id (one logical timeline, e.g. one descriptor)."""
+        return next(self._tracks)
+
+    # -- record methods --------------------------------------------------
+    def begin(
+        self,
+        ts: float,
+        name: str,
+        cat: str,
+        agent: str = "sim",
+        track: int = DEFAULT_TRACK,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Open a span.  Close it with :meth:`end` (same agent+track)."""
+        self.events.append(("B", ts, name, cat, agent, track, args))
+
+    def end(
+        self,
+        ts: float,
+        name: str,
+        cat: str,
+        agent: str = "sim",
+        track: int = DEFAULT_TRACK,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Close the innermost open span on ``(agent, track)``."""
+        self.events.append(("E", ts, name, cat, agent, track, args))
+
+    def complete(
+        self,
+        ts: float,
+        dur: float,
+        name: str,
+        cat: str,
+        agent: str = "sim",
+        track: int = DEFAULT_TRACK,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record a finished span ``[ts, ts+dur]`` in one event."""
+        merged = dict(args) if args else {}
+        merged["_dur"] = dur
+        self.events.append(("X", ts, name, cat, agent, track, merged))
+
+    def instant(
+        self,
+        ts: float,
+        name: str,
+        cat: str,
+        agent: str = "sim",
+        track: int = DEFAULT_TRACK,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record a point-in-time occurrence (fault, retry, drop)."""
+        self.events.append(("i", ts, name, cat, agent, track, args))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: every record method is a pure no-op.
+
+    Hot paths pay one attribute check (``tracer.enabled``) and, when
+    they skip the check for argument-free calls, one empty method call.
+    """
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.enabled = False
+
+    def begin(self, *args: Any, **kwargs: Any) -> None:  # noqa: D102
+        pass
+
+    def end(self, *args: Any, **kwargs: Any) -> None:  # noqa: D102
+        pass
+
+    def complete(self, *args: Any, **kwargs: Any) -> None:  # noqa: D102
+        pass
+
+    def instant(self, *args: Any, **kwargs: Any) -> None:  # noqa: D102
+        pass
+
+
+#: Shared disabled tracer; the default for every new Environment.
+NULL_TRACER = NullTracer()
+
+_installed: Tracer = NULL_TRACER
+
+
+def install_tracer(tracer: Tracer) -> None:
+    """Make ``tracer`` the default for Environments created afterwards.
+
+    This is how the CLI turns on tracing without threading a tracer
+    through every experiment: experiments build their own platforms and
+    environments, and each new Environment picks up the installed
+    tracer.  Install :data:`NULL_TRACER` (or call
+    :func:`uninstall_tracer`) to turn tracing back off.
+    """
+    global _installed
+    _installed = tracer
+
+
+def uninstall_tracer() -> None:
+    global _installed
+    _installed = NULL_TRACER
+
+
+def installed_tracer() -> Tracer:
+    """The tracer new Environments default to (NULL_TRACER when off)."""
+    return _installed

@@ -62,6 +62,21 @@ class Platform:
     def run(self, until: Optional[float] = None) -> None:
         self.env.run(until=until)
 
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """Flat snapshot of every live metric plus core cycle accounting.
+
+        Components publish counters/gauges continuously (see
+        ``docs/OBSERVABILITY.md``); per-core cycle categories are
+        accounted on the cores themselves, so they are folded in here
+        at snapshot time rather than mirrored on every update.
+        """
+        registry = self.env.metrics
+        for core_id, core in self._cores.items():
+            for category, nanoseconds in core.times().items():
+                counter = registry.counter(f"core{core_id}.cycles.{category.value}_ns")
+                counter.value = nanoseconds
+        return registry.snapshot()
+
 
 def spr_platform(
     n_devices: int = 1,

@@ -34,11 +34,20 @@ def prepare_descriptor(
     real applications pre-allocate descriptor rings (§4.2); pass
     ``allocate=True`` only for the Fig 5 breakdown.
     """
+    tracer = env.tracer
+    if tracer.enabled and descriptor.trace_track < 0:
+        descriptor.trace_track = tracer.next_track()
+    agent = f"core{core.core_id}"
+    track = descriptor.trace_track
     if allocate:
         descriptor.times.allocated = env.now
+        tracer.begin(env.now, "alloc", "alloc", agent, track)
         yield core.spend(CycleCategory.ALLOC, costs.descriptor_alloc_ns)
+        tracer.end(env.now, "alloc", "alloc", agent, track)
+    tracer.begin(env.now, "prepare", "prepare", agent, track)
     yield core.spend(CycleCategory.PREPARE, costs.descriptor_prepare_ns)
     descriptor.times.prepared = env.now
+    tracer.end(env.now, "prepare", "prepare", agent, track)
 
 
 def submit(
@@ -57,17 +66,34 @@ def submit(
       non-posted round trip.  ``max_retries`` bounds the loop for
       tests; ``None`` retries forever like a spinning submitter.
     """
+    tracer = env.tracer
+    if tracer.enabled and descriptor.trace_track < 0:
+        descriptor.trace_track = tracer.next_track()
+    agent = f"core{core.core_id}"
+    track = descriptor.trace_track
     if portal.mode is WqMode.DEDICATED:
+        tracer.begin(env.now, "movdir64b", "submit", agent, track)
         yield core.spend(CycleCategory.SUBMIT, costs.movdir64b_ns)
         portal.device.submit(descriptor, portal.wq_id)
+        tracer.end(env.now, "movdir64b", "submit", agent, track)
         return 0
     retries = 0
+    tracer.begin(env.now, "enqcmd", "submit", agent, track)
     while True:
         yield core.spend(CycleCategory.SUBMIT, costs.enqcmd_ns)
         if portal.device.submit(descriptor, portal.wq_id):
+            if tracer.enabled:
+                tracer.end(
+                    env.now, "enqcmd", "submit", agent, track, {"retries": retries}
+                )
+            if retries:
+                env.metrics.counter(
+                    f"{portal.device.name}.wq{portal.wq_id}.enqcmd_retries"
+                ).add(retries)
             return retries
         retries += 1
         if max_retries is not None and retries > max_retries:
+            tracer.end(env.now, "enqcmd", "submit", agent, track, {"retries": retries})
             raise RuntimeError(
                 f"ENQCMD to {portal.device.name} WQ {portal.wq_id} exceeded "
                 f"{max_retries} retries"

@@ -37,19 +37,33 @@ def wait_for(
     event = descriptor.completion_event
     if event is None:
         raise RuntimeError("descriptor was never submitted (no completion event)")
+    tracer = env.tracer
+    agent = f"core{core.core_id}"
+    traced = tracer.enabled and descriptor.trace_track >= 0
     if mode is WaitMode.UMWAIT:
         yield core.spend(CycleCategory.BUSY, costs.umonitor_ns)
     start = env.now
+    if traced:
+        tracer.begin(
+            start, "wait", "wait", agent, descriptor.trace_track, {"mode": mode.value}
+        )
     if not event.triggered:
         yield event
     waited = env.now - start
     if mode is WaitMode.SPIN:
         core.account(CycleCategory.WAIT_SPIN, waited)
+        env.metrics.counter(f"{agent}.wait.spin_ns").add(waited)
         yield core.spend(CycleCategory.BUSY, costs.poll_check_ns)
     elif mode is WaitMode.UMWAIT:
         core.account(CycleCategory.UMWAIT, waited)
+        env.metrics.counter(f"{agent}.wait.umwait_ns").add(waited)
         yield core.spend(CycleCategory.BUSY, costs.umwait_wake_ns)
     else:
         core.account(CycleCategory.IDLE, waited)
+        env.metrics.counter(f"{agent}.wait.interrupt_ns").add(waited)
         yield core.spend(CycleCategory.BUSY, costs.interrupt_ns)
+    if traced:
+        tracer.end(
+            env.now, "wait", "wait", agent, descriptor.trace_track, {"waited_ns": waited}
+        )
     return waited

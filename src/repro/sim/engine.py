@@ -11,7 +11,11 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs uses sim.stats)
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Tracer
 
 #: Scheduling priorities (lower runs first at equal timestamps).
 URGENT = 0
@@ -173,9 +177,17 @@ class Process(Event):
         return not self._triggered
 
     def interrupt(self, cause: Any = None) -> None:
-        """Throw :class:`Interrupt` into the process at the current time."""
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is a documented no-op: an
+        interrupter and its victim's completion can legitimately race
+        at the same timestamp (e.g. a watchdog firing just as the
+        watched transfer completes), and the interrupt may also land
+        after the process triggered between scheduling and delivery of
+        the kicker event.  Both orderings simply deliver nothing.
+        """
         if self._triggered:
-            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+            return
         kicker = Event(self.env)
         kicker.callbacks.append(lambda ev: self._throw(Interrupt(cause)))
         kicker.succeed(delay=0.0)
@@ -229,13 +241,42 @@ class Process(Event):
 
 
 class Environment:
-    """The simulation world: clock, calendar, and process factory."""
+    """The simulation world: clock, calendar, and process factory.
 
-    def __init__(self, initial_time: float = 0.0):
+    Every environment carries two observability hooks (see
+    ``docs/OBSERVABILITY.md``):
+
+    * ``tracer`` — span/instant event recorder.  Defaults to the
+      installed tracer (the no-op :data:`~repro.obs.tracer.NULL_TRACER`
+      unless the CLI or a test installed a live one), so hot paths pay
+      one attribute check when tracing is off.
+    * ``metrics`` — registry of named counters/gauges/histograms that
+      components update as they run.  Defaults to the installed shared
+      registry, or a private one per environment.
+    """
+
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ):
+        # Imported here, not at module level: repro.obs depends on
+        # repro.sim.stats, so a top-level import would be circular.
+        from repro.obs.metrics import MetricsRegistry, installed_metrics
+        from repro.obs.tracer import installed_tracer
+
         self._now = float(initial_time)
         self._calendar: List = []
         self._seq = count()
         self._active_process: Optional[Process] = None
+        self.tracer = tracer if tracer is not None else installed_tracer()
+        if metrics is None:
+            # Explicit None checks: an empty registry is falsy (len 0).
+            metrics = installed_metrics()
+            if metrics is None:
+                metrics = MetricsRegistry()
+        self.metrics = metrics
 
     @property
     def now(self) -> float:

@@ -94,8 +94,8 @@ class CacheBenchResult:
 
     def tail_latency(self, pct: float = 99.999) -> float:
         combined = Histogram()
-        combined.extend(self.get_latency._sorted)
-        combined.extend(self.set_latency._sorted)
+        combined.extend(self.get_latency.values)
+        combined.extend(self.set_latency.values)
         return combined.percentile(pct)
 
 

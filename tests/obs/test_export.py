@@ -1,0 +1,80 @@
+"""Chrome-trace export format and the metrics text table."""
+
+import json
+
+from repro.obs import Tracer, chrome_trace_events, metrics_table, write_chrome_trace
+from repro.obs import MetricsRegistry
+
+#: Phases a Chrome trace-event array may contain (M = metadata).
+VALID_PHASES = {"X", "B", "E", "i", "M"}
+
+
+def _valid_chrome_trace(events):
+    """Golden-format check: the structural contract of trace.json."""
+    assert isinstance(events, list) and events
+    for event in events:
+        assert isinstance(event, dict)
+        assert event["ph"] in VALID_PHASES
+        assert isinstance(event["name"], str)
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        if event["ph"] == "M":
+            continue
+        assert isinstance(event["ts"], (int, float))
+        assert event["ts"] >= 0
+        if event["ph"] == "X":
+            assert event["dur"] >= 0
+
+
+def _sample_tracer():
+    tracer = Tracer()
+    track = tracer.next_track()
+    tracer.begin(0.0, "submit", "submit", "core0", track)
+    tracer.end(45.0, "submit", "submit", "core0", track)
+    tracer.begin(45.0, "queued", "queue", "dsa0.wq0", track)
+    tracer.end(60.0, "queued", "queue", "dsa0.wq0", track)
+    tracer.complete(60.0, 12.0, "batch_fetch", "batch", "dsa0.pe0", track)
+    tracer.instant(70.0, "page_fault", "translate", "dsa0.pe0", track, {"va": 4096})
+    return tracer
+
+
+def test_exported_file_is_valid_chrome_trace(tmp_path):
+    tracer = _sample_tracer()
+    path = tmp_path / "trace.json"
+    count = write_chrome_trace(tracer, str(path))
+    events = json.loads(path.read_text())
+    assert len(events) == count
+    _valid_chrome_trace(events)
+
+
+def test_timestamps_are_microseconds():
+    tracer = Tracer()
+    tracer.instant(1500.0, "tick", "queue", "dsa0", 1)  # 1500 ns
+    events = chrome_trace_events(tracer)
+    instants = [event for event in events if event["ph"] == "i"]
+    assert instants[0]["ts"] == 1.5
+
+def test_agents_become_named_processes():
+    events = chrome_trace_events(_sample_tracer())
+    metadata = [event for event in events if event["ph"] == "M"]
+    named = {event["args"]["name"] for event in metadata}
+    assert named == {"core0", "dsa0.wq0", "dsa0.pe0"}
+    # Distinct agents get distinct pids.
+    assert len({event["pid"] for event in metadata}) == 3
+
+
+def test_x_events_carry_duration_not_private_args():
+    events = chrome_trace_events(_sample_tracer())
+    complete = [event for event in events if event["ph"] == "X"][0]
+    assert complete["dur"] == 12.0 * 1e-3
+    assert "_dur" not in complete.get("args", {})
+
+
+def test_metrics_table_renders_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("dsa0.wq0.enqueued").add(42)
+    registry.gauge("dsa0.wq0.occupancy").update(0.0, 3.0)
+    rendered = metrics_table(registry).render()
+    assert "dsa0.wq0.enqueued" in rendered
+    assert "42" in rendered
+    assert "dsa0.wq0.occupancy.level" in rendered

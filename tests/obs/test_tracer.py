@@ -1,0 +1,76 @@
+"""Tracer semantics: spans, tracks, and the disabled no-op path."""
+
+from repro.obs import NULL_TRACER, NullTracer, Tracer, install_tracer, uninstall_tracer
+from repro.sim.engine import Environment
+
+
+class TestSpans:
+    def test_begin_end_pair_recorded_in_order(self):
+        tracer = Tracer()
+        tracer.begin(10.0, "copy", "execute", "pe0", 1)
+        tracer.end(25.0, "copy", "execute", "pe0", 1)
+        phases = [event[0] for event in tracer.events]
+        assert phases == ["B", "E"]
+
+    def test_nested_spans_keep_monotonic_timestamps(self):
+        tracer = Tracer()
+        tracer.begin(0.0, "outer", "execute", "pe0", 1)
+        tracer.begin(5.0, "inner", "translate", "pe0", 1)
+        tracer.instant(6.0, "fault", "translate", "pe0", 1)
+        tracer.end(9.0, "inner", "translate", "pe0", 1)
+        tracer.end(20.0, "outer", "execute", "pe0", 1)
+        timestamps = [event[1] for event in tracer.events]
+        assert timestamps == sorted(timestamps)
+        # Nesting: inner closes before outer on the same track.
+        order = [(event[0], event[2]) for event in tracer.events]
+        assert order.index(("E", "inner")) < order.index(("E", "outer"))
+
+    def test_complete_records_duration(self):
+        tracer = Tracer()
+        tracer.complete(100.0, 7.5, "batch_fetch", "batch", "pe0", 3)
+        phase, ts, _name, _cat, _agent, _track, args = tracer.events[0]
+        assert phase == "X"
+        assert ts == 100.0
+        assert args["_dur"] == 7.5
+
+    def test_tracks_are_unique(self):
+        tracer = Tracer()
+        tracks = {tracer.next_track() for _ in range(100)}
+        assert len(tracks) == 100
+
+
+class TestDisabledTracer:
+    def test_null_tracer_records_nothing(self):
+        tracer = NullTracer()
+        tracer.begin(0.0, "a", "cat")
+        tracer.end(1.0, "a", "cat")
+        tracer.complete(2.0, 1.0, "b", "cat")
+        tracer.instant(3.0, "c", "cat")
+        assert len(tracer.events) == 0
+        assert not tracer.enabled
+
+    def test_environment_defaults_to_null_singleton(self):
+        env = Environment()
+        assert env.tracer is NULL_TRACER
+
+    def test_simulation_with_default_tracer_emits_no_events(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+
+        env.process(proc(env))
+        env.run()
+        assert len(env.tracer.events) == 0
+
+
+class TestInstall:
+    def test_installed_tracer_adopted_by_new_environments(self):
+        tracer = Tracer()
+        install_tracer(tracer)
+        try:
+            env = Environment()
+            assert env.tracer is tracer
+        finally:
+            uninstall_tracer()
+        assert Environment().tracer is NULL_TRACER
