@@ -4,26 +4,34 @@ Usage::
 
     python -m repro list                 # enumerate experiments
     python -m repro run fig10            # run one, print its output
-    python -m repro run all --quick      # everything, reduced sweeps
+    python -m repro run fig2,fig5,table1 # a comma-separated subset
+    python -m repro run all --quick --jobs 4   # everything, in parallel
     python -m repro run fig5 --trace out.json --metrics   # observability
+    python -m repro cache stats          # inspect the result cache
     python -m repro advise 65536         # G1-G6 advice for one transfer
+
+Repeat runs are served from a content-addressed result cache under
+``.repro-cache/`` (disable with ``--no-cache``, relocate with
+``REPRO_CACHE_DIR``); ``--jobs``/``REPRO_JOBS`` fans experiments out
+over worker processes.  See ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-import time
 
 from repro.analysis.tables import Table
-from repro.experiments import all_experiments, run_experiment
+from repro.exec import ParallelRunner, ResultCache
+from repro.experiments import all_experiments, resolve_ids
 from repro.guidelines import OffloadAdvisor
 from repro.obs import (
     MetricsRegistry,
     Tracer,
     install_metrics,
     install_tracer,
-    metrics_table,
+    snapshot_table,
     uninstall_metrics,
     uninstall_tracer,
     write_chrome_trace,
@@ -36,22 +44,45 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _default_jobs() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
 def _cmd_run(args) -> int:
-    targets = all_experiments() if args.experiment == "all" else [args.experiment]
+    try:
+        targets = resolve_ids(args.experiment)
+    except KeyError as err:
+        print(err.args[0], file=sys.stderr)
+        return 2
     tracer = None
     if args.trace:
         tracer = Tracer()
         install_tracer(tracer)
     registry = MetricsRegistry()
     install_metrics(registry)
+    runner = ParallelRunner(
+        jobs=args.jobs,
+        quick=args.quick,
+        seed=args.seed,
+        cache=None if args.no_cache else ResultCache(),
+        trace=tracer is not None,
+    )
     summary_rows = []
     failures = 0
+    errors = 0
     try:
-        for exp_id in targets:
-            registry.clear()  # per-experiment snapshots under shared names
-            start = time.time()
-            result = run_experiment(exp_id, quick=args.quick)
-            wall = time.time() - start
+        for outcome in runner.run_iter(targets):
+            exp_id = outcome.exp_id
+            if not outcome.ok:
+                print(f"[{exp_id} FAILED]", file=sys.stderr)
+                print(outcome.error, file=sys.stderr)
+                errors += 1
+                summary_rows.append((exp_id, 0, 0, outcome.wall, 0, "ERROR"))
+                continue
+            result = outcome.result
             print(result.render())
             if args.chart and result.series:
                 from repro.analysis.ascii_chart import render_experiment_charts
@@ -60,11 +91,15 @@ def _cmd_run(args) -> int:
                 print(render_experiment_charts(result))
             if args.metrics:
                 print()
-                print(metrics_table(registry, title=f"Metrics — {exp_id}").render())
-            print(f"[{exp_id} finished in {wall:.1f}s]\n")
+                print(snapshot_table(result.metrics, title=f"Metrics — {exp_id}").render())
+            suffix = " (cached)" if outcome.cached else ""
+            print(f"[{exp_id} finished in {outcome.wall:.1f}s{suffix}]\n")
             held = sum(1 for anchor in result.anchors if anchor.holds)
+            status = "pass" if result.anchors_hold else "FAIL"
+            if outcome.cached:
+                status += " (cached)"
             summary_rows.append(
-                (exp_id, held, len(result.anchors), wall, len(result.metrics))
+                (exp_id, held, len(result.anchors), outcome.wall, len(result.metrics), status)
             )
             if not result.anchors_hold:
                 failures += 1
@@ -80,18 +115,35 @@ def _cmd_run(args) -> int:
             "Run summary",
             ["Experiment", "Anchors", "Status", "Wall (s)", "Metrics"],
         )
-        for exp_id, held, total, wall, n_metrics in summary_rows:
-            table.add_row(
-                exp_id,
-                f"{held}/{total}",
-                "pass" if held == total else "FAIL",
-                f"{wall:.1f}",
-                n_metrics,
-            )
+        for exp_id, held, total, wall, n_metrics, status in summary_rows:
+            table.add_row(exp_id, f"{held}/{total}", status, f"{wall:.1f}", n_metrics)
         print(table.render())
     if failures:
         print(f"{failures} experiment(s) missed paper anchors", file=sys.stderr)
-    return 1 if failures else 0
+    if errors:
+        print(f"{errors} experiment(s) raised", file=sys.stderr)
+    return 1 if failures or errors else 0
+
+
+def _cmd_cache(args) -> int:
+    cache = ResultCache()
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} from {cache.root}")
+        return 0
+    stats = cache.stats()
+    print(f"cache root: {stats.root}")
+    print(f"entries:    {stats.entries}")
+    print(f"size:       {stats.total_bytes / 1024:.1f} KiB")
+    print(f"saved wall: {stats.saved_wall_s:.1f}s of simulation")
+    if stats.unreadable:
+        print(f"unreadable: {stats.unreadable}")
+    if stats.by_experiment:
+        table = Table("Entries by experiment", ["Experiment", "Entries"])
+        for exp_id in sorted(stats.by_experiment):
+            table.add_row(exp_id, stats.by_experiment[exp_id])
+        print(table.render())
+    return 0
 
 
 def _cmd_advise(args) -> int:
@@ -128,14 +180,37 @@ def main(argv=None) -> int:
 
     sub.add_parser("list", help="list experiment ids").set_defaults(func=_cmd_list)
 
-    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
-    run_parser.add_argument("experiment")
+    run_parser = sub.add_parser(
+        "run", help="run experiments: one id, a comma-separated list, or 'all'"
+    )
+    run_parser.add_argument("experiment", help="'all', one id, or e.g. fig2,fig5,table1")
     run_parser.add_argument("--quick", action="store_true", help="reduced sweeps")
     run_parser.add_argument("--chart", action="store_true", help="ASCII plots of the series")
     run_parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=_default_jobs(),
+        metavar="N",
+        help="worker processes (default: $REPRO_JOBS or 1)",
+    )
+    run_parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="run seed for every experiment's default RNG streams",
+    )
+    run_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not update the result cache",
+    )
+    run_parser.add_argument(
         "--trace",
         metavar="PATH",
-        help="export a Chrome/Perfetto trace.json of the run to PATH",
+        help="export a Chrome/Perfetto trace.json of the run to PATH "
+        "(bypasses cache reads)",
     )
     run_parser.add_argument(
         "--metrics",
@@ -143,6 +218,14 @@ def main(argv=None) -> int:
         help="print the metrics-registry snapshot after each experiment",
     )
     run_parser.set_defaults(func=_cmd_run)
+
+    cache_parser = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache_parser.add_argument(
+        "cache_command",
+        choices=["stats", "clear"],
+        help="stats: summarize entries; clear: delete every entry",
+    )
+    cache_parser.set_defaults(func=_cmd_cache)
 
     advise = sub.add_parser("advise", help="G1-G6 advice for a transfer size")
     advise.add_argument("size", type=int)

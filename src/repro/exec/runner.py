@@ -1,0 +1,245 @@
+"""Fan experiments out over worker processes; fold observability back in.
+
+Experiments are independent simulations, so ``python -m repro run all``
+parallelises embarrassingly: each worker process runs one experiment at
+a time with its **own** installed tracer, metrics registry, and seed,
+and ships the finished :class:`~repro.experiments.base.ExperimentResult`
+(plus its trace-event list) back to the parent.  The parent then folds
+each worker's records into its own observability state —
+:meth:`Tracer.absorb` remaps per-worker track ids,
+:meth:`MetricsRegistry.absorb_flat` reloads the metrics snapshot — so
+``--trace``, ``--metrics``, and the run-summary table behave exactly as
+in a serial run.
+
+Ordering: outcomes are yielded in request order regardless of which
+worker finishes first, so parallel output is byte-comparable to serial
+output.
+
+With ``jobs=1`` everything runs in-process against the parent's
+installed tracer/registry (no pickling, no fork), which is also the
+path the cache-only fast case takes.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional
+
+from repro.exec.cache import ResultCache
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import run_experiment
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    install_metrics,
+    install_tracer,
+    installed_metrics,
+    installed_tracer,
+    uninstall_metrics,
+)
+from repro.sim.rng import DEFAULT_SEED, install_seed, uninstall_seed
+
+
+@dataclass
+class RunOutcome:
+    """Everything the CLI needs about one finished experiment."""
+
+    exp_id: str
+    result: Optional[ExperimentResult] = None
+    #: Seconds spent producing this outcome *now* (near zero for a
+    #: cache hit; the original simulation time lives in the cache entry).
+    wall: float = 0.0
+    cached: bool = False
+    #: Formatted traceback when the experiment (or its worker) failed.
+    error: Optional[str] = None
+    #: Worker-side trace records, already folded into the parent tracer
+    #: by the time the outcome is yielded.
+    trace_events: List = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _worker(exp_id: str, quick: bool, seed: int, with_trace: bool) -> RunOutcome:
+    """Run one experiment in a worker process.
+
+    Must stay a module-level function (pickled by name).  Pool workers
+    are reused across experiments, so each call installs a fresh
+    registry/tracer rather than assuming a clean process.
+    """
+    install_seed(seed)
+    registry = MetricsRegistry()
+    install_metrics(registry)
+    tracer: Optional[Tracer] = None
+    if with_trace:
+        tracer = Tracer()
+        install_tracer(tracer)
+    start = time.perf_counter()
+    try:
+        result = run_experiment(exp_id, quick=quick)
+    except Exception:
+        return RunOutcome(
+            exp_id=exp_id,
+            error=traceback.format_exc(),
+            wall=time.perf_counter() - start,
+            trace_events=list(tracer.events) if tracer is not None else [],
+        )
+    return RunOutcome(
+        exp_id=exp_id,
+        result=result,
+        wall=time.perf_counter() - start,
+        trace_events=list(tracer.events) if tracer is not None else [],
+    )
+
+
+class ParallelRunner:
+    """Run a list of experiments with caching and optional parallelism.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``1`` means in-process serial execution.
+    quick:
+        Passed through to every experiment's ``run(quick=...)``.
+    seed:
+        Run seed installed in every worker (and, for ``jobs=1``, in the
+        parent for the duration of each run).  ``None`` means
+        :data:`~repro.sim.rng.DEFAULT_SEED`.
+    cache:
+        A :class:`~repro.exec.cache.ResultCache`, or ``None`` to
+        disable caching (``--no-cache``).
+    trace:
+        Whether a live tracer is installed.  Tracing bypasses cache
+        *reads* (a cached result carries no trace events) but completed
+        runs are still stored.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        quick: bool = False,
+        seed: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        trace: bool = False,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.quick = bool(quick)
+        self.seed = DEFAULT_SEED if seed is None else int(seed)
+        self.cache = cache
+        self.trace = bool(trace)
+
+    # -- merge ----------------------------------------------------------
+    def _merge(self, outcome: RunOutcome) -> None:
+        """Fold a worker outcome into the parent's observability state."""
+        if outcome.trace_events:
+            tracer = installed_tracer()
+            if tracer.enabled:
+                tracer.absorb(outcome.trace_events)
+        if outcome.result is not None and outcome.result.metrics:
+            registry = installed_metrics()
+            if registry is not None:
+                # Serial semantics: the shared registry holds the most
+                # recent experiment's metrics, not an accumulation.
+                registry.clear()
+                registry.absorb_flat(outcome.result.metrics)
+
+    def _lookup(self, exp_id: str) -> Optional[RunOutcome]:
+        if self.cache is None or self.trace:
+            return None
+        start = time.perf_counter()
+        hit = self.cache.get(exp_id, self.quick, self.seed)
+        if hit is None:
+            return None
+        return RunOutcome(
+            exp_id=exp_id,
+            result=hit.result,
+            wall=time.perf_counter() - start,
+            cached=True,
+        )
+
+    def _store(self, outcome: RunOutcome) -> None:
+        if self.cache is None or not outcome.ok or outcome.cached:
+            return
+        try:
+            self.cache.put(
+                outcome.exp_id, self.quick, self.seed, outcome.result, outcome.wall
+            )
+        except Exception:
+            # A full disk or unpicklable payload must not fail the run.
+            pass
+
+    def _run_local(self, exp_id: str) -> RunOutcome:
+        """In-process execution against the parent's tracer/registry.
+
+        When no registry is installed, a private one is installed for
+        the duration so results carry metrics snapshots in every mode —
+        a ``jobs=1`` run must not differ from a ``jobs=4`` run.
+        """
+        install_seed(self.seed)
+        owns_registry = installed_metrics() is None
+        if owns_registry:
+            install_metrics(MetricsRegistry())
+        start = time.perf_counter()
+        try:
+            result = run_experiment(exp_id, quick=self.quick)
+        except Exception:
+            return RunOutcome(
+                exp_id=exp_id,
+                error=traceback.format_exc(),
+                wall=time.perf_counter() - start,
+            )
+        finally:
+            uninstall_seed()
+            if owns_registry:
+                uninstall_metrics()
+        return RunOutcome(exp_id=exp_id, result=result, wall=time.perf_counter() - start)
+
+    # -- driver ---------------------------------------------------------
+    def run_iter(self, exp_ids: Iterable[str]) -> Iterator[RunOutcome]:
+        """Yield one outcome per experiment, in request order."""
+        exp_ids = list(exp_ids)
+        hits = {}
+        misses: List[str] = []
+        for exp_id in exp_ids:
+            hit = self._lookup(exp_id)
+            if hit is not None:
+                hits[exp_id] = hit
+            else:
+                misses.append(exp_id)
+
+        if self.jobs == 1 or len(misses) <= 1:
+            for exp_id in exp_ids:
+                outcome = hits.get(exp_id)
+                if outcome is None:
+                    outcome = self._run_local(exp_id)
+                    self._store(outcome)
+                else:
+                    self._merge(outcome)
+                yield outcome
+            return
+
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(misses))) as pool:
+            futures = {
+                exp_id: pool.submit(_worker, exp_id, self.quick, self.seed, self.trace)
+                for exp_id in misses
+            }
+            for exp_id in exp_ids:
+                outcome = hits.get(exp_id)
+                if outcome is None:
+                    try:
+                        outcome = futures[exp_id].result()
+                    except Exception:
+                        # Worker died (OOM, BrokenProcessPool, unpicklable
+                        # result): surface it like an experiment failure.
+                        outcome = RunOutcome(exp_id=exp_id, error=traceback.format_exc())
+                    self._store(outcome)
+                self._merge(outcome)
+                yield outcome
+
+    def run(self, exp_ids: Iterable[str]) -> List[RunOutcome]:
+        """Materialized :meth:`run_iter`."""
+        return list(self.run_iter(exp_ids))

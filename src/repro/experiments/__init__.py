@@ -10,12 +10,20 @@ Use :func:`repro.experiments.registry.all_experiments` to enumerate.
 """
 
 from repro.experiments.base import AnchorCheck, ExperimentResult
-from repro.experiments.registry import all_experiments, get_experiment, run_experiment
+from repro.experiments.registry import (
+    all_experiments,
+    get_experiment,
+    module_path,
+    resolve_ids,
+    run_experiment,
+)
 
 __all__ = [
     "AnchorCheck",
     "ExperimentResult",
     "all_experiments",
     "get_experiment",
+    "module_path",
+    "resolve_ids",
     "run_experiment",
 ]

@@ -49,17 +49,65 @@ def get_experiment(exp_id: str):
     return importlib.import_module(_EXPERIMENTS[exp_id])
 
 
+def module_path(exp_id: str) -> str:
+    """Dotted module path for ``exp_id`` (without importing it)."""
+    if exp_id not in _EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; choose from {sorted(_EXPERIMENTS)}"
+        )
+    return _EXPERIMENTS[exp_id]
+
+
+def resolve_ids(spec: str) -> List[str]:
+    """Expand a CLI experiment spec into a validated id list.
+
+    ``spec`` is ``"all"``, one id, or a comma-separated list
+    (``"fig2,fig5,table1"``).  Every id is validated upfront so a typo
+    fails before any experiment runs; unknown ids raise the same
+    ``KeyError`` as :func:`get_experiment`.  Duplicates are kept in
+    order of first appearance.
+    """
+    if spec == "all":
+        return all_experiments()
+    ids = [part.strip() for part in spec.split(",") if part.strip()]
+    if not ids:
+        raise KeyError(
+            f"unknown experiment {spec!r}; choose from {sorted(_EXPERIMENTS)}"
+        )
+    seen = []
+    for exp_id in ids:
+        if exp_id not in _EXPERIMENTS:
+            raise KeyError(
+                f"unknown experiment {exp_id!r}; choose from {sorted(_EXPERIMENTS)}"
+            )
+        if exp_id not in seen:
+            seen.append(exp_id)
+    return seen
+
+
 def run_experiment(exp_id: str, quick: bool = False) -> ExperimentResult:
     """Run one experiment and return its result.
 
     When a shared metrics registry is installed (the CLI's
-    ``--metrics`` path), the registry's state after the run is attached
-    to the result as a flat snapshot.
+    ``--metrics`` path), the registry is cleared before the run and its
+    state afterwards is attached to the result as a flat snapshot.  If
+    the experiment raises mid-run, the registry is cleared on the way
+    out too — a later ``run_experiment`` call must never attach a
+    snapshot polluted by a failed run's partial metrics.
     """
     from repro.obs import installed_metrics
 
-    result = get_experiment(exp_id).run(quick=quick)
+    module = get_experiment(exp_id)
     registry = installed_metrics()
-    if registry is not None:
+    if registry is None:
+        return module.run(quick=quick)
+    registry.clear()
+    completed = False
+    try:
+        result = module.run(quick=quick)
         result.metrics = registry.snapshot()
-    return result
+        completed = True
+        return result
+    finally:
+        if not completed:
+            registry.clear()

@@ -4,7 +4,12 @@ See ``docs/OBSERVABILITY.md`` for the event-category and metric-naming
 conventions and the Perfetto workflow.
 """
 
-from repro.obs.export import chrome_trace_events, metrics_table, write_chrome_trace
+from repro.obs.export import (
+    chrome_trace_events,
+    metrics_table,
+    snapshot_table,
+    write_chrome_trace,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -40,6 +45,7 @@ __all__ = [
     "installed_tracer",
     "metrics_table",
     "phase_breakdown",
+    "snapshot_table",
     "span_durations",
     "uninstall_metrics",
     "uninstall_tracer",

@@ -69,8 +69,18 @@ def write_chrome_trace(tracer: Tracer, path: str) -> int:
 
 def metrics_table(registry: MetricsRegistry, title: str = "Metrics") -> Table:
     """Render a registry snapshot as an aligned text table."""
+    return snapshot_table(registry.snapshot(), title=title)
+
+
+def snapshot_table(flat: Dict[str, float], title: str = "Metrics") -> Table:
+    """Render a flat ``{name: value}`` metrics snapshot as a table.
+
+    Same output as :func:`metrics_table`, but takes the snapshot dict
+    directly — the form results carry (``ExperimentResult.metrics``), so
+    cached and worker-produced results render without a live registry.
+    """
     table = Table(title, ["Metric", "Value"])
-    for name, value in sorted(registry.snapshot().items()):
+    for name, value in sorted(flat.items()):
         if value == int(value) and abs(value) < 1e15:
             rendered = str(int(value))
         else:

@@ -140,6 +140,20 @@ class MetricsRegistry:
                     flat[f"{name}.{leaf}"] = summary[leaf]
         return dict(sorted(flat.items()))
 
+    def absorb_flat(self, flat: Dict[str, float]) -> None:
+        """Fold a flat :meth:`snapshot` dict in as plain counters.
+
+        Used by the parallel runner to merge worker-registry snapshots
+        into the parent registry: snapshot leaves (``foo.level``,
+        ``foo.p99``, …) cannot be turned back into live gauges or
+        histograms, so each leaf lands as a counter holding the final
+        value — which is all the CLI's rendering paths need.  A leaf
+        that already exists as a counter is overwritten, not summed
+        (snapshots are absolute values, not deltas).
+        """
+        for name, value in flat.items():
+            self.counter(name).value = float(value)
+
     def clear(self) -> None:
         self._metrics.clear()
 

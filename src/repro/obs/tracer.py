@@ -28,7 +28,6 @@ keep emitting on the same timeline.
 
 from __future__ import annotations
 
-from itertools import count
 from typing import Any, Dict, List, Optional, Tuple
 
 #: One recorded event: (phase, ts_ns, name, category, agent, track, args).
@@ -48,14 +47,36 @@ class Tracer:
     def __init__(self) -> None:
         self.enabled = True
         self.events: List[TraceRecord] = []
-        self._tracks = count(1)
+        self._tracks = 0
 
     def __len__(self) -> int:
         return len(self.events)
 
     def next_track(self) -> int:
         """A fresh track id (one logical timeline, e.g. one descriptor)."""
-        return next(self._tracks)
+        self._tracks += 1
+        return self._tracks
+
+    def absorb(self, events: List[TraceRecord]) -> int:
+        """Fold records from another tracer in, remapping its track ids.
+
+        The parallel runner collects each worker's event list and folds
+        them into the parent tracer here.  Workers number their tracks
+        independently from 1, so non-default tracks are shifted past
+        every id this tracer has handed out; :data:`DEFAULT_TRACK` stays
+        0.  Returns the number of records absorbed.
+        """
+        offset = self._tracks
+        highest = 0
+        append = self.events.append
+        for phase, ts, name, cat, agent, track, args in events:
+            if track:
+                if track > highest:
+                    highest = track
+                track += offset
+            append((phase, ts, name, cat, agent, track, args))
+        self._tracks = offset + highest
+        return len(events)
 
     # -- record methods --------------------------------------------------
     def begin(

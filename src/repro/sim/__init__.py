@@ -24,9 +24,13 @@ Typical usage::
 from repro.sim.engine import Environment, Event, Interrupt, Process, SimulationError
 from repro.sim.resources import PriorityStore, Resource, Store
 from repro.sim.stats import Histogram, OnlineStat, TimeWeightedStat
-from repro.sim.rng import make_rng
+from repro.sim.rng import DEFAULT_SEED, install_seed, installed_seed, make_rng, uninstall_seed
 
 __all__ = [
+    "DEFAULT_SEED",
+    "install_seed",
+    "installed_seed",
+    "uninstall_seed",
     "Environment",
     "Event",
     "Interrupt",

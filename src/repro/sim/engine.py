@@ -10,12 +10,15 @@ event's value.
 from __future__ import annotations
 
 import heapq
-from itertools import count
 from typing import Any, Callable, Generator, Iterable, List, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs uses sim.stats)
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.tracer import Tracer
+
+#: Bound once: ``Environment.timeout`` allocates events without running
+#: the ``__init__`` chain (see its docstring).
+_new_event = object.__new__
 
 #: Scheduling priorities (lower runs first at equal timestamps).
 URGENT = 0
@@ -202,42 +205,60 @@ class Process(Event):
             except ValueError:
                 pass
         self._target = None
-        self._step(lambda: self._generator.throw(exc))
+        self._step(None, exc)
 
     def _resume(self, event: Event) -> None:
         self._target = None
         if event._ok:
-            self._step(lambda: self._generator.send(event._value))
+            self._step(event._value, None)
         else:
             event.defuse()
-            self._step(lambda: self._generator.throw(event._value))
+            self._step(None, event._value)
 
-    def _step(self, advance: Callable[[], Any]) -> None:
-        self.env._active_process = self
-        try:
-            target = advance()
-        except StopIteration as stop:
-            self.env._active_process = None
-            self.succeed(stop.value)
-            return
-        except BaseException as exc:
-            self.env._active_process = None
-            self.fail(exc)
-            return
-        self.env._active_process = None
-        if not isinstance(target, Event):
-            self._step(
-                lambda: self._generator.throw(
-                    SimulationError(f"process {self.name!r} yielded non-event {target!r}")
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        """Advance the generator once: ``send(value)``, or ``throw(exc)``
+        when ``exc`` is not None.
+
+        Hot path: this used to take an ``advance`` closure, which cost a
+        fresh lambda allocation per resume.  Passing the send-value /
+        throw-exception pair directly removes that allocation, and the
+        loop (rather than recursion) keeps chains of already-processed
+        targets off the Python stack.
+        """
+        env = self.env
+        generator = self._generator
+        while True:
+            env._active_process = self
+            try:
+                if exc is None:
+                    target = generator.send(value)
+                else:
+                    target = generator.throw(exc)
+            except StopIteration as stop:
+                env._active_process = None
+                self.succeed(stop.value)
+                return
+            except BaseException as caught:
+                env._active_process = None
+                self.fail(caught)
+                return
+            env._active_process = None
+            if isinstance(target, Event):
+                callbacks = target.callbacks
+                if callbacks is not None:
+                    self._target = target
+                    callbacks.append(self._resume)
+                    return
+                # Already processed: resume immediately (synchronously).
+                if target._ok:
+                    value, exc = target._value, None
+                else:
+                    target.defuse()
+                    value, exc = None, target._value
+            else:
+                value, exc = None, SimulationError(
+                    f"process {self.name!r} yielded non-event {target!r}"
                 )
-            )
-            return
-        if target.callbacks is None:
-            # Already processed: resume immediately (synchronously).
-            self._resume(target)
-        else:
-            self._target = target
-            target.callbacks.append(self._resume)
 
 
 class Environment:
@@ -268,7 +289,7 @@ class Environment:
 
         self._now = float(initial_time)
         self._calendar: List = []
-        self._seq = count()
+        self._seq = 0
         self._active_process: Optional[Process] = None
         self.tracer = tracer if tracer is not None else installed_tracer()
         if metrics is None:
@@ -292,7 +313,26 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+        """A pre-triggered event that fires after ``delay``.
+
+        This is the engine's dominant allocation (``yield
+        env.timeout(...)`` inside every model loop), so it bypasses the
+        ``Timeout.__init__`` / ``Event.__init__`` / ``_schedule`` call
+        chain and builds the object and its calendar entry inline.
+        """
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        ev = _new_event(Timeout)
+        ev.env = self
+        ev.callbacks = []
+        ev._value = value
+        ev._ok = True
+        ev._triggered = True
+        ev._processed = False
+        ev._defused = False
+        self._seq += 1
+        heapq.heappush(self._calendar, (self._now + delay, NORMAL, self._seq, ev))
+        return ev
 
     def process(self, generator: Generator, name: str = "") -> Process:
         return Process(self, generator, name=name)
@@ -305,7 +345,8 @@ class Environment:
 
     # -- scheduling ------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
-        heapq.heappush(self._calendar, (self._now + delay, priority, next(self._seq), event))
+        self._seq += 1
+        heapq.heappush(self._calendar, (self._now + delay, priority, self._seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -325,13 +366,28 @@ class Environment:
             raise event._value
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the calendar drains or the clock reaches ``until``."""
+        """Run until the calendar drains or the clock reaches ``until``.
+
+        The body of :meth:`step` is inlined here (with locals bound for
+        the heap and calendar) — one method call and one bounds check
+        per event add up over the millions of events a sweep processes.
+        Semantics are identical to calling :meth:`step` in a loop.
+        """
         if until is not None and until < self._now:
             raise ValueError(f"until ({until}) is in the past (now={self._now})")
-        while self._calendar:
-            if until is not None and self._calendar[0][0] > until:
+        calendar = self._calendar
+        pop = heapq.heappop
+        while calendar:
+            if until is not None and calendar[0][0] > until:
                 self._now = until
                 return
-            self.step()
+            when, _prio, _seq, event = pop(calendar)
+            self._now = when
+            callbacks, event.callbacks = event.callbacks, None
+            event._processed = True
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
         if until is not None:
             self._now = until

@@ -1,0 +1,101 @@
+"""Result-cache tests: keying, round-trips, corruption, maintenance."""
+
+import pickle
+
+import pytest
+
+from repro.exec.cache import ResultCache
+from repro.experiments.base import ExperimentResult
+
+
+def _result(exp_id="fig4"):
+    result = ExperimentResult(exp_id, "Title", "Desc")
+    result.check("anchor", "paper", "measured", True)
+    result.metrics = {"a.b": 1.0}
+    return result
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(root=tmp_path / "cache")
+
+
+class TestKeying:
+    def test_key_is_stable(self, cache):
+        assert cache.key("fig4", True, 1) == cache.key("fig4", True, 1)
+
+    def test_key_varies_with_inputs(self, cache):
+        base = cache.key("fig4", True, 1)
+        assert cache.key("fig4", False, 1) != base
+        assert cache.key("fig4", True, 2) != base
+        assert cache.key("fig8", True, 1) != base
+
+    def test_key_varies_with_source_fingerprint(self, cache, monkeypatch):
+        base = cache.key("fig4", True, 1)
+        monkeypatch.setattr("repro.exec.cache.fingerprint", lambda module: "changed")
+        assert cache.key("fig4", True, 1) != base
+
+    def test_unknown_experiment_raises(self, cache):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            cache.key("fig99", True, 1)
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, cache):
+        stored = _result()
+        cache.put("fig4", True, 1, stored, wall=2.5)
+        hit = cache.get("fig4", True, 1)
+        assert hit is not None
+        assert hit.wall == 2.5
+        assert hit.result.render() == stored.render()
+        assert hit.result.metrics == {"a.b": 1.0}
+
+    def test_miss_on_empty_cache(self, cache):
+        assert cache.get("fig4", True, 1) is None
+
+    def test_miss_on_different_flags(self, cache):
+        cache.put("fig4", True, 1, _result(), wall=1.0)
+        assert cache.get("fig4", False, 1) is None
+        assert cache.get("fig4", True, 2) is None
+
+    def test_env_var_relocates_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert ResultCache().root == tmp_path / "elsewhere"
+
+
+class TestCorruption:
+    def test_truncated_entry_is_a_miss_and_removed(self, cache):
+        path = cache.put("fig4", True, 1, _result(), wall=1.0)
+        path.write_bytes(b"not a pickle")
+        assert cache.get("fig4", True, 1) is None
+        assert not path.exists()
+
+    def test_wrong_payload_type_is_a_miss(self, cache):
+        path = cache.put("fig4", True, 1, _result(), wall=1.0)
+        with path.open("rb") as fh:
+            payload = pickle.load(fh)
+        payload["result"] = "not a result"
+        with path.open("wb") as fh:
+            pickle.dump(payload, fh)
+        assert cache.get("fig4", True, 1) is None
+
+
+class TestMaintenance:
+    def test_stats_counts_entries_and_saved_wall(self, cache):
+        cache.put("fig4", True, 1, _result("fig4"), wall=2.0)
+        cache.put("fig8", True, 1, _result("fig8"), wall=3.0)
+        stats = cache.stats()
+        assert stats.entries == 2
+        assert stats.total_bytes > 0
+        assert stats.saved_wall_s == pytest.approx(5.0)
+        assert stats.by_experiment == {"fig4": 1, "fig8": 1}
+
+    def test_clear_removes_everything(self, cache):
+        cache.put("fig4", True, 1, _result(), wall=1.0)
+        assert cache.clear() == 1
+        assert cache.entries() == []
+        assert cache.stats().entries == 0
+
+    def test_stats_on_missing_root(self, tmp_path):
+        stats = ResultCache(root=tmp_path / "never-created").stats()
+        assert stats.entries == 0

@@ -1,0 +1,105 @@
+"""Source-fingerprint tests: closure membership and invalidation."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.exec.fingerprint import fingerprint, source_closure
+from repro.experiments.registry import module_path
+
+
+def _write(root: Path, rel: str, text: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def fake_tree(tmp_path):
+    """A miniature ``repro`` package with one experiment and one model."""
+    _write(tmp_path, "repro/__init__.py", "")
+    _write(tmp_path, "repro/experiments/__init__.py", "")
+    _write(
+        tmp_path,
+        "repro/experiments/figx.py",
+        "from repro.models.latency import copy_ns\n"
+        "from repro.models import tuning\n"
+        "def run(quick=False):\n"
+        "    return copy_ns(1) + tuning.KNOB\n",
+    )
+    _write(tmp_path, "repro/models/__init__.py", "")
+    _write(
+        tmp_path,
+        "repro/models/latency.py",
+        "import repro.models.tuning\n"
+        "def copy_ns(size):\n"
+        "    return size * 2\n",
+    )
+    _write(tmp_path, "repro/models/tuning.py", "KNOB = 7\n")
+    _write(tmp_path, "repro/models/unrelated.py", "UNUSED = 1\n")
+    return tmp_path
+
+
+class TestSourceClosure:
+    def test_includes_experiment_imports_and_package_inits(self, fake_tree):
+        closure = source_closure("repro.experiments.figx", package_root=fake_tree)
+        assert "repro.experiments.figx" in closure
+        assert "repro.models.latency" in closure
+        assert "repro.models.tuning" in closure  # transitive
+        assert "repro.models" in closure  # ancestor __init__
+        assert "repro" in closure
+        assert "repro.models.unrelated" not in closure
+
+    def test_from_import_of_plain_attr_keeps_module(self, fake_tree):
+        # ``from repro.models.latency import copy_ns``: copy_ns is not a
+        # module, so only repro.models.latency itself joins the closure.
+        closure = source_closure("repro.experiments.figx", package_root=fake_tree)
+        assert "repro.models.latency.copy_ns" not in closure
+
+    def test_unknown_module_raises(self, fake_tree):
+        with pytest.raises(ModuleNotFoundError):
+            source_closure("repro.experiments.nope", package_root=fake_tree)
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self, fake_tree):
+        first = fingerprint("repro.experiments.figx", package_root=fake_tree)
+        second = fingerprint("repro.experiments.figx", package_root=fake_tree)
+        assert first == second
+
+    def test_changes_when_experiment_module_changes(self, fake_tree):
+        before = fingerprint("repro.experiments.figx", package_root=fake_tree)
+        figx = fake_tree / "repro/experiments/figx.py"
+        figx.write_text(figx.read_text() + "\n# tweak\n", encoding="utf-8")
+        assert fingerprint("repro.experiments.figx", package_root=fake_tree) != before
+
+    def test_changes_when_imported_model_source_changes(self, fake_tree):
+        before = fingerprint("repro.experiments.figx", package_root=fake_tree)
+        _write(fake_tree, "repro/models/latency.py", "def copy_ns(size):\n    return size * 3\n")
+        assert fingerprint("repro.experiments.figx", package_root=fake_tree) != before
+
+    def test_changes_when_transitive_import_changes(self, fake_tree):
+        before = fingerprint("repro.experiments.figx", package_root=fake_tree)
+        _write(fake_tree, "repro/models/tuning.py", "KNOB = 8\n")
+        assert fingerprint("repro.experiments.figx", package_root=fake_tree) != before
+
+    def test_unchanged_when_unrelated_module_changes(self, fake_tree):
+        before = fingerprint("repro.experiments.figx", package_root=fake_tree)
+        _write(fake_tree, "repro/models/unrelated.py", "UNUSED = 2\n")
+        assert fingerprint("repro.experiments.figx", package_root=fake_tree) == before
+
+
+class TestRealTree:
+    def test_every_registered_experiment_fingerprints(self):
+        from repro.experiments.registry import all_experiments
+
+        digests = {fingerprint(module_path(exp_id)) for exp_id in all_experiments()}
+        # Different experiments import different model subsets, so the
+        # digests cannot all collapse to one value.
+        assert len(digests) > 1
+
+    def test_fig2_closure_reaches_the_microbench_model(self):
+        closure = source_closure(module_path("fig2"))
+        assert "repro.workloads.microbench" in closure
+        assert "repro.sim.engine" in closure

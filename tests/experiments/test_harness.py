@@ -4,11 +4,16 @@ Every registered experiment gets a quick-mode smoke test: it must run,
 produce at least one table, and keep all its paper anchors.
 """
 
+import sys
+import types
+
 import pytest
 
 from repro.analysis.tables import Table
-from repro.experiments import all_experiments, get_experiment, run_experiment
+from repro.experiments import all_experiments, get_experiment, resolve_ids, run_experiment
+from repro.experiments import registry as registry_module
 from repro.experiments.base import AnchorCheck, ExperimentResult
+from repro.obs import MetricsRegistry, install_metrics, uninstall_metrics
 
 
 class TestRegistry:
@@ -30,6 +35,89 @@ class TestRegistry:
         for exp_id in all_experiments():
             module = get_experiment(exp_id)
             assert callable(module.run)
+
+
+class TestResolveIds:
+    def test_all_expands_to_every_experiment(self):
+        assert resolve_ids("all") == all_experiments()
+
+    def test_single_id(self):
+        assert resolve_ids("fig5") == ["fig5"]
+
+    def test_comma_separated_list_keeps_order(self):
+        assert resolve_ids("fig2,fig5,table1") == ["fig2", "fig5", "table1"]
+
+    def test_whitespace_and_duplicates_are_tolerated(self):
+        assert resolve_ids(" fig2 , fig5 ,fig2 ") == ["fig2", "fig5"]
+
+    def test_unknown_id_fails_upfront_with_registry_message(self):
+        with pytest.raises(KeyError, match="unknown experiment 'fig99'"):
+            resolve_ids("fig2,fig99,fig5")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            resolve_ids(" , ,")
+
+
+class TestMetricsSnapshotConsistency:
+    """A failed run must never pollute the next result's snapshot."""
+
+    @pytest.fixture(autouse=True)
+    def _registry(self):
+        registry = MetricsRegistry()
+        install_metrics(registry)
+        yield registry
+        uninstall_metrics()
+
+    def _register(self, monkeypatch, name, run):
+        module = types.ModuleType(f"repro_test_{name}")
+        module.run = run
+        monkeypatch.setitem(sys.modules, f"repro_test_{name}", module)
+        monkeypatch.setitem(registry_module._EXPERIMENTS, name, f"repro_test_{name}")
+
+    def test_failure_clears_partial_metrics(self, monkeypatch, _registry):
+        def boom(quick=False):
+            _registry.counter("boom.partial").add(41)
+            raise RuntimeError("mid-run failure")
+
+        self._register(monkeypatch, "boom", boom)
+        with pytest.raises(RuntimeError, match="mid-run failure"):
+            run_experiment("boom", quick=True)
+        assert len(_registry) == 0
+
+    def test_next_run_snapshot_excludes_failed_runs_metrics(self, monkeypatch, _registry):
+        def boom(quick=False):
+            _registry.counter("boom.partial").add(41)
+            raise RuntimeError("mid-run failure")
+
+        def good(quick=False):
+            _registry.counter("good.done").add(1)
+            return ExperimentResult("good", "t", "d")
+
+        self._register(monkeypatch, "boom", boom)
+        self._register(monkeypatch, "good", good)
+        with pytest.raises(RuntimeError):
+            run_experiment("boom", quick=True)
+        result = run_experiment("good", quick=True)
+        assert result.metrics == {"good.done": 1.0}
+        assert "boom.partial" not in result.metrics
+
+    def test_snapshot_scoped_to_one_experiment_even_without_cli_clear(
+        self, monkeypatch, _registry
+    ):
+        def first(quick=False):
+            _registry.counter("first.count").add(1)
+            return ExperimentResult("first", "t", "d")
+
+        def second(quick=False):
+            _registry.counter("second.count").add(1)
+            return ExperimentResult("second", "t", "d")
+
+        self._register(monkeypatch, "first", first)
+        self._register(monkeypatch, "second", second)
+        run_experiment("first", quick=True)
+        result = run_experiment("second", quick=True)
+        assert result.metrics == {"second.count": 1.0}
 
 
 class TestResultContainer:

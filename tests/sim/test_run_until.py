@@ -1,0 +1,128 @@
+"""Edge semantics of ``Environment.run(until=...)`` and ``peek()``.
+
+These pin down the contract the inlined run loop must preserve: strict
+``>`` comparison against ``until`` (events exactly at the horizon still
+fire), clock advancement on return, and ``peek()`` on an empty or
+populated calendar.
+"""
+
+import math
+
+import pytest
+
+from repro.sim.engine import Environment, SimulationError
+
+
+class TestPeek:
+    def test_empty_calendar_peeks_infinity(self):
+        assert Environment().peek() == math.inf
+
+    def test_peek_returns_earliest_event_time(self):
+        env = Environment()
+        env.timeout(7.0)
+        env.timeout(3.0)
+        assert env.peek() == 3.0
+
+    def test_peek_does_not_consume(self):
+        env = Environment()
+        env.timeout(2.0)
+        assert env.peek() == 2.0
+        assert env.peek() == 2.0
+        env.step()
+        assert env.peek() == math.inf
+
+    def test_peek_honours_initial_time_offset(self):
+        env = Environment(initial_time=100.0)
+        env.timeout(5.0)
+        assert env.peek() == 105.0
+
+
+class TestRunUntil:
+    def test_until_in_the_past_raises(self):
+        env = Environment(initial_time=10.0)
+        with pytest.raises(ValueError, match="in the past"):
+            env.run(until=9.0)
+
+    def test_until_equal_to_now_is_a_noop(self):
+        env = Environment(initial_time=10.0)
+        env.timeout(1.0)
+        env.run(until=10.0)
+        assert env.now == 10.0
+        assert env.peek() == 11.0  # nothing consumed
+
+    def test_event_exactly_at_until_fires(self):
+        env = Environment()
+        fired = []
+
+        def proc():
+            yield env.timeout(5.0)
+            fired.append(env.now)
+
+        env.process(proc())
+        env.run(until=5.0)
+        assert fired == [5.0]
+        assert env.now == 5.0
+
+    def test_event_beyond_until_stays_scheduled(self):
+        env = Environment()
+        fired = []
+
+        def proc():
+            yield env.timeout(5.0)
+            fired.append(env.now)
+
+        env.process(proc())
+        env.run(until=4.0)
+        assert fired == []
+        assert env.now == 4.0
+        env.run()  # drain the rest
+        assert fired == [5.0]
+
+    def test_run_until_on_empty_calendar_advances_clock(self):
+        env = Environment()
+        env.run(until=42.0)
+        assert env.now == 42.0
+
+    def test_drained_run_with_until_lands_on_until(self):
+        env = Environment()
+        env.timeout(1.0)
+        env.run(until=10.0)
+        assert env.now == 10.0
+
+    def test_unbounded_run_stops_at_last_event(self):
+        env = Environment()
+        env.timeout(3.0)
+        env.timeout(8.0)
+        env.run()
+        assert env.now == 8.0
+
+    def test_repeated_run_until_resumes(self):
+        env = Environment()
+        ticks = []
+
+        def clock():
+            while True:
+                yield env.timeout(1.0)
+                ticks.append(env.now)
+
+        env.process(clock())
+        env.run(until=3.0)
+        assert ticks == [1.0, 2.0, 3.0]
+        env.run(until=5.5)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert env.now == 5.5
+
+    def test_failed_event_still_raises_through_run(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+            raise RuntimeError("model bug")
+
+        env.process(proc())
+        with pytest.raises(RuntimeError, match="model bug"):
+            env.run(until=2.0)
+
+    def test_step_on_empty_calendar_raises(self):
+        with pytest.raises(SimulationError, match="empty calendar"):
+            Environment().step()
