@@ -61,18 +61,30 @@ def _cmd_run(args) -> int:
     if args.trace:
         tracer = Tracer()
         install_tracer(tracer)
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        # Profiling needs the simulation in *this* process and actually
+        # running: worker processes would escape the profiler, cached
+        # results would profile nothing but pickle loads.
+        if args.jobs != 1:
+            print("--profile forces --jobs 1", file=sys.stderr)
+        profiler = cProfile.Profile()
     registry = MetricsRegistry()
     install_metrics(registry)
     runner = ParallelRunner(
-        jobs=args.jobs,
+        jobs=1 if profiler is not None else args.jobs,
         quick=args.quick,
         seed=args.seed,
-        cache=None if args.no_cache else ResultCache(),
+        cache=None if (args.no_cache or profiler is not None) else ResultCache(),
         trace=tracer is not None,
     )
     summary_rows = []
     failures = 0
     errors = 0
+    if profiler is not None:
+        profiler.enable()
     try:
         for outcome in runner.run_iter(targets):
             exp_id = outcome.exp_id
@@ -104,9 +116,16 @@ def _cmd_run(args) -> int:
             if not result.anchors_hold:
                 failures += 1
     finally:
+        if profiler is not None:
+            profiler.disable()
         uninstall_metrics()
         if tracer is not None:
             uninstall_tracer()
+    if profiler is not None:
+        import pstats
+
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(25)
     if tracer is not None:
         count = write_chrome_trace(tracer, args.trace)
         print(f"wrote {count} trace events to {args.trace} (open in ui.perfetto.dev)")
@@ -216,6 +235,12 @@ def main(argv=None) -> int:
         "--metrics",
         action="store_true",
         help="print the metrics-registry snapshot after each experiment",
+    )
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile the run in-process (forces --jobs 1 and --no-cache); "
+        "prints the top 25 functions by cumulative time",
     )
     run_parser.set_defaults(func=_cmd_run)
 

@@ -18,7 +18,7 @@ from repro.mem.cache import SharedLLC
 from repro.mem.cxl import CxlMemoryParams
 from repro.mem.dram import DramParams, DDR4_6CH, DDR5_8CH
 from repro.mem.iommu import Iommu, IommuParams
-from repro.mem.link import FairShareLink
+from repro.mem.link import FairShareLink, SerialLink
 from repro.mem.numa import NumaTopology, UpiParams
 from repro.mem.pagetable import PAGE_4K, PAGE_2M, PageTable
 from repro.mem.system import MemoryNode, MemorySystem, TierKind
@@ -35,6 +35,7 @@ __all__ = [
     "Iommu",
     "IommuParams",
     "FairShareLink",
+    "SerialLink",
     "NumaTopology",
     "UpiParams",
     "PageTable",

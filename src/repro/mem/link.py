@@ -1,38 +1,64 @@
-"""Fair-share bandwidth links.
+"""Fair-share bandwidth links (virtual-time implementation).
 
 A :class:`FairShareLink` models a bandwidth-limited resource (device
 fabric port, DRAM node, UPI link, CXL port) shared by concurrent flows
-using generalized processor sharing: at any instant, each of the ``n``
-active flows progresses at ``bandwidth / n``.  Callers ask for
+using generalized processor sharing: at any instant, each active flow
+progresses proportionally to its weight.  Callers ask for
 ``transfer(nbytes)`` and receive an event that triggers when the flow's
 bytes have drained.
 
 Propagation latency is *not* part of the link — callers model latency
 with explicit timeouts so that pipelined (throughput) and un-pipelined
 (latency) experiments can compose the two differently.
+
+Algorithm
+---------
+The link keeps a **virtual clock** ``V`` (GPS virtual time): between
+membership changes, ``V`` advances at the per-unit-weight service rate,
+and every flow carries a fixed *virtual finish tag* ``V_join +
+nbytes/weight``.  A flow is done exactly when ``V`` reaches its tag, so
+the active flows sit in a heap ordered by tag and a join/leave costs
+O(log n) — no per-flow rate recomputation, no per-flow byte updates.
+One wake timer is armed for the earliest tag and **cancelled**
+(:meth:`repro.sim.engine.Event.cancel`) whenever the earliest finish
+moves, so the calendar never accumulates stale link timers.
+
+``per_flow_cap`` (the §3.4 single-stream ceiling) folds into the
+virtual-clock rate while all active weights are equal — the common
+case, where either every flow is capped or none is.  When flows with
+*different* weights contend under a cap, the link switches to an exact
+water-filling mode (capped flows drain at the cap, the unused share is
+redistributed to the uncapped flows) that recomputes rates per
+membership change; it returns to the virtual-time fast path once the
+link drains idle.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import List, Optional
 
-from repro.sim.engine import Environment, Event
+from repro.sim.engine import Environment, Event, Timeout
 
 #: Residual-byte tolerance when deciding a flow has drained.
 _EPSILON = 1e-6
 
 
 class _Flow:
-    __slots__ = ("remaining", "event", "weight")
+    __slots__ = ("size", "weight", "event", "seq", "vfinish", "remaining", "rate")
 
-    def __init__(self, nbytes: float, event: Event, weight: float = 1.0):
-        self.remaining = float(nbytes)
-        self.event = event
+    def __init__(self, nbytes: float, event: Event, weight: float):
+        self.size = float(nbytes)
         self.weight = weight
+        self.event = event
+        self.seq = 0  # link-local join order (deterministic ties)
+        self.vfinish = 0.0  # virtual-time mode: finish tag
+        self.remaining = 0.0  # water-filling mode: bytes left
+        self.rate = 0.0  # water-filling mode: current rate
 
 
 class FairShareLink:
-    """Bandwidth-limited pipe with equal sharing among active flows."""
+    """Bandwidth-limited pipe with weighted fair sharing among flows."""
 
     def __init__(
         self,
@@ -51,18 +77,61 @@ class FairShareLink:
         #: Single-stream ceiling (e.g. one sequential DRAM stream cannot
         #: use every channel); None = only the aggregate limit applies.
         self.per_flow_cap = per_flow_cap
-        self._flows: List[_Flow] = []
-        self._last_update = env.now
-        self._timer_version = 0
+        #: Bytes of all flows that have fully drained (counted at drain
+        #: time — in-flight bytes are in :attr:`bytes_inflight`).
         self.bytes_completed = 0.0
+        self._last_update = env.now
+        self._seq = 0
+        # Virtual-time state (fast path).
+        self._vheap: List = []  # (vfinish, seq, flow)
+        self._V = 0.0
+        self._W = 0.0  # total active weight
+        self._n = 0
+        self._uniform_weight: Optional[float] = None
+        # Water-filling state (engaged only for mixed weights + cap).
+        self._wf_flows: Optional[List[_Flow]] = None
+        # Single wake timer, cancelled and re-armed on churn.
+        self._timer: Optional[Timeout] = None
+        self._timer_at = 0.0
 
+    # -- public surface --------------------------------------------------
     @property
     def active_flows(self) -> int:
-        return len(self._flows)
+        if self._wf_flows is not None:
+            return len(self._wf_flows)
+        return self._n
+
+    @property
+    def bytes_inflight(self) -> float:
+        """Bytes submitted but not yet drained, as of ``env.now``.
+
+        Pure read: advances nothing and completes nothing, so it is safe
+        to sample mid-run (telemetry, tests).
+        """
+        now = self.env.now
+        elapsed = now - self._last_update
+        if self._wf_flows is not None:
+            if elapsed <= 0:
+                return sum(flow.remaining for flow in self._wf_flows)
+            return sum(
+                max(0.0, flow.remaining - flow.rate * elapsed) for flow in self._wf_flows
+            )
+        if not self._n:
+            return 0.0
+        v_now = self._V + (elapsed * self._vrate() if elapsed > 0 else 0.0)
+        return sum(
+            max(0.0, (flow.vfinish - v_now) * flow.weight)
+            for _tag, _seq, flow in self._vheap
+        )
 
     def instantaneous_rate(self) -> float:
-        """Per-flow rate right now (the full bandwidth when idle)."""
-        n = max(1, len(self._flows))
+        """Equal-share per-flow rate right now (full bandwidth when idle).
+
+        Kept as the historical equal-weight approximation: callers use it
+        for planning, not accounting, and weighted flows are the
+        exception.
+        """
+        n = max(1, self.active_flows)
         rate = self.bandwidth / n
         if self.per_flow_cap is not None:
             rate = min(rate, self.per_flow_cap)
@@ -74,7 +143,9 @@ class FairShareLink:
         ``weight`` sets the flow's share under contention (weighted
         fair sharing — the QoS/traffic-class knob of §3.4): a flow of
         weight 2 drains twice as fast as a weight-1 flow while both
-        are active.  The optional per-flow cap still applies.
+        are active.  The optional per-flow cap still applies, and
+        bandwidth left unused by capped flows is redistributed to the
+        uncapped ones (water-filling).
         """
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
@@ -84,59 +155,186 @@ class FairShareLink:
         if nbytes == 0:
             event.succeed()
             return event
-        self._advance()
-        self._flows.append(_Flow(nbytes, event, weight=weight))
-        self.bytes_completed += nbytes
-        self._reschedule()
+        flow = _Flow(nbytes, event, weight)
+        self._sync()
+        if (
+            self._wf_flows is None
+            and self.per_flow_cap is not None
+            and self._n
+            and weight != self._uniform_weight
+        ):
+            self._enter_waterfill()
+        if self._wf_flows is not None:
+            self._seq += 1
+            flow.seq = self._seq
+            flow.remaining = flow.size
+            self._wf_flows.append(flow)
+            self._wf_rearm()
+        else:
+            if self._n == 0:
+                self._V = 0.0
+                self._W = 0.0
+                self._uniform_weight = weight
+            flow.vfinish = self._V + flow.size / weight
+            self._seq += 1
+            flow.seq = self._seq
+            heapq.heappush(self._vheap, (flow.vfinish, flow.seq, flow))
+            self._W += weight
+            self._n += 1
+            self._rearm()
         return event
 
     def time_to_transfer(self, nbytes: float) -> float:
         """Uncontended duration for ``nbytes`` (planning helper)."""
         return nbytes / self.bandwidth
 
-    # -- internals -------------------------------------------------------
-    def _advance(self) -> None:
+    # -- virtual-time fast path ------------------------------------------
+    def _vrate(self) -> float:
+        """dV/dt: service per unit weight delivered to each active flow."""
+        rate = self.bandwidth / self._W
+        if self.per_flow_cap is not None:
+            # Weights are uniform on this path, so the cap either binds
+            # for every flow or for none.
+            capped = self.per_flow_cap / self._uniform_weight
+            if capped < rate:
+                return capped
+        return rate
+
+    def _sync(self) -> None:
+        """Advance to ``env.now`` and complete drained flows."""
+        if self._wf_flows is not None:
+            self._wf_sync()
+            return
         now = self.env.now
+        if self._n:
+            elapsed = now - self._last_update
+            if elapsed > 0:
+                self._V += elapsed * self._vrate()
+        self._last_update = now
+        heap = self._vheap
+        v_now = self._V
+        while heap and (heap[0][0] - v_now) * heap[0][2].weight <= _EPSILON:
+            _tag, _seq, flow = heapq.heappop(heap)
+            self._W -= flow.weight
+            self._n -= 1
+            self.bytes_completed += flow.size
+            flow.event.succeed()
+        if self._n == 0:
+            self._V = 0.0
+            self._W = 0.0
+            self._uniform_weight = None
+
+    def _rearm(self) -> None:
+        """Point the single wake timer at the earliest finish."""
+        if not self._n:
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+            return
+        delay = (self._vheap[0][0] - self._V) / self._vrate()
+        when = self.env.now + delay
+        if self._timer is not None and not self._timer.processed:
+            if self._timer_at == when and not self._timer.cancelled:
+                return  # earliest finish unchanged — keep the timer
+            self._timer.cancel()
+        self._timer = self.env.timeout(delay)
+        self._timer_at = when
+        self._timer.callbacks.append(self._wake)
+
+    def _wake(self, _event: Event) -> None:
+        self._timer = None
+        self._sync()
+        if self._wf_flows is not None:
+            self._wf_rearm()
+        else:
+            self._rearm()
+
+    # -- water-filling slow path (mixed weights under a cap) -------------
+    def _enter_waterfill(self) -> None:
+        """Materialize per-flow byte counters and leave virtual time."""
+        flows: List[_Flow] = []
+        while self._vheap:
+            _tag, _seq, flow = heapq.heappop(self._vheap)
+            flow.remaining = (flow.vfinish - self._V) * flow.weight
+            flows.append(flow)
+        flows.sort(key=lambda flow: flow.seq)
+        self._wf_flows = flows
+        self._V = 0.0
+        self._W = 0.0
+        self._n = 0
+        self._uniform_weight = None
+
+    def _wf_rates(self) -> None:
+        """Water-filling under the uniform per-flow cap.
+
+        Flows whose proportional share exceeds the cap drain at exactly
+        the cap; the bandwidth they cannot use is re-shared among the
+        remaining flows (iterating, since the re-share can push more
+        flows over the cap).
+        """
+        cap = self.per_flow_cap
+        active = self._wf_flows
+        remaining_bw = self.bandwidth
+        while active:
+            total_weight = sum(flow.weight for flow in active)
+            fair = remaining_bw / total_weight
+            uncapped = []
+            n_capped = 0
+            for flow in active:
+                if flow.weight * fair > cap:
+                    flow.rate = cap
+                    n_capped += 1
+                else:
+                    uncapped.append(flow)
+            if not n_capped:
+                for flow in active:
+                    flow.rate = flow.weight * fair
+                return
+            remaining_bw -= cap * n_capped
+            active = uncapped
+
+    def _wf_sync(self) -> None:
+        now = self.env.now
+        flows = self._wf_flows
         elapsed = now - self._last_update
         self._last_update = now
-        if elapsed <= 0 or not self._flows:
-            return
-        for flow, rate in self._rates():
-            flow.remaining -= rate * elapsed
-
-    def _rates(self):
-        """Current (flow, rate) pairs under weighted fair sharing."""
-        total_weight = sum(flow.weight for flow in self._flows)
-        pairs = []
-        for flow in self._flows:
-            rate = self.bandwidth * flow.weight / total_weight
-            if self.per_flow_cap is not None:
-                rate = min(rate, self.per_flow_cap)
-            pairs.append((flow, rate))
-        return pairs
-
-    def _reschedule(self) -> None:
-        # Complete drained flows (oldest first for determinism).
-        still_active: List[_Flow] = []
-        for flow in self._flows:
+        if elapsed > 0:
+            for flow in flows:
+                flow.remaining -= flow.rate * elapsed
+        survivors: List[_Flow] = []
+        for flow in flows:  # join order: oldest completes first
             if flow.remaining <= _EPSILON:
+                self.bytes_completed += flow.size
                 flow.event.succeed()
             else:
-                still_active.append(flow)
-        self._flows = still_active
-        self._timer_version += 1
-        if not self._flows:
+                survivors.append(flow)
+        if survivors:
+            self._wf_flows = survivors
+        else:
+            # Drained idle: return to the O(log n) virtual-time path.
+            self._wf_flows = None
+            self._V = 0.0
+            self._W = 0.0
+            self._n = 0
+            self._uniform_weight = None
+
+    def _wf_rearm(self) -> None:
+        flows = self._wf_flows
+        if not flows:
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
             return
-        version = self._timer_version
-        next_done = min(flow.remaining / rate for flow, rate in self._rates())
-
-        def _wake(_event: Event) -> None:
-            if version == self._timer_version:
-                self._advance()
-                self._reschedule()
-
-        timer = self.env.timeout(next_done)
-        timer.callbacks.append(_wake)
+        self._wf_rates()
+        delay = min(flow.remaining / flow.rate for flow in flows)
+        when = self.env.now + delay
+        if self._timer is not None and not self._timer.processed:
+            if self._timer_at == when and not self._timer.cancelled:
+                return
+            self._timer.cancel()
+        self._timer = self.env.timeout(delay)
+        self._timer_at = when
+        self._timer.callbacks.append(self._wake)
 
 
 class SerialLink:
@@ -144,6 +342,11 @@ class SerialLink:
 
     Models narrow interfaces where requests do not interleave, e.g. the
     non-posted ENQCMD path or a single DMA channel's descriptor fetch.
+
+    Completion events are ordinary scheduled events, so a caller that
+    loses interest can ``event.cancel()`` them: the callbacks never run,
+    but the time reservation stays — a posted request still occupies the
+    channel even if nobody is waiting for it.
     """
 
     def __init__(self, env: Environment, bandwidth: float, name: str = ""):

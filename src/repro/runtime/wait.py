@@ -8,7 +8,7 @@ measures.
 from __future__ import annotations
 
 import enum
-from typing import Generator, Union
+from typing import Generator, Optional, Union
 
 from repro.cpu.core import CpuCore, CycleCategory
 from repro.cpu.instructions import InstructionCosts
@@ -32,8 +32,20 @@ def wait_for(
     descriptor: Descriptor,
     mode: WaitMode = WaitMode.UMWAIT,
     costs: InstructionCosts = DEFAULT_COSTS,
+    max_wait_ns: Optional[float] = None,
 ) -> Generator:
-    """Block until the descriptor completes; returns the wait time (ns)."""
+    """Block until the descriptor completes; returns the wait time (ns).
+
+    ``max_wait_ns`` models the ``IA32_UMWAIT_CONTROL`` TSC deadline for
+    :attr:`WaitMode.UMWAIT`: the core wakes at the deadline even without
+    a completion store, re-checks the monitored cacheline, and re-arms.
+    Each armed deadline is a real calendar timer; when the completion
+    lands first, the pending deadline is **cancelled**
+    (:meth:`repro.sim.engine.Event.cancel`) instead of left to fire into
+    a stale no-op.  ``None`` (the default) waits in one shot.
+    """
+    if max_wait_ns is not None and max_wait_ns <= 0:
+        raise ValueError(f"max_wait_ns must be positive, got {max_wait_ns}")
     event = descriptor.completion_event
     if event is None:
         raise RuntimeError("descriptor was never submitted (no completion event)")
@@ -48,7 +60,23 @@ def wait_for(
             start, "wait", "wait", agent, descriptor.trace_track, {"mode": mode.value}
         )
     if not event.triggered:
-        yield event
+        if mode is WaitMode.UMWAIT and max_wait_ns is not None:
+            deadline_wakes = 0
+            while not event.triggered:
+                deadline = env.timeout(max_wait_ns)
+                yield env.any_of([event, deadline])
+                if event.triggered:
+                    # Completion won the race: the armed deadline is
+                    # stale the instant we stop monitoring.
+                    deadline.cancel()
+                else:
+                    deadline_wakes += 1
+            if deadline_wakes:
+                env.metrics.counter(f"{agent}.wait.umwait_deadline_wakes").add(
+                    deadline_wakes
+                )
+        else:
+            yield event
     waited = env.now - start
     if mode is WaitMode.SPIN:
         core.account(CycleCategory.WAIT_SPIN, waited)

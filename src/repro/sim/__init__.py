@@ -19,9 +19,29 @@ Typical usage::
 
     ...
     env.run()
+
+Timers are cancellable: any scheduled event (most usefully a
+``Timeout``) supports ``event.cancel()`` — its callbacks never run, the
+calendar entry is discarded lazily (bulk-compacted past
+``engine.CALENDAR_COMPACT_THRESHOLD``), and a later ``succeed``/``fail``
+on a cancelled pending event raises :class:`SimulationError`.  The
+environment counts the churn as ``env.cancelled_events`` /
+``env.stale_timers`` and publishes the pair to the metrics registry as
+``sim.cancelled_events`` / ``sim.stale_timers`` when ``run()`` returns.
+Model code that re-arms a wake timer on every state change (see
+:class:`repro.mem.link.FairShareLink`) cancels the stale timer instead
+of letting it fire into a version-check no-op.
 """
 
-from repro.sim.engine import Environment, Event, Interrupt, Process, SimulationError
+from repro.sim.engine import (
+    Condition,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
 from repro.sim.resources import PriorityStore, Resource, Store
 from repro.sim.stats import Histogram, OnlineStat, TimeWeightedStat
 from repro.sim.rng import DEFAULT_SEED, install_seed, installed_seed, make_rng, uninstall_seed
@@ -31,11 +51,13 @@ __all__ = [
     "install_seed",
     "installed_seed",
     "uninstall_seed",
+    "Condition",
     "Environment",
     "Event",
     "Interrupt",
     "Process",
     "SimulationError",
+    "Timeout",
     "Resource",
     "Store",
     "PriorityStore",

@@ -24,6 +24,11 @@ _new_event = object.__new__
 URGENT = 0
 NORMAL = 1
 
+#: Calendar compaction: when more than this many cancelled entries sit
+#: in the heap *and* they outnumber the live entries, the calendar is
+#: rebuilt without them (one O(n) pass instead of n O(log n) pops).
+CALENDAR_COMPACT_THRESHOLD = 64
+
 
 class SimulationError(RuntimeError):
     """Raised for illegal engine operations (double trigger, bad yield)."""
@@ -43,9 +48,24 @@ class Event:
     An event starts *pending*, becomes *triggered* when given a value via
     :meth:`succeed` or :meth:`fail`, and *processed* once its callbacks
     have run.  Processes wait on events by yielding them.
+
+    A scheduled event can also be *cancelled* (:meth:`cancel`): its
+    callbacks will never run and its calendar entry is discarded lazily
+    — the primary use is killing a speculative timer (a link wake, a
+    wait deadline) the moment it becomes stale, instead of letting it
+    fire and version-check itself into a no-op.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+    __slots__ = (
+        "env",
+        "callbacks",
+        "_value",
+        "_ok",
+        "_triggered",
+        "_processed",
+        "_defused",
+        "_cancelled",
+    )
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -55,6 +75,7 @@ class Event:
         self._triggered = False
         self._processed = False
         self._defused = False
+        self._cancelled = False
 
     @property
     def triggered(self) -> bool:
@@ -63,6 +84,10 @@ class Event:
     @property
     def processed(self) -> bool:
         return self._processed
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
 
     @property
     def ok(self) -> bool:
@@ -80,6 +105,8 @@ class Event:
         """Trigger the event successfully with ``value`` after ``delay``."""
         if self._triggered:
             raise SimulationError("event already triggered")
+        if self._cancelled:
+            raise SimulationError("event was cancelled")
         self._triggered = True
         self._ok = True
         self._value = value
@@ -90,6 +117,8 @@ class Event:
         """Trigger the event as failed; waiting processes see the exception."""
         if self._triggered:
             raise SimulationError("event already triggered")
+        if self._cancelled:
+            raise SimulationError("event was cancelled")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._triggered = True
@@ -97,6 +126,39 @@ class Event:
         self._value = exception
         self.env._schedule(self, delay)
         return self
+
+    def cancel(self) -> bool:
+        """Cancel the event: its callbacks will never run.
+
+        Contract (see ``docs/PERFORMANCE.md``):
+
+        * Cancelling a *scheduled* event (triggered but not yet
+          processed — e.g. a pending :class:`Timeout`) discards its
+          calendar entry lazily: the entry is skipped when popped, or
+          swept in bulk once cancelled entries dominate the calendar
+          (:data:`CALENDAR_COMPACT_THRESHOLD`).  The simulated clock
+          never advances *because of* a cancelled entry.
+        * Cancelling a *pending* event makes a later ``succeed()`` /
+          ``fail()`` raise :class:`SimulationError`.
+        * Cancelling an already-processed or already-cancelled event is
+          a no-op.  Returns True only when this call did the cancel.
+        * A process must not yield an event that may be cancelled — the
+          process would never resume.  Cancellation is for timers whose
+          owner re-arms elsewhere (links, wait deadlines).
+        """
+        if self._processed or self._cancelled:
+            return False
+        self._cancelled = True
+        env = self.env
+        env._cancelled_events += 1
+        if self._triggered:  # a live calendar entry exists for it
+            env._dead_entries += 1
+            if (
+                env._dead_entries > CALENDAR_COMPACT_THRESHOLD
+                and env._dead_entries * 2 > len(env._calendar)
+            ):
+                env._compact()
+        return True
 
     def defuse(self) -> None:
         """Mark a failed event as handled so it does not crash the run."""
@@ -142,7 +204,7 @@ class Condition(Event):
                 ev.callbacks.append(self._collect)
 
     def _collect(self, ev: Event) -> None:
-        if self._triggered:
+        if self._triggered or self._cancelled:
             return
         if not ev._ok:
             ev.defuse()
@@ -178,6 +240,15 @@ class Process(Event):
     @property
     def is_alive(self) -> bool:
         return not self._triggered
+
+    def cancel(self) -> bool:
+        """Processes cannot be cancelled — use :meth:`interrupt`.
+
+        A cancelled process event would make the generator's final
+        ``succeed`` blow up long after the caller moved on; interrupt
+        delivers a catchable exception at a defined point instead.
+        """
+        raise SimulationError(f"cannot cancel process {self.name!r}; use interrupt()")
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time.
@@ -291,6 +362,14 @@ class Environment:
         self._calendar: List = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        # Cancellation bookkeeping: totals are exposed as properties and
+        # flushed into the metrics registry when run() returns, so the
+        # hot path pays integer increments only.
+        self._cancelled_events = 0  # Event.cancel() calls
+        self._stale_timers = 0  # cancelled calendar entries swept
+        self._dead_entries = 0  # cancelled entries still in the heap
+        self._cancelled_flushed = 0
+        self._stale_flushed = 0
         self.tracer = tracer if tracer is not None else installed_tracer()
         if metrics is None:
             # Explicit None checks: an empty registry is falsy (len 0).
@@ -330,6 +409,7 @@ class Environment:
         ev._triggered = True
         ev._processed = False
         ev._defused = False
+        ev._cancelled = False
         self._seq += 1
         heapq.heappush(self._calendar, (self._now + delay, NORMAL, self._seq, ev))
         return ev
@@ -348,15 +428,65 @@ class Environment:
         self._seq += 1
         heapq.heappush(self._calendar, (self._now + delay, priority, self._seq, event))
 
+    # -- cancellation bookkeeping ---------------------------------------
+    @property
+    def cancelled_events(self) -> int:
+        """Total :meth:`Event.cancel` calls on this environment."""
+        return self._cancelled_events
+
+    @property
+    def stale_timers(self) -> int:
+        """Cancelled calendar entries discarded so far (lazy + compaction)."""
+        return self._stale_timers
+
+    def _compact(self) -> None:
+        """Rebuild the calendar without cancelled entries (one O(n) pass).
+
+        In place: ``run()`` binds the calendar list locally for speed,
+        so the list object's identity must survive compaction.
+        """
+        calendar = self._calendar
+        live = [entry for entry in calendar if not entry[3]._cancelled]
+        self._stale_timers += len(calendar) - len(live)
+        calendar[:] = live
+        heapq.heapify(calendar)
+        self._dead_entries = 0
+
+    def _flush_cancel_metrics(self) -> None:
+        """Publish the counter pair to the metrics registry (delta-based)."""
+        delta = self._cancelled_events - self._cancelled_flushed
+        if delta:
+            self.metrics.counter("sim.cancelled_events").add(delta)
+            self._cancelled_flushed = self._cancelled_events
+        delta = self._stale_timers - self._stale_flushed
+        if delta:
+            self.metrics.counter("sim.stale_timers").add(delta)
+            self._stale_flushed = self._stale_timers
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._calendar[0][0] if self._calendar else float("inf")
+        calendar = self._calendar
+        while calendar and calendar[0][3]._cancelled:
+            heapq.heappop(calendar)
+            self._stale_timers += 1
+            self._dead_entries -= 1
+        return calendar[0][0] if calendar else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event from the calendar."""
-        if not self._calendar:
-            raise SimulationError("empty calendar")
-        when, _prio, _seq, event = heapq.heappop(self._calendar)
+        """Process exactly one live event from the calendar.
+
+        Cancelled entries encountered on the way are discarded without
+        advancing the clock — they never happened.
+        """
+        while True:
+            if not self._calendar:
+                raise SimulationError("empty calendar")
+            when, _prio, _seq, event = heapq.heappop(self._calendar)
+            if event._cancelled:
+                self._stale_timers += 1
+                self._dead_entries -= 1
+                continue
+            break
         self._now = when
         callbacks, event.callbacks = event.callbacks, None
         event._processed = True
@@ -377,17 +507,30 @@ class Environment:
             raise ValueError(f"until ({until}) is in the past (now={self._now})")
         calendar = self._calendar
         pop = heapq.heappop
-        while calendar:
-            if until is not None and calendar[0][0] > until:
+        try:
+            while calendar:
+                if until is not None and calendar[0][0] > until:
+                    self._now = until
+                    return
+                when, _prio, _seq, event = pop(calendar)
+                if event._cancelled:
+                    # Lazily discard; the clock does not advance for a
+                    # timer that was cancelled before it fired.
+                    self._stale_timers += 1
+                    self._dead_entries -= 1
+                    continue
+                self._now = when
+                callbacks, event.callbacks = event.callbacks, None
+                event._processed = True
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+            if until is not None:
                 self._now = until
-                return
-            when, _prio, _seq, event = pop(calendar)
-            self._now = when
-            callbacks, event.callbacks = event.callbacks, None
-            event._processed = True
-            for callback in callbacks:
-                callback(event)
-            if not event._ok and not event._defused:
-                raise event._value
-        if until is not None:
-            self._now = until
+        finally:
+            if (
+                self._cancelled_events != self._cancelled_flushed
+                or self._stale_timers != self._stale_flushed
+            ):
+                self._flush_cancel_metrics()

@@ -1,9 +1,26 @@
 """Unit tests for the fair-share bandwidth link model."""
 
+import importlib.util
+import math
+import random
+from pathlib import Path
+
 import pytest
 
 from repro.mem.link import FairShareLink, SerialLink
 from repro.sim import Environment
+
+
+def _load_legacy_link():
+    """Import the verbatim pre-virtual-time link embedded in the bench."""
+    path = Path(__file__).resolve().parents[2] / "scripts" / "bench_link.py"
+    spec = importlib.util.spec_from_file_location("bench_link", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.LegacyFairShareLink
+
+
+LegacyFairShareLink = _load_legacy_link()
 
 
 class TestFairShareLink:
@@ -108,6 +125,250 @@ class TestFairShareLink:
         assert link.instantaneous_rate() == 6.0
 
 
+class TestWeightedFairShare:
+    def test_two_to_one_weight_ratio(self):
+        # B=9, 900 B each at weights 2:1 -> rates 6 and 3; the heavy flow
+        # finishes at 150, then the light one drains its 450 B at 9 B/ns.
+        env = Environment()
+        link = FairShareLink(env, bandwidth=9.0)
+        done = {}
+
+        def proc(tag, weight):
+            yield link.transfer(900.0, weight=weight)
+            done[tag] = env.now
+
+        env.process(proc("heavy", 2.0))
+        env.process(proc("light", 1.0))
+        env.run()
+        assert done["heavy"] == pytest.approx(150.0)
+        assert done["light"] == pytest.approx(200.0)
+
+    def test_drain_order_follows_virtual_finish_tags(self):
+        # Equal sizes, weights 1/2/3: finish tags 600/300/200, so the
+        # heaviest flow completes first despite identical join times.
+        env = Environment()
+        link = FairShareLink(env, bandwidth=6.0)
+        order = []
+        done = {}
+
+        def proc(tag, weight):
+            yield link.transfer(600.0, weight=weight)
+            order.append(tag)
+            done[tag] = env.now
+
+        for tag, weight in (("w1", 1.0), ("w2", 2.0), ("w3", 3.0)):
+            env.process(proc(tag, weight))
+        env.run()
+        assert order == ["w3", "w2", "w1"]
+        assert done["w3"] == pytest.approx(200.0)
+        assert done["w2"] == pytest.approx(250.0)
+        assert done["w1"] == pytest.approx(300.0)
+
+    def test_uniform_weight_cap_interaction(self):
+        # Uniform weights under a cap stay on the virtual-time fast
+        # path: both flows pinned at 4 B/ns, and the survivor stays
+        # capped even once it is alone on the link.
+        env = Environment()
+        link = FairShareLink(env, bandwidth=10.0, per_flow_cap=4.0)
+        done = {}
+
+        def proc(tag, nbytes):
+            yield link.transfer(nbytes)
+            done[tag] = env.now
+
+        env.process(proc("short", 400.0))
+        env.process(proc("long", 800.0))
+        env.run()
+        assert done["short"] == pytest.approx(100.0)
+        assert done["long"] == pytest.approx(200.0)
+        assert link._wf_flows is None  # never left the fast path
+
+
+class TestWaterFilling:
+    def test_cap_surplus_redistributed_to_light_flow(self):
+        # B=10, cap=6, weights 3:1.  Proportional shares would be
+        # 7.5/2.5; the heavy flow is clamped to 6 and the light flow
+        # water-fills to 4 (not 2.5 as the old proportional-min gave).
+        env = Environment()
+        link = FairShareLink(env, bandwidth=10.0, per_flow_cap=6.0)
+        done = {}
+
+        def proc(tag, weight):
+            yield link.transfer(600.0, weight=weight)
+            done[tag] = env.now
+
+        env.process(proc("heavy", 3.0))
+        env.process(proc("light", 1.0))
+        env.run()
+        assert done["heavy"] == pytest.approx(100.0)
+        # 400 B at 4 B/ns while sharing, then 200 B alone at min(10, 6).
+        assert done["light"] == pytest.approx(100.0 + 200.0 / 6.0)
+
+    def test_redistribution_cascades(self):
+        # B=12, cap=4.5, weights 4/2/1: the first redistribution round
+        # pushes the middle flow over the cap too, so water-filling must
+        # iterate.  Final rates 4.5 / 4.5 / 3.0.
+        env = Environment()
+        link = FairShareLink(env, bandwidth=12.0, per_flow_cap=4.5)
+        done = {}
+
+        def proc(tag, nbytes, weight):
+            yield link.transfer(nbytes, weight=weight)
+            done[tag] = env.now
+
+        env.process(proc("w4", 900.0, 4.0))
+        env.process(proc("w2", 450.0, 2.0))
+        env.process(proc("w1", 150.0, 1.0))
+        env.run()
+        assert done["w1"] == pytest.approx(50.0)
+        assert done["w2"] == pytest.approx(100.0)
+        assert done["w4"] == pytest.approx(200.0)
+
+    def test_returns_to_virtual_time_after_drain(self):
+        env = Environment()
+        link = FairShareLink(env, bandwidth=10.0, per_flow_cap=6.0)
+
+        def phase_one(weight):
+            yield link.transfer(300.0, weight=weight)
+
+        env.process(phase_one(3.0))
+        env.process(phase_one(1.0))
+        env.run()
+        assert link._wf_flows is None  # drained idle -> fast path again
+        done = []
+
+        def phase_two():
+            yield link.transfer(500.0)
+            done.append(env.now)
+
+        start = env.now
+        env.process(phase_two())
+        env.run()
+        assert link._wf_flows is None
+        assert done == [pytest.approx(start + 500.0 / 6.0)]
+
+
+class TestBytesAccounting:
+    def test_bytes_completed_counted_at_drain_not_submit(self):
+        env = Environment()
+        link = FairShareLink(env, bandwidth=10.0)
+        link.transfer(100.0)
+        link.transfer(200.0)
+        # Nothing has drained yet: the old implementation wrongly
+        # reported 300 completed here.
+        assert link.bytes_completed == 0.0
+        assert link.bytes_inflight == pytest.approx(300.0)
+        env.run(until=10.0)
+        # 10 ns at 5 B/ns each -> 100 B drained, none complete.
+        assert link.bytes_completed == 0.0
+        assert link.bytes_inflight == pytest.approx(200.0)
+        env.run()
+        assert link.bytes_completed == pytest.approx(300.0)
+        assert link.bytes_inflight == 0.0
+
+    def test_bytes_inflight_is_a_pure_read(self):
+        env = Environment()
+        link = FairShareLink(env, bandwidth=10.0)
+        event = link.transfer(100.0)
+        env.run(until=5.0)
+        # Sampling mid-flight advances nothing: repeated reads agree,
+        # the flow is still active, and it completes on time anyway.
+        assert link.bytes_inflight == pytest.approx(50.0)
+        assert link.bytes_inflight == pytest.approx(50.0)
+        assert not event.triggered
+        assert link.active_flows == 1
+        env.run()
+        assert event.triggered
+        assert env.now == pytest.approx(10.0)
+
+    def test_bytes_accounting_in_waterfill_mode(self):
+        env = Environment()
+        link = FairShareLink(env, bandwidth=10.0, per_flow_cap=6.0)
+        link.transfer(600.0, weight=3.0)
+        link.transfer(600.0, weight=1.0)
+        assert link.bytes_inflight == pytest.approx(1200.0)
+        env.run(until=50.0)
+        # Rates 6 and 4 -> 500 B drained after 50 ns.
+        assert link.bytes_inflight == pytest.approx(700.0)
+        assert link.bytes_completed == 0.0
+        env.run()
+        assert link.bytes_completed == pytest.approx(1200.0)
+
+
+class TestDifferentialOldVsNew:
+    """Randomized old-vs-new equivalence (the tentpole's safety net).
+
+    The legacy O(n) link (verbatim from ``scripts/bench_link.py``) and
+    the virtual-time link must produce *identical* completion times on
+    every schedule where their semantics coincide: mixed weights without
+    a cap, any weights with a non-binding cap, and uniform weights with
+    a binding cap.  (Mixed weights under a *binding* cap intentionally
+    differ — water-filling vs proportional-min — and are pinned by
+    ``TestWaterFilling`` instead.)
+    """
+
+    SCHEDULES_PER_SCENARIO = 70
+
+    @staticmethod
+    def _random_schedule(rng, uniform_weight):
+        n_flows = rng.randint(2, 10)
+        weight = rng.choice([0.5, 1.0, 2.0, 4.0]) if uniform_weight else None
+        schedule = []
+        for _ in range(n_flows):
+            schedule.append(
+                (
+                    rng.uniform(0.0, 50.0),  # arrival delay
+                    rng.uniform(64.0, 8192.0),  # bytes
+                    weight if uniform_weight else rng.choice([0.5, 1.0, 2.0, 4.0]),
+                )
+            )
+        return schedule
+
+    @staticmethod
+    def _completion_times(link_cls, schedule, bandwidth, cap):
+        env = Environment()
+        link = link_cls(env, bandwidth=bandwidth, per_flow_cap=cap)
+        finish = {}
+
+        def proc(idx, delay, nbytes, weight):
+            yield env.timeout(delay)
+            yield link.transfer(nbytes, weight=weight)
+            finish[idx] = env.now
+
+        for idx, (delay, nbytes, weight) in enumerate(schedule):
+            env.process(proc(idx, delay, nbytes, weight))
+        env.run()
+        return [finish[idx] for idx in range(len(schedule))]
+
+    @pytest.mark.parametrize(
+        "scenario,uniform_weight,cap_kind",
+        [
+            ("mixed_weights_uncapped", False, None),
+            ("uniform_weights_binding_cap", True, "binding"),
+            ("mixed_weights_nonbinding_cap", False, "nonbinding"),
+        ],
+    )
+    def test_completion_times_match_legacy(self, scenario, uniform_weight, cap_kind):
+        rng = random.Random(hash(scenario) & 0xFFFFFFFF)
+        for trial in range(self.SCHEDULES_PER_SCENARIO):
+            bandwidth = rng.uniform(4.0, 128.0)
+            if cap_kind == "binding":
+                cap = rng.uniform(bandwidth / 8.0, bandwidth / 1.5)
+            elif cap_kind == "nonbinding":
+                cap = bandwidth * rng.uniform(1.0, 4.0)
+            else:
+                cap = None
+            schedule = self._random_schedule(rng, uniform_weight)
+            old = self._completion_times(LegacyFairShareLink, schedule, bandwidth, cap)
+            new = self._completion_times(FairShareLink, schedule, bandwidth, cap)
+            for idx, (t_old, t_new) in enumerate(zip(old, new)):
+                assert math.isclose(t_old, t_new, rel_tol=1e-9, abs_tol=1e-9), (
+                    f"{scenario} trial {trial} flow {idx}: "
+                    f"legacy {t_old!r} != virtual-time {t_new!r} "
+                    f"(bandwidth={bandwidth}, cap={cap}, schedule={schedule})"
+                )
+
+
 class TestSerialLink:
     def test_transfers_queue_back_to_back(self):
         env = Environment()
@@ -136,3 +397,24 @@ class TestSerialLink:
         env.process(proc(env))
         env.run()
         assert times == [pytest.approx(110.0)]
+
+    def test_cancelled_transfer_keeps_time_reservation(self):
+        # A posted request still occupies the channel even if the
+        # submitter loses interest: cancel suppresses the callbacks but
+        # the serialization slot stays booked.
+        env = Environment()
+        link = SerialLink(env, bandwidth=2.0)
+        fired = []
+        first = link.transfer(100.0)  # occupies [0, 50)
+        first.callbacks.append(lambda ev: fired.append(env.now))
+        assert first.cancel() is True
+        times = []
+
+        def proc(env):
+            yield link.transfer(100.0)  # queued behind the cancelled one
+            times.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert fired == []
+        assert times == [pytest.approx(100.0)]

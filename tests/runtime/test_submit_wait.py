@@ -140,6 +140,67 @@ class TestWait:
         costs = InstructionCosts()
         assert costs.umwait_wake_ns < costs.interrupt_ns
 
+    def test_umwait_deadline_rearms_and_cancels_on_completion(self):
+        """IA32_UMWAIT_CONTROL TSC deadline: short deadlines force
+        re-arm wakeups, the final armed deadline is cancelled when the
+        completion wins, and the total wait matches the no-deadline
+        timing exactly."""
+        platform, space, portal, core = setup_portal()
+        desc = make_copy_desc(space, size=1 << 20)
+        waited = {}
+
+        def proc(env):
+            yield from submit(env, core, portal, desc)
+            waited["ns"] = yield from wait_for(
+                env, core, desc, WaitMode.UMWAIT, max_wait_ns=100.0
+            )
+
+        env = platform.env
+        env.process(proc(env))
+        env.run()
+        assert desc.completion.done
+        assert waited["ns"] > 100.0  # the copy outlives several deadlines
+        wakes = env.metrics.counter("core0.wait.umwait_deadline_wakes").value
+        assert wakes == int(waited["ns"] // 100.0)
+        assert core.time_in(CycleCategory.UMWAIT) == pytest.approx(waited["ns"])
+        # The deadline armed when the completion landed was cancelled,
+        # not left to fire into a stale no-op.
+        assert env.cancelled_events >= 1
+
+    def test_umwait_deadline_none_matches_default_timing(self):
+        results = []
+        for max_wait_ns in (None, 50.0):
+            platform, space, portal, core = setup_portal()
+            desc = make_copy_desc(space, size=1 << 20)
+            waited = {}
+
+            def proc(env):
+                yield from submit(env, core, portal, desc)
+                waited["ns"] = yield from wait_for(
+                    env, core, desc, WaitMode.UMWAIT, max_wait_ns=max_wait_ns
+                )
+
+            platform.env.process(proc(platform.env))
+            platform.env.run()
+            results.append((waited["ns"], platform.env.now))
+        # Deadline wakeups re-check and re-arm; they never change when
+        # the completion is observed.
+        assert results[0] == pytest.approx(results[1])
+
+    def test_umwait_deadline_must_be_positive(self):
+        platform, space, portal, core = setup_portal()
+        desc = make_copy_desc(space)
+
+        def proc(env):
+            yield from submit(env, core, portal, desc)
+            with pytest.raises(ValueError, match="max_wait_ns"):
+                yield from wait_for(
+                    env, core, desc, WaitMode.UMWAIT, max_wait_ns=0.0
+                )
+
+        platform.env.process(proc(platform.env))
+        platform.env.run()
+
 
 class TestCpuCore:
     def test_fraction_accounting(self):

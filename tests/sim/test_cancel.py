@@ -1,0 +1,189 @@
+"""Tests for first-class timer cancellation in the engine.
+
+Pins the cancellation contract documented in ``docs/PERFORMANCE.md``:
+cancelled events never run their callbacks, their calendar entries are
+discarded lazily (bulk-compacted past the threshold), the clock never
+advances because of them, and the churn is observable through the
+``sim.cancelled_events`` / ``sim.stale_timers`` counter pair.
+"""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.sim import Environment, SimulationError
+from repro.sim.engine import CALENDAR_COMPACT_THRESHOLD
+
+
+class TestCancelSemantics:
+    def test_cancelled_timer_callbacks_never_run(self):
+        env = Environment()
+        fired = []
+        timer = env.timeout(5.0)
+        timer.callbacks.append(lambda ev: fired.append(env.now))
+        assert timer.cancel() is True
+        env.run()
+        assert fired == []
+        assert timer.cancelled
+
+    def test_cancelled_entry_does_not_advance_clock(self):
+        env = Environment()
+        env.timeout(100.0).cancel()
+        env.timeout(3.0)
+        env.run()
+        assert env.now == 3.0  # the cancelled 100 ns entry never happened
+
+    def test_cancel_is_idempotent_and_counts_once(self):
+        env = Environment()
+        timer = env.timeout(1.0)
+        assert timer.cancel() is True
+        assert timer.cancel() is False
+        assert env.cancelled_events == 1
+
+    def test_cancel_after_processed_is_noop(self):
+        env = Environment()
+        timer = env.timeout(1.0)
+        env.run()
+        assert timer.processed
+        assert timer.cancel() is False
+        assert not timer.cancelled
+
+    def test_succeed_after_cancel_raises(self):
+        env = Environment()
+        event = env.event()
+        event.cancel()
+        with pytest.raises(SimulationError):
+            event.succeed()
+        with pytest.raises(SimulationError):
+            event.fail(RuntimeError("boom"))
+
+    def test_process_cannot_be_cancelled(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+
+        process = env.process(proc())
+        with pytest.raises(SimulationError):
+            process.cancel()
+        env.run()
+
+    def test_cancelled_member_never_reaches_condition(self):
+        env = Environment()
+        slow = env.timeout(10.0)
+        fast = env.timeout(1.0)
+        condition = env.all_of([fast, slow])
+        slow.cancel()
+        env.run()
+        # The condition never completes (its cancelled member is gone),
+        # but it also must not crash or collect the cancelled event.
+        assert not condition.triggered
+
+    def test_run_until_with_cancelled_top(self):
+        env = Environment()
+        env.timeout(50.0).cancel()
+        env.run(until=10.0)
+        assert env.now == 10.0
+
+
+class TestCalendarHygiene:
+    def test_peek_skips_cancelled_entries(self):
+        env = Environment()
+        early = env.timeout(1.0)
+        env.timeout(2.0)
+        early.cancel()
+        assert env.peek() == 2.0
+
+    def test_step_skips_cancelled_and_processes_next_live(self):
+        env = Environment()
+        fired = []
+        first = env.timeout(1.0)
+        second = env.timeout(2.0)
+        second.callbacks.append(lambda ev: fired.append(env.now))
+        first.cancel()
+        env.step()
+        assert fired == [2.0]
+
+    def test_step_raises_when_only_cancelled_entries_remain(self):
+        env = Environment()
+        env.timeout(1.0).cancel()
+        with pytest.raises(SimulationError):
+            env.step()
+
+    def test_compaction_sweeps_dominating_dead_entries(self):
+        env = Environment()
+        keep = env.timeout(1e9)
+        timers = [env.timeout(float(i + 1)) for i in range(CALENDAR_COMPACT_THRESHOLD * 3)]
+        for timer in timers:
+            timer.cancel()
+        # The bulk of the calendar was cancelled -> compaction kicked in.
+        assert len(env._calendar) < len(timers)
+        assert env.stale_timers > 0
+        assert not keep.cancelled
+
+    def test_compaction_preserves_live_schedule(self):
+        env = Environment()
+        fired = []
+        for i in range(CALENDAR_COMPACT_THRESHOLD * 3):
+            env.timeout(float(i + 1)).cancel()
+        live = env.timeout(7.5)
+        live.callbacks.append(lambda ev: fired.append(env.now))
+        # Events scheduled after a compaction must still be processed
+        # (the compaction rebuilds the calendar list in place).
+        late = env.timeout(9.0)
+        late.callbacks.append(lambda ev: fired.append(env.now))
+        env.run()
+        assert fired == [7.5, 9.0]
+
+
+class TestChurnCounters:
+    def test_counters_flush_to_metrics_registry(self):
+        registry = MetricsRegistry()
+        env = Environment(metrics=registry)
+        env.timeout(1.0).cancel()
+        env.timeout(2.0)
+        env.run()
+        assert registry.counter("sim.cancelled_events").value == 1
+        assert registry.counter("sim.stale_timers").value == 1
+        assert env.cancelled_events == 1
+        assert env.stale_timers == 1
+
+    def test_flush_is_delta_based_across_runs(self):
+        registry = MetricsRegistry()
+        env = Environment(metrics=registry)
+        env.timeout(1.0).cancel()
+        env.run()
+        env.timeout(2.0).cancel()
+        env.timeout(3.0)
+        env.run()
+        assert registry.counter("sim.cancelled_events").value == 2
+        assert registry.counter("sim.stale_timers").value == 2
+
+    def test_no_metrics_rows_without_churn(self):
+        registry = MetricsRegistry()
+        env = Environment(metrics=registry)
+        env.timeout(1.0)
+        env.run()
+        names = {name for name, _metric in registry}
+        assert "sim.cancelled_events" not in names
+        assert "sim.stale_timers" not in names
+
+    def test_fair_share_link_reports_churn(self):
+        from repro.mem.link import FairShareLink
+
+        registry = MetricsRegistry()
+        env = Environment(metrics=registry)
+        link = FairShareLink(env, bandwidth=10.0)
+
+        def proc(delay, nbytes):
+            yield env.timeout(delay)
+            yield link.transfer(nbytes)
+
+        for i in range(8):
+            env.process(proc(float(i), 100.0 + i))
+        env.run()
+        # Every join/leave re-armed the single wake timer by cancelling
+        # the stale one; the churn is observable, and no version-checked
+        # zombie timers survive in the calendar.
+        assert env.cancelled_events > 0
+        assert registry.counter("sim.cancelled_events").value == env.cancelled_events
+        assert env._calendar == []
