@@ -71,13 +71,27 @@ def _cmd_run(args) -> int:
         if args.jobs != 1:
             print("--profile forces --jobs 1", file=sys.stderr)
         profiler = cProfile.Profile()
+    injected = False
+    if args.fault_rate is not None:
+        from repro.faults import FaultPlan, install_injector
+
+        # Injection is session-wide mutable state, like --profile: run
+        # in-process and skip the cache (results no longer match the
+        # injection-free fingerprint).
+        if args.jobs != 1:
+            print("--fault-rate forces --jobs 1", file=sys.stderr)
+        install_injector(
+            FaultPlan(page_fault_rate=args.fault_rate, seed=args.fault_seed)
+        )
+        injected = True
+    in_process = profiler is not None or injected
     registry = MetricsRegistry()
     install_metrics(registry)
     runner = ParallelRunner(
-        jobs=1 if profiler is not None else args.jobs,
+        jobs=1 if in_process else args.jobs,
         quick=args.quick,
         seed=args.seed,
-        cache=None if (args.no_cache or profiler is not None) else ResultCache(),
+        cache=None if (args.no_cache or in_process) else ResultCache(),
         trace=tracer is not None,
     )
     summary_rows = []
@@ -118,6 +132,10 @@ def _cmd_run(args) -> int:
     finally:
         if profiler is not None:
             profiler.disable()
+        if injected:
+            from repro.faults import uninstall_injector
+
+            uninstall_injector()
         uninstall_metrics()
         if tracer is not None:
             uninstall_tracer()
@@ -241,6 +259,21 @@ def main(argv=None) -> int:
         action="store_true",
         help="cProfile the run in-process (forces --jobs 1 and --no-cache); "
         "prints the top 25 functions by cumulative time",
+    )
+    run_parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=None,
+        metavar="P",
+        help="inject page faults on a fraction P of device page translations "
+        "(forces --jobs 1 and --no-cache); see docs/ARCHITECTURE.md",
+    )
+    run_parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="seed for the injection streams (default: the run seed)",
     )
     run_parser.set_defaults(func=_cmd_run)
 

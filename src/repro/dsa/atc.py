@@ -3,6 +3,12 @@
 DSA caches translations locally and falls back to the socket IOMMU on
 a miss (paper §3.2).  Entries are keyed by (PASID, virtual page), so
 multiple processes share the device without flushes between them (F1).
+
+The ATC is also the natural choke point for deterministic fault
+injection (``repro.faults``): every device translation consults the
+active injector, which may turn it into a page fault (minor or major)
+or trigger an ATC shoot-down, before the real cache/IOMMU lookup runs.
+With no injector installed those checks are a single ``None`` test.
 """
 
 from __future__ import annotations
@@ -10,6 +16,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional, Tuple, TYPE_CHECKING
 
+from repro.faults.inject import active_injector
 from repro.mem.iommu import Iommu
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -20,7 +27,10 @@ class DeviceAtc:
     """LRU cache of (pasid, vpn) → translation, backed by the IOMMU.
 
     When the owning device passes a metrics registry, hits and misses
-    are also published live as ``<name>.hits`` / ``<name>.misses``.
+    are also published live as ``<name>.hits`` / ``<name>.misses``;
+    injected faults and shoot-downs appear lazily as
+    ``<name>.injected_faults`` / ``<name>.shootdowns`` the first time
+    one fires, so fault-free runs publish no extra names.
     """
 
     def __init__(
@@ -40,6 +50,7 @@ class DeviceAtc:
         self._cache: "OrderedDict[Tuple[int, int], bool]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self._metrics = metrics
         self._m_hits = metrics.counter(f"{name}.hits") if metrics else None
         self._m_misses = metrics.counter(f"{name}.misses") if metrics else None
 
@@ -49,9 +60,47 @@ class DeviceAtc:
     def _page_size(self, pasid: int) -> int:
         return self.iommu._tables[pasid].page_size
 
-    def translate(self, pasid: int, va: int) -> Tuple[float, bool]:
-        """Translate one address; ``(latency_ns, faulted)``."""
+    def _count(self, suffix: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(f"{self.name}.{suffix}").add()
+
+    def translate(
+        self, pasid: int, va: int, service_fault: bool = True
+    ) -> Tuple[float, bool]:
+        """Translate one address; ``(latency_ns, faulted)``.
+
+        ``service_fault=False`` models a BOF=0 engine: a faulting page
+        is *discovered* (walk latency charged) but not serviced — the
+        mapping is not created and nothing is cached, so software can
+        touch the page and resubmit the remainder.
+        """
+        injector = active_injector()
+        if injector is not None and injector.shootdown_due():
+            self.flush()
+            self._count("shootdowns")
         key = (pasid, va // self._page_size(pasid))
+        if injector is not None:
+            kind = injector.page_fault(pasid, va, self._page_size(pasid))
+            if kind is not None:
+                # Injected fault: the stale/absent translation forces a
+                # walk that misses; drop any cached entry for the page.
+                self._cache.pop(key, None)
+                self.misses += 1
+                if self._m_misses is not None:
+                    self._m_misses.add()
+                self._count("injected_faults")
+                walk = (
+                    self.iommu.params.iotlb_hit_latency
+                    + self.iommu.params.walk_overhead
+                    + self.iommu._tables[pasid].walk_latency
+                )
+                if not service_fault:
+                    return self.hit_latency + walk, True
+                latency = walk + injector.service_latency_ns(kind)
+                if len(self._cache) >= self.entries:
+                    self._cache.popitem(last=False)
+                self._cache[key] = True
+                return self.hit_latency + latency, True
         if key in self._cache:
             self._cache.move_to_end(key)
             self.hits += 1
@@ -61,7 +110,11 @@ class DeviceAtc:
         self.misses += 1
         if self._m_misses is not None:
             self._m_misses.add()
-        latency, faulted = self.iommu.translate(pasid, va)
+        latency, faulted = self.iommu.translate(pasid, va, service_fault)
+        if faulted and not service_fault:
+            # Unserviced fault: the page stays unmapped, so caching the
+            # (absent) translation would be wrong.
+            return self.hit_latency + latency, True
         if len(self._cache) >= self.entries:
             self._cache.popitem(last=False)
         self._cache[key] = True
@@ -90,6 +143,38 @@ class DeviceAtc:
                 faults += 1
             cursor += page
         return critical, faults
+
+    def translate_range_partial(
+        self, pasid: int, va: int, size: int
+    ) -> Tuple[float, int, Optional[int]]:
+        """Translate pages until the first fault (BOF=0 semantics).
+
+        Returns ``(critical_path_latency, faults, fault_va)``.  Walks
+        the same page sequence as :meth:`translate_range` but with
+        ``service_fault=False`` and stops at the first faulting page:
+        that fault is only discovered (walk latency on the critical
+        path), the page is left unmapped, and ``fault_va`` is the base
+        address of the faulting page (clamped to ``va`` for the first
+        page).  On a fault-free range the latency, cache state, and
+        IOMMU state are identical to :meth:`translate_range`.
+        """
+        if size <= 0:
+            return 0.0, 0, None
+        page = self._page_size(pasid)
+        critical, first_fault = self.translate(pasid, va, service_fault=False)
+        if first_fault:
+            return critical, 1, va
+        cursor = (va // page + 1) * page
+        while cursor < va + size:
+            latency, faulted = self.translate(pasid, cursor, service_fault=False)
+            if faulted:
+                return critical + latency, 1, cursor
+            cursor += page
+        return critical, 0, None
+
+    def flush(self) -> None:
+        """Drop every cached translation (ATC shoot-down / device reset)."""
+        self._cache.clear()
 
     def invalidate_pasid(self, pasid: int) -> None:
         for key in [k for k in self._cache if k[0] == pasid]:

@@ -111,6 +111,41 @@ class WorkDescriptor:
     def block_on_fault(self) -> bool:
         return bool(self.flags & DescriptorFlags.BLOCK_ON_FAULT)
 
+    def clone_range(self, offset: int, size: int) -> "WorkDescriptor":
+        """A fresh descriptor covering ``[offset, offset + size)``.
+
+        This is how software resumes a partially completed BOF=0
+        descriptor (paper §4.3): advance every address operand by the
+        completed byte count and resubmit the remainder.  The clone gets
+        its own completion record, timestamps, and completion event —
+        the original's are already consumed — and inherits the flags,
+        pattern, and QoS weight verbatim.  ``offset = 0`` with the full
+        size is a plain resubmission clone (e.g. after a device reset).
+        """
+        if offset < 0 or size <= 0 or offset + size > self.size:
+            raise ValueError(
+                f"clone_range [{offset}, {offset + size}) outside descriptor "
+                f"of size {self.size}"
+            )
+        return WorkDescriptor(
+            opcode=self.opcode,
+            pasid=self.pasid,
+            flags=self.flags,
+            src=self.src + offset if self.src else 0,
+            src2=self.src2 + offset if self.src2 else 0,
+            dst=self.dst + offset if self.dst else 0,
+            dst2=self.dst2 + offset if self.dst2 else 0,
+            size=size,
+            pattern=self.pattern,
+            pattern2=self.pattern2,
+            pattern_bytes=self.pattern_bytes,
+            dif=self.dif,
+            dif_new=self.dif_new,
+            delta_max_size=self.delta_max_size,
+            delta_size=self.delta_size,
+            dispatch_weight=self.dispatch_weight,
+        )
+
 
 @dataclass
 class BatchDescriptor:

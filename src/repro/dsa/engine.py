@@ -20,8 +20,9 @@ from typing import Generator, List, Tuple, TYPE_CHECKING
 
 from repro.dsa.descriptor import BatchDescriptor, WorkDescriptor
 from repro.dsa.errors import StatusCode
-from repro.dsa.opcodes import DescriptorFlags, Opcode
+from repro.dsa.opcodes import DescriptorFlags, Opcode, RESUMABLE_OPCODES
 from repro.dsa import ops as functional
+from repro.faults.inject import active_injector
 from repro.mem.address import AddressSpace, Buffer
 from repro.mem.system import SAME_NODE_TURNAROUND_NS, TierKind
 from repro.sim.engine import Environment, Event
@@ -34,18 +35,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 @dataclass
 class IoDemand:
-    """Byte movement a descriptor asks of the memory system."""
+    """Byte movement a descriptor asks of the memory system.
 
-    reads: List[Tuple[Buffer, int]] = field(default_factory=list)
-    writes: List[Tuple[Buffer, int]] = field(default_factory=list)
+    Entries are ``(buffer, va, nbytes)``: ``va`` is the descriptor's
+    operand address, which may sit *inside* ``buffer`` — a resumed
+    BOF=0 clone starts at the fault offset, so translation must cover
+    ``[va, va + nbytes)``, not the containing buffer's base.
+    """
+
+    reads: List[Tuple[Buffer, int, int]] = field(default_factory=list)
+    writes: List[Tuple[Buffer, int, int]] = field(default_factory=list)
 
     @property
     def read_bytes(self) -> int:
-        return sum(nbytes for _buf, nbytes in self.reads)
+        return sum(nbytes for _buf, _va, nbytes in self.reads)
 
     @property
     def write_bytes(self) -> int:
-        return sum(nbytes for _buf, nbytes in self.writes)
+        return sum(nbytes for _buf, _va, nbytes in self.writes)
 
     @property
     def port_bytes(self) -> int:
@@ -60,11 +67,11 @@ def io_demand(work: WorkDescriptor, space: AddressSpace) -> IoDemand:
 
     def read(va: int, nbytes: int) -> None:
         if nbytes > 0:
-            demand.reads.append((space.buffer_at(va), nbytes))
+            demand.reads.append((space.buffer_at(va), va, nbytes))
 
     def write(va: int, nbytes: int) -> None:
         if nbytes > 0:
-            demand.writes.append((space.buffer_at(va), nbytes))
+            demand.writes.append((space.buffer_at(va), va, nbytes))
 
     if op in (Opcode.NOOP, Opcode.DRAIN, Opcode.CACHE_FLUSH):
         return demand
@@ -122,10 +129,34 @@ class ProcessingEngine:
             descriptor = yield self.group.arbiter.get()
             descriptor.times.dispatched = self.env.now
             yield self.env.timeout(timing.dispatch_ns)
+            injector = active_injector()
+            if injector is not None and injector.device_reset(self.env.now):
+                yield from self._abort_reset(descriptor)
+                continue
             if isinstance(descriptor, BatchDescriptor):
                 yield from self._run_batch(descriptor)
             else:
                 yield from self._admit(descriptor, batch_events=None)
+
+    def _abort_reset(self, descriptor) -> Generator:
+        """Injected transient reset: abort mid-flight, drop the ATC.
+
+        Software sees ``DEVICE_DISABLED`` in the completion record and
+        is expected to resubmit from scratch (the recovery layer treats
+        it as retryable with ``bytes_completed = 0``).
+        """
+        timing = self.device.timing
+        self.device.atc.flush()
+        descriptor.completion.status = StatusCode.DEVICE_DISABLED
+        descriptor.completion.bytes_completed = 0
+        self.env.metrics.counter(f"{self.device.name}.reset_aborts").add()
+        if self.env.tracer.enabled and descriptor.trace_track >= 0:
+            self.env.tracer.instant(
+                self.env.now, "device_reset", "execute", self.agent, descriptor.trace_track
+            )
+        yield self.env.timeout(timing.completion_write_ns)
+        descriptor.times.completed = self.env.now
+        self.device._complete(descriptor)
 
     def _run_batch(self, batch: BatchDescriptor) -> Generator:
         """Batch unit: fetch the descriptor array, then stream it (F2)."""
@@ -236,25 +267,34 @@ class ProcessingEngine:
                 return
 
             # Address translation: first page on the critical path,
-            # page faults stall for their full service time.
+            # page faults stall for their full service time (BOF=1) or
+            # abort the descriptor with a partial completion (BOF=0).
             translate_ns = 0.0
             total_faults = 0
-            for buffer, nbytes in demand.reads + demand.writes:
-                va = buffer.va
-                latency, faults = device.atc.translate_range(work.pasid, va, nbytes)
-                translate_ns = max(translate_ns, latency)
-                total_faults += faults
-                if faults and not work.block_on_fault:
-                    work.completion.status = StatusCode.PAGE_FAULT
-                    work.completion.fault_address = va
-                    if traced:
-                        tracer.instant(
-                            env.now, "page_fault", "translate", agent, track, {"va": va}
-                        )
-                        tracer.end(env.now, "translate", "translate", agent, track)
-                    yield env.timeout(timing.completion_write_ns)
-                    work.times.completed = env.now
-                    device._complete(work)
+            if work.block_on_fault:
+                for _buffer, va, nbytes in demand.reads + demand.writes:
+                    latency, faults = device.atc.translate_range(
+                        work.pasid, va, nbytes
+                    )
+                    translate_ns = max(translate_ns, latency)
+                    total_faults += faults
+            else:
+                fault_offset = None
+                fault_va = None
+                for _buffer, va, nbytes in demand.reads + demand.writes:
+                    latency, faults, first_fault = device.atc.translate_range_partial(
+                        work.pasid, va, nbytes
+                    )
+                    translate_ns = max(translate_ns, latency)
+                    if faults:
+                        offset = min(nbytes, max(0, first_fault - va))
+                        if fault_offset is None or offset < fault_offset:
+                            fault_offset = offset
+                            fault_va = first_fault
+                if fault_offset is not None:
+                    yield from self._fault_abort(
+                        work, space, demand, translate_ns, fault_offset, fault_va
+                    )
                     return
             if translate_ns:
                 yield env.timeout(translate_ns)
@@ -288,7 +328,7 @@ class ProcessingEngine:
 
             # Source access latency (critical path, once per descriptor).
             read_ns = 0.0
-            for buffer, _nbytes in demand.reads:
+            for buffer, _va, _nbytes in demand.reads:
                 read_ns = max(
                     read_ns,
                     device.memsys.read_latency(
@@ -322,6 +362,76 @@ class ProcessingEngine:
             self.descriptors_processed += 1
             self._m_data_phases.add()
 
+    def _fault_abort(
+        self,
+        work: WorkDescriptor,
+        space: AddressSpace,
+        demand: IoDemand,
+        translate_ns: float,
+        fault_offset: int,
+        fault_va: int,
+    ) -> Generator:
+        """BOF=0 page fault: finish the head, report partial completion.
+
+        The engine has moved ``fault_offset`` bytes when the faulting
+        page's translation comes back unserviced; it writes a completion
+        record with ``PAGE_FAULT``, ``bytes_completed`` up to the fault,
+        and the faulting address, then moves on — fault resolution is
+        software's job (paper §4.3: touch the page, resubmit the rest).
+        """
+        device = self.device
+        timing = device.timing
+        env = self.env
+        tracer = env.tracer
+        traced = tracer.enabled and work.trace_track >= 0
+        agent, track = self.agent, work.trace_track
+        if translate_ns:
+            yield env.timeout(translate_ns)
+        if traced:
+            tracer.instant(
+                env.now, "page_fault", "translate", agent, track, {"va": fault_va}
+            )
+            tracer.end(env.now, "translate", "translate", agent, track)
+        if fault_offset > 0:
+            # Move the completed head through the normal data path.
+            head = IoDemand(
+                reads=[(b, va, min(n, fault_offset)) for b, va, n in demand.reads],
+                writes=[(b, va, min(n, fault_offset)) for b, va, n in demand.writes],
+            )
+            if traced:
+                tracer.begin(
+                    env.now, "execute", "execute", agent, track,
+                    {"opcode": work.opcode.name, "partial": fault_offset},
+                )
+            read_ns = 0.0
+            for buffer, _va, _nbytes in head.reads:
+                read_ns = max(
+                    read_ns,
+                    device.memsys.read_latency(
+                        buffer.node, device.socket, in_llc=buffer.in_llc
+                    ),
+                )
+            if read_ns:
+                yield env.timeout(read_ns)
+            flows, write_tail = self._build_flows(work, head)
+            if flows:
+                yield env.all_of(flows)
+            if write_tail:
+                yield env.timeout(write_tail)
+            if work.opcode in RESUMABLE_OPCODES:
+                buffers = [buf for buf, _va, _n in head.reads + head.writes]
+                if buffers and all(buffer.backed for buffer in buffers):
+                    functional.execute(work.clone_range(0, fault_offset), space)
+            if traced:
+                tracer.end(env.now, "execute", "execute", agent, track)
+        work.completion.status = StatusCode.PAGE_FAULT
+        work.completion.bytes_completed = fault_offset
+        work.completion.fault_address = fault_va
+        env.metrics.counter(f"{device.name}.partial_completions").add()
+        yield env.timeout(timing.completion_write_ns)
+        work.times.completed = env.now
+        device._complete(work)
+
     def _build_flows(self, work: WorkDescriptor, demand: IoDemand):
         """Create the bandwidth flows for one descriptor's data."""
         device = self.device
@@ -333,13 +443,13 @@ class ProcessingEngine:
         write_tail = 0.0
 
         read_nodes = set()
-        for buffer, nbytes in demand.reads:
+        for buffer, _va, nbytes in demand.reads:
             if buffer.in_llc:
                 continue  # LLC sources don't touch the memory links
             read_nodes.add(buffer.node)
             flows.append(memsys.read_flow(buffer.node, nbytes, device.socket))
 
-        for buffer, nbytes in demand.writes:
+        for buffer, _va, nbytes in demand.writes:
             if work.cache_control or buffer.in_llc:
                 # G3: allocate the destination into the LLC directly.
                 llc.touch(device.agent, nbytes, io=False, now=env.now)
@@ -379,7 +489,7 @@ class ProcessingEngine:
 
     def _finish_functional(self, work: WorkDescriptor, space: AddressSpace, demand: IoDemand):
         """Run the real byte operation when buffers are backed."""
-        buffers = [buf for buf, _ in demand.reads + demand.writes]
+        buffers = [buf for buf, _va, _n in demand.reads + demand.writes]
         if buffers and all(buffer.backed for buffer in buffers):
             functional.execute(work, space)
         else:

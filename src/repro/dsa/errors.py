@@ -21,6 +21,7 @@ class StatusCode(enum.IntEnum):
     DIF_ERROR = 0x17
     DELTA_OVERFLOW = 0x18
     QUEUE_FULL = 0x20  # model-level: ENQCMD retry indication
+    DEVICE_DISABLED = 0x21  # model-level: device reset/disabled mid-flight
 
     @property
     def is_success(self) -> bool:

@@ -80,3 +80,9 @@ MAX_BATCH_SIZE = 1024
 
 #: Fill/compare-pattern patterns are 8 bytes wide.
 PATTERN_BYTES = 8
+
+#: Operations whose partial progress is a usable prefix: software may
+#: resume them from ``bytes_completed`` after a BOF=0 page fault.
+#: Result-accumulating operations (compare, CRC, delta, DIF) must be
+#: restarted from offset 0 instead (DSA spec §"partial completion").
+RESUMABLE_OPCODES = frozenset({Opcode.MEMMOVE, Opcode.FILL, Opcode.DUALCAST})

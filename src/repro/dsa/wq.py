@@ -17,11 +17,13 @@ track from enqueue until the arbiter dispatches it.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Union
+from collections import deque
+from typing import Callable, Deque, Optional, Union
 
 from repro.dsa.config import WqConfig, WqMode
 from repro.dsa.descriptor import BatchDescriptor, WorkDescriptor
 from repro.dsa.errors import SubmissionError
+from repro.faults.inject import active_injector
 from repro.sim.engine import Environment
 
 Descriptor = Union[WorkDescriptor, BatchDescriptor]
@@ -35,7 +37,9 @@ class WorkQueue:
         self.env = env
         self.config = config
         self.name = f"{owner}.wq{config.wq_id}"
-        self._items: List[Descriptor] = []
+        # deque: pop() drains from the head; list.pop(0) made large-WQ
+        # drains quadratic.
+        self._items: Deque[Descriptor] = deque()
         #: Set by the owning group; fired on every successful enqueue.
         self.on_enqueue: Optional[Callable[["WorkQueue"], None]] = None
         self.enqueued = 0
@@ -75,6 +79,14 @@ class WorkQueue:
 
     def submit(self, descriptor: Descriptor) -> bool:
         """Enqueue one descriptor; semantics depend on the WQ mode."""
+        if self.config.mode is WqMode.SHARED:
+            injector = active_injector()
+            if injector is not None and injector.swq_reject():
+                # Injected congestion: bounce the ENQCMD as if full.
+                self.rejected += 1
+                self._m_rejected.add()
+                self.env.metrics.counter(f"{self.name}.injected_rejects").add()
+                return False
         if self.is_full:
             self.rejected += 1
             self._m_rejected.add()
@@ -105,7 +117,7 @@ class WorkQueue:
         """Remove and return the head descriptor (arbiter only)."""
         if not self._items:
             raise RuntimeError(f"pop from empty WQ {self.wq_id}")
-        descriptor = self._items.pop(0)
+        descriptor = self._items.popleft()
         self._m_occupancy.update(self.env.now, len(self._items))
         tracer = self.env.tracer
         if tracer.enabled and descriptor.trace_track >= 0:

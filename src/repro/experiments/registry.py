@@ -29,6 +29,7 @@ _EXPERIMENTS: Dict[str, str] = {
     "fig17": "repro.experiments.fig17_libfabric",
     "fig19": "repro.experiments.fig19_cachelib",
     "fig21": "repro.experiments.fig21_spdk",
+    "faults": "repro.experiments.fault_sweep",
     "cbdma": "repro.experiments.cbdma_comparison",
     "ablations": "repro.experiments.ablations",
     "guidelines": "repro.experiments.guidelines_validation",

@@ -1,0 +1,30 @@
+"""repro.faults — deterministic fault injection (paper §4.3, Appendix B).
+
+Declarative :class:`FaultPlan`s describe page faults, ATC shoot-downs,
+SWQ congestion bursts, and transient device resets; a seeded
+:class:`FaultInjector` executes them identically across serial and
+parallel runs.  Install one with :func:`install_injector` (or the
+scoped :func:`injection` context manager) and the IOMMU/ATC, work
+queues, and engines pick it up on their hot paths.
+"""
+
+from repro.faults.inject import (
+    PAGE_SIZE,
+    FaultInjector,
+    active_injector,
+    injection,
+    install_injector,
+    uninstall_injector,
+)
+from repro.faults.plan import FaultKind, FaultPlan
+
+__all__ = [
+    "PAGE_SIZE",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "active_injector",
+    "injection",
+    "install_injector",
+    "uninstall_injector",
+]

@@ -67,11 +67,19 @@ class Iommu:
     def is_attached(self, pasid: int) -> bool:
         return pasid in self._tables
 
-    def translate(self, pasid: int, va: int) -> Tuple[float, bool]:
+    def translate(
+        self, pasid: int, va: int, service_fault: bool = True
+    ) -> Tuple[float, bool]:
         """Translate one address; returns ``(latency_ns, faulted)``.
 
-        ``faulted`` is True when the OS had to service a page fault
-        (the page was not yet mapped — e.g. a non-prefaulted buffer).
+        ``faulted`` is True when the page was not yet mapped (e.g. a
+        non-prefaulted buffer).  With ``service_fault`` (the default,
+        matching BLOCK_ON_FAULT=1 behaviour) the OS services the fault
+        inline: the page is mapped, the full fault latency is charged,
+        and the IOTLB is filled.  With ``service_fault=False`` (the
+        BOF=0 path) the fault is only *discovered*: the walk latency is
+        charged, the page stays unmapped, and nothing is cached — so a
+        later retry after software touches the page faults no more.
         """
         table = self._tables.get(pasid)
         if table is None:
@@ -86,13 +94,17 @@ class Iommu:
             self._m_iotlb_misses.add()
         latency = self.params.iotlb_hit_latency + self.params.walk_overhead
         mapped_before = table.is_mapped(va)
-        _pa, _minor = table.translate(va)
-        latency += table.walk_latency
         faulted = not mapped_before
         if faulted:
             self.page_faults += 1
             if self._m_page_faults is not None:
                 self._m_page_faults.add()
+            if not service_fault:
+                # The walk discovered the miss; stop without mapping.
+                return latency + table.walk_latency, True
+        _pa, _minor = table.translate(va)
+        latency += table.walk_latency
+        if faulted:
             latency += self.params.page_fault_latency
         iotlb.fill(va)
         return latency, faulted

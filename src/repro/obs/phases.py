@@ -2,8 +2,9 @@
 
 The instrumentation in :mod:`repro.runtime` and :mod:`repro.dsa` emits
 every lifecycle phase of a descriptor — ``alloc``, ``prepare``,
-``submit``, ``queue``, ``translate``, ``execute``, ``wait`` — as
-begin/end spans on that descriptor's track.  These helpers invert the
+``submit``, ``queue``, ``translate``, ``execute``, ``wait``, and (for
+faulted BOF=0 descriptors) ``recovery`` — as begin/end spans on that
+descriptor's track.  These helpers invert the
 export: given the *trace alone* (the parsed ``trace.json`` array), they
 rebuild per-descriptor phase durations and the Fig 5-style average
 breakdown.  This is the calibration-debugging workflow described in
@@ -24,6 +25,7 @@ PHASE_CATEGORIES: Tuple[str, ...] = (
     "translate",
     "execute",
     "wait",
+    "recovery",
 )
 
 def span_durations(events: Iterable[Dict[str, Any]]) -> Dict[int, Dict[str, float]]:

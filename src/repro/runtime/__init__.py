@@ -12,12 +12,15 @@ This package is the model equivalent of the DSA software stack:
   jobs, batching, device load balancing).
 * :mod:`repro.runtime.dto` — transparent offload of ``mem*`` calls with
   a minimum-size threshold and software fallback.
+* :mod:`repro.runtime.recovery` — partial-completion recovery for
+  BOF=0 descriptors: bounded retries, backoff, software degradation.
 """
 
 from repro.runtime.driver import IdxdDriver, Portal
 from repro.runtime.accel_config import AccelConfig
 from repro.runtime.dml import Dml, DmlJob, DmlPath
 from repro.runtime.dto import Dto
+from repro.runtime.recovery import RecoveryResult, RetryPolicy, recover
 from repro.runtime.submit import prepare_descriptor, submit
 from repro.runtime.wait import WaitMode, wait_for
 
@@ -29,6 +32,9 @@ __all__ = [
     "DmlJob",
     "DmlPath",
     "Dto",
+    "RecoveryResult",
+    "RetryPolicy",
+    "recover",
     "submit",
     "prepare_descriptor",
     "WaitMode",

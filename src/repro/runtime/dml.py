@@ -93,8 +93,18 @@ class Dml:
         dif_new: Optional[DifContext] = None,
         delta_size: int = 0,
         cache_control: bool = False,
+        block_on_fault: bool = True,
     ) -> WorkDescriptor:
-        flags = DescriptorFlags.REQUEST_COMPLETION | DescriptorFlags.BLOCK_ON_FAULT
+        """Build a descriptor over library-managed buffers.
+
+        ``block_on_fault=False`` selects the BOF=0 contract: a page
+        fault aborts the descriptor with a partial completion that
+        software resumes (see :mod:`repro.runtime.recovery`), instead
+        of stalling the engine for the fault-service time (§4.3).
+        """
+        flags = DescriptorFlags.REQUEST_COMPLETION
+        if block_on_fault:
+            flags |= DescriptorFlags.BLOCK_ON_FAULT
         if cache_control:
             flags |= DescriptorFlags.CACHE_CONTROL
         pasid = 0

@@ -3,21 +3,29 @@
 DTO intercepts ``memcpy``/``memmove``/``memset``/``memcmp`` (via
 LD_PRELOAD on real systems) and redirects calls at or above a size
 threshold to *synchronous* DSA offloads, falling back to the software
-implementation below the threshold, when no device is available, or
-when the offload hits a page fault (the CacheLib deployment redoes the
-operation on the core in that case).
+implementation below the threshold or when no device is available.
+
+Fault handling goes through :func:`repro.runtime.recovery.recover`:
+a faulted offload resumes from ``completion.bytes_completed`` (touch
+the page, resubmit the remainder) instead of redoing the whole
+transfer on the core — the historical DTO behaviour Appendix B calls
+out wasted the hardware's partial progress, and this model's earlier
+revisions reproduced that bug faithfully.  Retries are bounded by a
+:class:`~repro.runtime.recovery.RetryPolicy`; exhausting them degrades
+the unfinished tail (only) to the software kernels.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator
+from typing import Generator, Optional
 
 from repro.cpu.core import CpuCore
 from repro.dsa.errors import StatusCode
 from repro.dsa.opcodes import Opcode
 from repro.mem.address import Buffer
-from repro.runtime.dml import Dml, DmlPath
+from repro.runtime.dml import Dml
+from repro.runtime.recovery import RetryPolicy, recover
 
 #: Appendix B: offload copies of 8 KB and larger.
 DEFAULT_MIN_SIZE = 8 * 1024
@@ -36,13 +44,28 @@ class DtoStats:
 
 
 class Dto:
-    """Transparent mem*-call interceptor over a :class:`Dml` instance."""
+    """Transparent mem*-call interceptor over a :class:`Dml` instance.
 
-    def __init__(self, dml: Dml, min_size: int = DEFAULT_MIN_SIZE):
+    ``block_on_fault`` selects the descriptor fault contract for the
+    offloaded calls (default True, matching stock DTO); ``policy``
+    bounds fault recovery.  Byte accounting is exact: bytes the
+    accelerator actually moved land in ``bytes_offloaded`` and only the
+    software-redone remainder lands in ``bytes_software``.
+    """
+
+    def __init__(
+        self,
+        dml: Dml,
+        min_size: int = DEFAULT_MIN_SIZE,
+        policy: Optional[RetryPolicy] = None,
+        block_on_fault: bool = True,
+    ):
         if min_size < 0:
             raise ValueError(f"negative min size: {min_size}")
         self.dml = dml
         self.min_size = min_size
+        self.policy = policy or RetryPolicy()
+        self.block_on_fault = block_on_fault
         self.stats = DtoStats()
 
     def _should_offload(self, size: int) -> bool:
@@ -55,23 +78,26 @@ class Dto:
             self.stats.bytes_software += descriptor.size
             status = yield from self.dml.run_software(core, descriptor, in_llc=in_llc)
             return status
-        status = yield from self.dml.execute(core, descriptor, path=DmlPath.HARDWARE)
-        if status is StatusCode.PAGE_FAULT:
-            # Appendix B: the core redoes faulted offloads in software.
+        outcome = yield from recover(
+            self.dml, core, descriptor, self.policy, in_llc=in_llc
+        )
+        if outcome.faults:
             self.stats.fault_fallbacks += 1
+        self.stats.bytes_offloaded += outcome.bytes_hardware
+        self.stats.bytes_software += outcome.bytes_software
+        if outcome.bytes_software:
             self.stats.software += 1
-            self.stats.bytes_software += descriptor.size
-            status = yield from self.dml.run_software(core, descriptor, in_llc=in_llc)
-            return status
-        self.stats.offloaded += 1
-        self.stats.bytes_offloaded += descriptor.size
-        return status
+        else:
+            self.stats.offloaded += 1
+        return outcome.status
 
     # -- the intercepted libc surface ------------------------------------------------
     def memcpy(
         self, core: CpuCore, dst: Buffer, src: Buffer, size: int, in_llc: bool = False
     ) -> Generator:
-        descriptor = self.dml.make_descriptor(Opcode.MEMMOVE, size, src=src, dst=dst)
+        descriptor = self.dml.make_descriptor(
+            Opcode.MEMMOVE, size, src=src, dst=dst, block_on_fault=self.block_on_fault
+        )
         return (yield from self._call(core, descriptor, in_llc))
 
     #: memmove has identical modelled behaviour.
@@ -84,13 +110,18 @@ class Dto:
         pattern |= pattern << 8
         pattern |= pattern << 16
         pattern |= pattern << 32
-        descriptor = self.dml.make_descriptor(Opcode.FILL, size, dst=dst, pattern=pattern)
+        descriptor = self.dml.make_descriptor(
+            Opcode.FILL, size, dst=dst, pattern=pattern,
+            block_on_fault=self.block_on_fault,
+        )
         return (yield from self._call(core, descriptor, in_llc))
 
     def memcmp(
         self, core: CpuCore, a: Buffer, b: Buffer, size: int, in_llc: bool = False
     ) -> Generator:
-        descriptor = self.dml.make_descriptor(Opcode.COMPARE, size, src=a, src2=b)
+        descriptor = self.dml.make_descriptor(
+            Opcode.COMPARE, size, src=a, src2=b, block_on_fault=self.block_on_fault
+        )
         status = yield from self._call(core, descriptor, in_llc)
         if status is StatusCode.SUCCESS:
             return 0

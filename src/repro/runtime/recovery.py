@@ -1,0 +1,231 @@
+"""Partial-completion recovery: resume BOF=0 descriptors after faults.
+
+Paper §4.3 / Appendix B: with BLOCK_ON_FAULT=0 a faulting descriptor
+comes back with ``PAGE_FAULT``, ``bytes_completed`` up to the faulting
+page, and the faulting address.  Software is expected to *resolve* the
+fault (touch the page so the OS maps it) and resubmit only the
+remainder — redoing the whole transfer throws away the hardware's
+progress, which is exactly the bug this module replaces in the DTO
+layer.
+
+:class:`RetryPolicy` bounds the loop: bounded exponential backoff
+between attempts, an optional wall-clock deadline, and graceful
+degradation to the calibrated software kernels when retries exhaust.
+:func:`recover` is a generator — ``yield from`` it inside a simulation
+process, like the rest of ``repro.runtime``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.cpu.core import CpuCore, CycleCategory
+from repro.dsa.descriptor import WorkDescriptor
+from repro.dsa.errors import StatusCode
+from repro.dsa.opcodes import RESUMABLE_OPCODES
+from repro.runtime.dml import Dml, DmlPath
+
+#: Completion statuses the recovery loop treats as retryable.
+RETRYABLE_STATUSES = (StatusCode.PAGE_FAULT, StatusCode.DEVICE_DISABLED)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before giving up on the hardware path."""
+
+    #: Failed hardware attempts allowed after the first one.
+    max_retries: int = 3
+    #: First backoff sleep (ns); doubles (by default) per retry.
+    backoff_base_ns: float = 1_000.0
+    backoff_multiplier: float = 2.0
+    #: Ceiling on any single backoff sleep (ns).
+    backoff_cap_ns: float = 64_000.0
+    #: Optional wall-clock budget (ns) for the whole recovery, measured
+    #: from the first submission; ``None`` = unbounded.
+    deadline_ns: Optional[float] = None
+    #: CPU time to touch (demand-map) the faulting page before a retry.
+    touch_page_ns: float = 600.0
+    #: When retries exhaust: finish the tail on the software kernels
+    #: (True) or surface the failure status to the caller (False).
+    degrade_to_software: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0: {self.max_retries}")
+        if self.backoff_base_ns < 0 or self.backoff_cap_ns < 0:
+            raise ValueError("backoff parameters must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1: {self.backoff_multiplier}"
+            )
+        if self.deadline_ns is not None and self.deadline_ns <= 0:
+            raise ValueError(f"deadline_ns must be positive: {self.deadline_ns}")
+        if self.touch_page_ns < 0:
+            raise ValueError(f"touch_page_ns must be >= 0: {self.touch_page_ns}")
+
+    def backoff_ns(self, attempt: int) -> float:
+        """Sleep before retry ``attempt`` (1-based), capped."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return min(
+            self.backoff_cap_ns,
+            self.backoff_base_ns * self.backoff_multiplier ** (attempt - 1),
+        )
+
+
+@dataclass
+class RecoveryResult:
+    """Accounting for one recovered operation."""
+
+    status: StatusCode
+    #: Hardware submissions issued (first try + resumes).
+    attempts: int = 1
+    #: Retryable completions observed (faults + resets).
+    faults: int = 0
+    #: Bytes the accelerator finished across all attempts.
+    bytes_hardware: int = 0
+    #: Bytes finished by the software kernels after degradation.
+    bytes_software: int = 0
+    backoff_ns_total: float = 0.0
+    degraded: bool = False
+
+
+def recover(
+    dml: Dml,
+    core: CpuCore,
+    descriptor: WorkDescriptor,
+    policy: RetryPolicy = RetryPolicy(),
+    in_llc: bool = False,
+) -> Generator:
+    """Run ``descriptor`` on hardware, resuming across faults.
+
+    Resumable opcodes (:data:`~repro.dsa.opcodes.RESUMABLE_OPCODES`)
+    continue from ``bytes_completed``; result-accumulating ones restart
+    from offset 0.  The original descriptor's completion record always
+    carries the final outcome (total ``bytes_completed`` on success),
+    so callers keep polling the object they built.  Returns a
+    :class:`RecoveryResult`.
+    """
+    env = dml.env
+    metrics = env.metrics
+    total = descriptor.size
+    offset = 0
+    start = env.now
+    result = RecoveryResult(status=StatusCode.NONE)
+    pending = descriptor
+    retries = 0
+    tracer = env.tracer
+
+    while True:
+        yield from dml.execute(core, pending, path=DmlPath.HARDWARE, in_llc=in_llc)
+        completion = pending.completion
+        if completion.status.is_success:
+            result.bytes_hardware += pending.size
+            result.status = completion.status
+            _propagate(descriptor, pending, total)
+            return result
+        if completion.status not in RETRYABLE_STATUSES:
+            result.status = completion.status
+            _propagate(descriptor, pending, None)
+            return result
+
+        result.faults += 1
+        metrics.counter("recovery.faults").add()
+        resumable = (
+            completion.status is StatusCode.PAGE_FAULT
+            and descriptor.opcode in RESUMABLE_OPCODES
+        )
+        salvaged = completion.bytes_completed if resumable else 0
+        offset += salvaged
+        result.bytes_hardware += salvaged
+
+        retries += 1
+        exhausted = retries > policy.max_retries
+        backoff = 0.0 if exhausted else policy.backoff_ns(retries)
+        if not exhausted and policy.deadline_ns is not None:
+            if (env.now - start) + backoff > policy.deadline_ns:
+                exhausted = True
+                metrics.counter("recovery.deadline_exceeded").add()
+        if exhausted:
+            result.degraded = True
+            metrics.counter("recovery.degraded").add()
+            if not policy.degrade_to_software:
+                result.status = completion.status
+                _propagate(descriptor, pending, None)
+                return result
+            tail = (
+                descriptor.clone_range(offset, total - offset)
+                if offset
+                else _fresh_clone(descriptor)
+            )
+            if tracer.enabled and descriptor.trace_track >= 0:
+                tracer.begin(
+                    env.now, "degrade", "recovery", f"core{core.core_id}",
+                    descriptor.trace_track, {"tail_bytes": tail.size},
+                )
+            yield from dml.run_software(core, tail, in_llc=in_llc)
+            if tracer.enabled and descriptor.trace_track >= 0:
+                tracer.end(
+                    env.now, "degrade", "recovery", f"core{core.core_id}",
+                    descriptor.trace_track,
+                )
+            result.bytes_software += tail.size
+            result.status = tail.completion.status
+            _propagate(descriptor, tail, total)
+            return result
+
+        # Resolve the fault like the paper's guideline: touch the page
+        # so the OS maps it, back off, then resubmit the remainder.
+        if tracer.enabled and descriptor.trace_track >= 0:
+            tracer.begin(
+                env.now, "resume", "recovery", f"core{core.core_id}",
+                descriptor.trace_track,
+                {"attempt": retries, "offset": offset},
+            )
+        fault_va = completion.fault_address
+        if fault_va is not None and dml.space is not None:
+            if policy.touch_page_ns:
+                yield core.spend(CycleCategory.BUSY, policy.touch_page_ns)
+            page = dml.space.page_size
+            dml.space.page_table.map_range((fault_va // page) * page, 1)
+        if backoff > 0:
+            core.account(CycleCategory.IDLE, backoff)
+            metrics.counter("recovery.backoff_ns").add(backoff)
+            result.backoff_ns_total += backoff
+            yield env.timeout(backoff)
+        if tracer.enabled and descriptor.trace_track >= 0:
+            tracer.end(
+                env.now, "resume", "recovery", f"core{core.core_id}",
+                descriptor.trace_track,
+            )
+        pending = (
+            descriptor.clone_range(offset, total - offset)
+            if offset
+            else _fresh_clone(descriptor)
+        )
+        result.attempts += 1
+        metrics.counter("recovery.resumes").add()
+
+
+def _fresh_clone(descriptor: WorkDescriptor) -> WorkDescriptor:
+    """Full-range clone: a resubmission needs an unconsumed completion
+    record and event even when no bytes were salvaged."""
+    return descriptor.clone_range(0, descriptor.size)
+
+
+def _propagate(
+    original: WorkDescriptor, final: WorkDescriptor, total: Optional[int]
+) -> None:
+    """Copy the final attempt's outcome onto the caller's descriptor."""
+    if final is original:
+        if total is not None:
+            original.completion.bytes_completed = total
+        return
+    original.completion.status = final.completion.status
+    original.completion.result = final.completion.result
+    original.completion.fault_address = final.completion.fault_address
+    original.completion.bytes_completed = (
+        total if total is not None else final.completion.bytes_completed
+    )
+    original.times.completed = final.times.completed

@@ -92,8 +92,13 @@ def submit(
                 ).add(retries)
             return retries
         retries += 1
-        if max_retries is not None and retries > max_retries:
+        if max_retries is not None and retries >= max_retries:
             tracer.end(env.now, "enqcmd", "submit", agent, track, {"retries": retries})
+            # Failed submissions must still account their retries, or
+            # congestion vanishes from the metrics exactly when it bites.
+            env.metrics.counter(
+                f"{portal.device.name}.wq{portal.wq_id}.enqcmd_retries"
+            ).add(retries)
             raise RuntimeError(
                 f"ENQCMD to {portal.device.name} WQ {portal.wq_id} exceeded "
                 f"{max_retries} retries"

@@ -22,10 +22,11 @@ class TestRegistry:
         assert "table1" in experiments and "table2" in experiments
         for figure in (2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 19, 21):
             assert f"fig{figure}" in experiments
+        assert "faults" in experiments
         assert "cbdma" in experiments
         assert "ablations" in experiments
         assert "guidelines" in experiments
-        assert len(experiments) == 23
+        assert len(experiments) == 24
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError, match="unknown experiment"):

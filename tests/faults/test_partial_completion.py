@@ -1,0 +1,257 @@
+"""BOF=0 engine semantics: partial completions up to the faulting page."""
+
+import numpy as np
+import pytest
+
+from repro.dsa.errors import StatusCode
+from repro.dsa.opcodes import Opcode
+from repro.faults import FaultPlan, injection, uninstall_injector
+from repro.mem import AddressSpace
+from repro.platform import spr_platform
+from repro.runtime.dml import Dml, DmlPath
+from repro.sim import make_rng
+
+KB = 1024
+PAGE = 4096
+
+
+@pytest.fixture(autouse=True)
+def _clean_globals():
+    yield
+    uninstall_injector()
+
+
+def build_stack(backed=False):
+    platform = spr_platform()
+    space = AddressSpace()
+    dml = Dml(
+        platform.env,
+        [platform.open_portal("dsa0", 0, space)],
+        kernels=platform.kernels,
+        costs=platform.costs,
+        space=space,
+    )
+    return platform, space, dml
+
+
+def run_hw(platform, dml, core, descriptor):
+    out = {}
+
+    def proc(env):
+        out["status"] = yield from dml.execute(
+            core, descriptor, path=DmlPath.HARDWARE
+        )
+
+    platform.env.process(proc(platform.env))
+    platform.env.run()
+    return out["status"]
+
+
+class TestNaturalFaults:
+    def test_partial_completion_records_progress(self):
+        """A BOF=0 memmove into a half-mapped source stops at the hole."""
+        platform, space, dml = build_stack()
+        core = platform.core(0)
+        src = space.allocate(16 * KB, prefault=False)
+        dst = space.allocate(16 * KB, prefault=True)
+        # Map only the first two source pages: fault at offset 8192.
+        space.page_table.map_range(src.va, 2 * PAGE)
+        descriptor = dml.make_descriptor(
+            Opcode.MEMMOVE, 16 * KB, src=src, dst=dst, block_on_fault=False
+        )
+        status = run_hw(platform, dml, core, descriptor)
+        assert status is StatusCode.PAGE_FAULT
+        assert descriptor.completion.bytes_completed == 2 * PAGE
+        assert descriptor.completion.fault_address == src.va + 2 * PAGE
+        # The unserviced fault must NOT have mapped the page.
+        assert not space.page_table.is_mapped(src.va + 2 * PAGE)
+
+    def test_fault_on_first_page_completes_zero_bytes(self):
+        platform, space, dml = build_stack()
+        core = platform.core(0)
+        src = space.allocate(16 * KB, prefault=False)
+        dst = space.allocate(16 * KB, prefault=True)
+        descriptor = dml.make_descriptor(
+            Opcode.MEMMOVE, 16 * KB, src=src, dst=dst, block_on_fault=False
+        )
+        status = run_hw(platform, dml, core, descriptor)
+        assert status is StatusCode.PAGE_FAULT
+        assert descriptor.completion.bytes_completed == 0
+        assert descriptor.completion.fault_address == src.va
+
+    def test_bof1_still_services_faults_inline(self):
+        platform, space, dml = build_stack()
+        core = platform.core(0)
+        src = space.allocate(16 * KB, prefault=False)
+        dst = space.allocate(16 * KB, prefault=True)
+        descriptor = dml.make_descriptor(
+            Opcode.MEMMOVE, 16 * KB, src=src, dst=dst, block_on_fault=True
+        )
+        status = run_hw(platform, dml, core, descriptor)
+        assert status is StatusCode.SUCCESS
+        assert descriptor.completion.bytes_completed == 16 * KB
+
+    def test_partial_head_functionally_executes(self):
+        """The completed head's bytes actually land in the destination."""
+        platform, space, dml = build_stack()
+        core = platform.core(0)
+        src = space.allocate(16 * KB, prefault=False, backed=True)
+        dst = space.allocate(16 * KB, prefault=True, backed=True)
+        space.page_table.map_range(src.va, 2 * PAGE)
+        src.fill_random(make_rng(3))
+        descriptor = dml.make_descriptor(
+            Opcode.MEMMOVE, 16 * KB, src=src, dst=dst, block_on_fault=False
+        )
+        run_hw(platform, dml, core, descriptor)
+        assert np.array_equal(dst.data[: 2 * PAGE], src.data[: 2 * PAGE])
+        assert not np.array_equal(dst.data[2 * PAGE :], src.data[2 * PAGE :])
+
+
+class TestInjectedFaults:
+    def test_scripted_fault_mid_transfer(self):
+        platform, space, dml = build_stack()
+        core = platform.core(0)
+        src = space.allocate(32 * KB, prefault=True)
+        dst = space.allocate(32 * KB, prefault=True)
+        descriptor = dml.make_descriptor(
+            Opcode.MEMMOVE, 32 * KB, src=src, dst=dst, block_on_fault=False
+        )
+        with injection(FaultPlan(seed=1, scripted_vas=(src.va + 3 * PAGE,))):
+            status = run_hw(platform, dml, core, descriptor)
+        assert status is StatusCode.PAGE_FAULT
+        assert descriptor.completion.bytes_completed == 3 * PAGE
+        assert descriptor.completion.fault_address == src.va + 3 * PAGE
+        assert platform.env.metrics.counter("dsa0.partial_completions").value == 1
+        assert platform.env.metrics.counter("dsa0.atc.injected_faults").value == 1
+
+    def test_injected_fault_blocking_charges_service_time(self):
+        """BOF=1 + injected fault: success, but slower than fault-free."""
+
+        def one_run(script):
+            platform, space, dml = build_stack()
+            core = platform.core(0)
+            src = space.allocate(16 * KB, prefault=True)
+            dst = space.allocate(16 * KB, prefault=True)
+            descriptor = dml.make_descriptor(
+                Opcode.MEMMOVE, 16 * KB, src=src, dst=dst, block_on_fault=True
+            )
+            vas = (src.va,) if script else ()
+            with injection(FaultPlan(seed=1, scripted_vas=vas, minor_fault_ns=15_000.0)):
+                status = run_hw(platform, dml, core, descriptor)
+            assert status is StatusCode.SUCCESS
+            return platform.env.now
+
+        clean = one_run(script=False)
+        faulted = one_run(script=True)
+        assert faulted >= clean + 15_000.0
+
+    def test_major_faults_cost_more_than_minor(self):
+        def one_run(major):
+            platform, space, dml = build_stack()
+            core = platform.core(0)
+            src = space.allocate(16 * KB, prefault=True)
+            dst = space.allocate(16 * KB, prefault=True)
+            descriptor = dml.make_descriptor(
+                Opcode.MEMMOVE, 16 * KB, src=src, dst=dst, block_on_fault=True
+            )
+            plan = FaultPlan(
+                seed=1,
+                scripted_vas=(src.va,),
+                major_fault_fraction=1.0 if major else 0.0,
+                minor_fault_ns=15_000.0,
+                major_fault_ns=250_000.0,
+            )
+            with injection(plan):
+                run_hw(platform, dml, core, descriptor)
+            return platform.env.now
+
+        assert one_run(major=True) > one_run(major=False) + 200_000.0
+
+
+class TestDeviceReset:
+    def test_reset_window_aborts_with_device_disabled(self):
+        platform, space, dml = build_stack()
+        core = platform.core(0)
+        src = space.allocate(16 * KB, prefault=True)
+        dst = space.allocate(16 * KB, prefault=True)
+        descriptor = dml.make_descriptor(
+            Opcode.MEMMOVE, 16 * KB, src=src, dst=dst, block_on_fault=False
+        )
+        plan = FaultPlan(seed=1, device_reset_at=(0.0,), device_reset_window_ns=1e9)
+        out = {}
+
+        def proc(env):
+            job = yield from dml.submit_async(core, descriptor)
+            out["status"] = yield from dml.wait(core, job)
+
+        with injection(plan):
+            platform.env.process(proc(platform.env))
+            platform.env.run()
+        assert out["status"] is StatusCode.DEVICE_DISABLED
+        assert descriptor.completion.bytes_completed == 0
+        assert platform.env.metrics.counter("dsa0.reset_aborts").value == 1
+
+
+class TestAtcShootdown:
+    def test_shootdowns_flush_and_count(self):
+        platform, space, dml = build_stack()
+        core = platform.core(0)
+        src = space.allocate(64 * KB, prefault=True)
+        dst = space.allocate(64 * KB, prefault=True)
+        descriptor = dml.make_descriptor(
+            Opcode.MEMMOVE, 64 * KB, src=src, dst=dst
+        )
+        with injection(FaultPlan(seed=1, atc_shootdown_every=5)):
+            status = run_hw(platform, dml, core, descriptor)
+        assert status is StatusCode.SUCCESS
+        device = platform.driver.device("dsa0")
+        assert platform.env.metrics.counter("dsa0.atc.shootdowns").value > 0
+        # 32 pages translated, a flush every 5 translations: the cache
+        # can never hold more than 5 entries.
+        assert len(device.atc) <= 5
+
+
+class TestSwqCongestion:
+    def test_injected_rejects_force_enqcmd_retries(self):
+        from repro.dsa.config import DeviceConfig, WqMode
+
+        platform = spr_platform(
+            device_config=DeviceConfig.single(mode=WqMode.SHARED)
+        )
+        space = AddressSpace()
+        dml = Dml(
+            platform.env,
+            [platform.open_portal("dsa0", 0, space)],
+            kernels=platform.kernels,
+            costs=platform.costs,
+            space=space,
+        )
+        core = platform.core(0)
+        src = space.allocate(16 * KB, prefault=True)
+        dst = space.allocate(16 * KB, prefault=True)
+        # Bursty congestion: the ENQCMD loop retries through each burst
+        # and every descriptor still lands.
+        plan = FaultPlan(seed=123, swq_reject_rate=0.4, swq_burst_length=2)
+        statuses = []
+
+        def proc(env):
+            for _ in range(8):
+                descriptor = dml.make_descriptor(
+                    Opcode.MEMMOVE, 16 * KB, src=src, dst=dst
+                )
+                status = yield from dml.execute(
+                    core, descriptor, path=DmlPath.HARDWARE
+                )
+                statuses.append(status)
+
+        with injection(plan) as injector:
+            platform.env.process(proc(platform.env))
+            platform.env.run()
+        assert statuses == [StatusCode.SUCCESS] * 8
+        assert injector.injected_swq_rejects > 0
+        wq = platform.driver.device("dsa0").wq(0)
+        assert (
+            platform.env.metrics.counter("dsa0.wq0.injected_rejects").value
+            == injector.injected_swq_rejects
+        )
+        assert wq.rejected >= injector.injected_swq_rejects

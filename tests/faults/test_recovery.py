@@ -1,0 +1,295 @@
+"""RetryPolicy / recover(): resume, backoff bounds, degradation."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.core import CycleCategory
+from repro.dsa.errors import StatusCode
+from repro.dsa.opcodes import Opcode
+from repro.faults import FaultPlan, injection, uninstall_injector
+from repro.mem import AddressSpace
+from repro.platform import spr_platform
+from repro.runtime.dml import Dml
+from repro.runtime.dto import Dto
+from repro.runtime.recovery import RetryPolicy, recover
+from repro.sim import make_rng
+
+KB = 1024
+PAGE = 4096
+
+
+@pytest.fixture(autouse=True)
+def _clean_globals():
+    yield
+    uninstall_injector()
+
+
+def build_stack():
+    platform = spr_platform()
+    space = AddressSpace()
+    dml = Dml(
+        platform.env,
+        [platform.open_portal("dsa0", 0, space)],
+        kernels=platform.kernels,
+        costs=platform.costs,
+        space=space,
+    )
+    return platform, space, dml
+
+
+def run_recover(platform, dml, core, descriptor, policy):
+    out = {}
+
+    def proc(env):
+        out["result"] = yield from recover(dml, core, descriptor, policy)
+
+    platform.env.process(proc(platform.env))
+    platform.env.run()
+    return out["result"]
+
+
+class TestRetryPolicy:
+    def test_backoff_is_bounded_exponential(self):
+        policy = RetryPolicy(
+            backoff_base_ns=1_000.0, backoff_multiplier=2.0, backoff_cap_ns=6_000.0
+        )
+        assert policy.backoff_ns(1) == 1_000.0
+        assert policy.backoff_ns(2) == 2_000.0
+        assert policy.backoff_ns(3) == 4_000.0
+        assert policy.backoff_ns(4) == 6_000.0  # capped, not 8000
+        assert policy.backoff_ns(10) == 6_000.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"backoff_base_ns": -1.0},
+            {"backoff_multiplier": 0.5},
+            {"deadline_ns": 0.0},
+            {"touch_page_ns": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_rejects_attempt_zero(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_ns(0)
+
+
+class TestResume:
+    def test_resumes_from_fault_offset_not_full_redo(self):
+        """16 KiB memmove faulting at 8 KiB: the head is not re-copied."""
+        platform, space, dml = build_stack()
+        core = platform.core(0)
+        src = space.allocate(16 * KB, prefault=False, backed=True)
+        dst = space.allocate(16 * KB, prefault=True, backed=True)
+        space.page_table.map_range(src.va, 2 * PAGE)
+        src.fill_random(make_rng(11))
+        descriptor = dml.make_descriptor(
+            Opcode.MEMMOVE, 16 * KB, src=src, dst=dst, block_on_fault=False
+        )
+        policy = RetryPolicy(max_retries=4)
+        result = run_recover(platform, dml, core, descriptor, policy)
+        assert result.status is StatusCode.SUCCESS
+        assert result.degraded is False
+        assert result.bytes_software == 0
+        # All 16 KiB moved by hardware across the resumed attempts.
+        assert result.bytes_hardware == 16 * KB
+        assert result.faults >= 1
+        assert result.attempts == result.faults + 1
+        assert np.array_equal(dst.data, src.data)
+        # The caller's descriptor carries the final outcome.
+        assert descriptor.completion.status is StatusCode.SUCCESS
+        assert descriptor.completion.bytes_completed == 16 * KB
+        # Recovery touched the faulting pages, one per resume.
+        assert platform.env.metrics.counter("recovery.resumes").value == result.faults
+
+    def test_touch_resubmit_makes_progress_page_by_page(self):
+        """Each retry maps exactly the faulting page, so a fully
+        unmapped 3-page source needs one resume per page hole."""
+        platform, space, dml = build_stack()
+        core = platform.core(0)
+        src = space.allocate(3 * PAGE, prefault=False)
+        dst = space.allocate(3 * PAGE, prefault=True)
+        descriptor = dml.make_descriptor(
+            Opcode.MEMMOVE, 3 * PAGE, src=src, dst=dst, block_on_fault=False
+        )
+        result = run_recover(platform, dml, core, descriptor, RetryPolicy(max_retries=5))
+        assert result.status is StatusCode.SUCCESS
+        assert result.faults == 3
+        assert result.attempts == 4
+        assert result.bytes_hardware == 3 * PAGE
+
+    def test_backoff_time_accrues_as_idle(self):
+        platform, space, dml = build_stack()
+        core = platform.core(0)
+        src = space.allocate(2 * PAGE, prefault=False)
+        dst = space.allocate(2 * PAGE, prefault=True)
+        descriptor = dml.make_descriptor(
+            Opcode.MEMMOVE, 2 * PAGE, src=src, dst=dst, block_on_fault=False
+        )
+        policy = RetryPolicy(
+            max_retries=4, backoff_base_ns=1_000.0, backoff_multiplier=2.0,
+            backoff_cap_ns=64_000.0,
+        )
+        result = run_recover(platform, dml, core, descriptor, policy)
+        assert result.status is StatusCode.SUCCESS
+        # Two faults -> backoffs of 1000 and 2000 ns.
+        assert result.backoff_ns_total == 3_000.0
+        assert core.time_in(CycleCategory.IDLE) >= 3_000.0
+        assert platform.env.metrics.counter("recovery.backoff_ns").value == 3_000.0
+
+
+class TestDegradation:
+    def test_exhausted_retries_degrade_tail_to_software(self):
+        """max_retries=0: the fault immediately degrades, and only the
+        unfinished tail runs on the CPU."""
+        platform, space, dml = build_stack()
+        core = platform.core(0)
+        src = space.allocate(16 * KB, prefault=False, backed=True)
+        dst = space.allocate(16 * KB, prefault=True, backed=True)
+        space.page_table.map_range(src.va, 2 * PAGE)
+        src.fill_random(make_rng(12))
+        descriptor = dml.make_descriptor(
+            Opcode.MEMMOVE, 16 * KB, src=src, dst=dst, block_on_fault=False
+        )
+        policy = RetryPolicy(max_retries=0)
+        result = run_recover(platform, dml, core, descriptor, policy)
+        assert result.status is StatusCode.SUCCESS
+        assert result.degraded is True
+        assert result.bytes_hardware == 2 * PAGE
+        assert result.bytes_software == 16 * KB - 2 * PAGE
+        assert np.array_equal(dst.data, src.data)
+        assert descriptor.completion.bytes_completed == 16 * KB
+        assert platform.env.metrics.counter("recovery.degraded").value == 1
+
+    def test_degradation_disabled_surfaces_failure(self):
+        platform, space, dml = build_stack()
+        core = platform.core(0)
+        src = space.allocate(16 * KB, prefault=False)
+        dst = space.allocate(16 * KB, prefault=True)
+        descriptor = dml.make_descriptor(
+            Opcode.MEMMOVE, 16 * KB, src=src, dst=dst, block_on_fault=False
+        )
+        policy = RetryPolicy(max_retries=0, degrade_to_software=False)
+        result = run_recover(platform, dml, core, descriptor, policy)
+        assert result.status is StatusCode.PAGE_FAULT
+        assert result.degraded is True
+        assert descriptor.completion.status is StatusCode.PAGE_FAULT
+
+    def test_deadline_cuts_recovery_short(self):
+        """A deadline shorter than the first backoff degrades at once."""
+        platform, space, dml = build_stack()
+        core = platform.core(0)
+        src = space.allocate(16 * KB, prefault=False, backed=True)
+        dst = space.allocate(16 * KB, prefault=True, backed=True)
+        descriptor = dml.make_descriptor(
+            Opcode.MEMMOVE, 16 * KB, src=src, dst=dst, block_on_fault=False
+        )
+        policy = RetryPolicy(
+            max_retries=10, backoff_base_ns=1e9, deadline_ns=1.0
+        )
+        result = run_recover(platform, dml, core, descriptor, policy)
+        assert result.status is StatusCode.SUCCESS
+        assert result.degraded is True
+        assert result.attempts == 1
+        assert platform.env.metrics.counter("recovery.deadline_exceeded").value == 1
+
+    def test_device_reset_is_retryable_from_scratch(self):
+        platform, space, dml = build_stack()
+        core = platform.core(0)
+        src = space.allocate(16 * KB, prefault=True)
+        dst = space.allocate(16 * KB, prefault=True)
+        descriptor = dml.make_descriptor(
+            Opcode.MEMMOVE, 16 * KB, src=src, dst=dst, block_on_fault=False
+        )
+        # Reset window covers the first dispatch only; the retry after
+        # backoff lands outside it and succeeds.
+        plan = FaultPlan(seed=1, device_reset_at=(0.0,), device_reset_window_ns=400.0)
+        policy = RetryPolicy(max_retries=3, backoff_base_ns=2_000.0)
+        with injection(plan):
+            result = run_recover(platform, dml, core, descriptor, policy)
+        assert result.status is StatusCode.SUCCESS
+        assert result.faults == 1
+        assert result.degraded is False
+        assert result.bytes_hardware == 16 * KB
+        assert descriptor.completion.bytes_completed == 16 * KB
+
+
+class TestDtoIntegration:
+    def test_dto_accounts_hardware_and_software_bytes_exactly(self):
+        """The DTO fallback no longer redoes the whole transfer: bytes
+        split between hardware progress and the software tail."""
+        platform, space, dml = build_stack()
+        dto = Dto(
+            dml,
+            min_size=1 * KB,
+            policy=RetryPolicy(max_retries=0),
+            block_on_fault=False,
+        )
+        core = platform.core(0)
+        src = space.allocate(16 * KB, prefault=False)
+        dst = space.allocate(16 * KB, prefault=True)
+        space.page_table.map_range(src.va, 2 * PAGE)
+        out = {}
+
+        def proc(env):
+            out["status"] = yield from dto.memcpy(core, dst, src, 16 * KB)
+
+        platform.env.process(proc(platform.env))
+        platform.env.run()
+        assert out["status"] is StatusCode.SUCCESS
+        assert dto.stats.fault_fallbacks == 1
+        assert dto.stats.bytes_offloaded == 2 * PAGE
+        assert dto.stats.bytes_software == 16 * KB - 2 * PAGE
+        assert dto.stats.software == 1
+        assert dto.stats.offloaded == 0
+
+    def test_dto_full_recovery_counts_as_offloaded(self):
+        platform, space, dml = build_stack()
+        dto = Dto(
+            dml,
+            min_size=1 * KB,
+            policy=RetryPolicy(max_retries=4),
+            block_on_fault=False,
+        )
+        core = platform.core(0)
+        src = space.allocate(16 * KB, prefault=False)
+        dst = space.allocate(16 * KB, prefault=True)
+        space.page_table.map_range(src.va, 2 * PAGE)
+        out = {}
+
+        def proc(env):
+            out["status"] = yield from dto.memcpy(core, dst, src, 16 * KB)
+
+        platform.env.process(proc(platform.env))
+        platform.env.run()
+        assert out["status"] is StatusCode.SUCCESS
+        assert dto.stats.fault_fallbacks == 1
+        assert dto.stats.bytes_offloaded == 16 * KB
+        assert dto.stats.bytes_software == 0
+        assert dto.stats.offloaded == 1
+        assert dto.stats.software == 0
+
+    def test_dto_default_contract_unchanged(self):
+        """Stock DTO stays BOF=1: prefaulted large copies offload
+        cleanly with no recovery involvement."""
+        platform, space, dml = build_stack()
+        dto = Dto(dml, min_size=8 * KB)
+        core = platform.core(0)
+        src = space.allocate(64 * KB)
+        dst = space.allocate(64 * KB)
+        out = {}
+
+        def proc(env):
+            out["status"] = yield from dto.memcpy(core, dst, src, 64 * KB)
+
+        platform.env.process(proc(platform.env))
+        platform.env.run()
+        assert out["status"] is StatusCode.SUCCESS
+        assert dto.stats.offloaded == 1
+        assert dto.stats.bytes_offloaded == 64 * KB
+        assert dto.stats.fault_fallbacks == 0
+        assert platform.env.metrics.counter("recovery.faults").value == 0

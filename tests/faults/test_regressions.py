@@ -1,0 +1,183 @@
+"""Regression pins for the satellite bugfixes and injection determinism.
+
+Each test here guards one of the fixes that shipped with the fault
+subsystem: the DTO full-redo fallback, the O(n) WorkQueue.pop, the
+ENQCMD retry off-by-one (and its silent metrics on the raise path),
+the hardwired BLOCK_ON_FAULT flag, and the requirement that seeded
+injection is deterministic — serial, parallel, and disabled runs must
+all agree.
+"""
+
+from collections import deque
+
+import pytest
+
+from repro.dsa.config import DeviceConfig, WqMode
+from repro.dsa.opcodes import DescriptorFlags, Opcode
+from repro.exec import ParallelRunner
+from repro.faults import FaultPlan, injection, install_injector, uninstall_injector
+from repro.mem import AddressSpace
+from repro.platform import spr_platform
+from repro.runtime.dml import Dml
+from repro.runtime.submit import submit
+
+KB = 1024
+
+
+@pytest.fixture(autouse=True)
+def _clean_globals():
+    yield
+    uninstall_injector()
+
+
+class TestWorkQueueDeque:
+    def test_backing_store_is_a_deque(self):
+        """pop() used list.pop(0): O(n) per descriptor, quadratic per
+        burst.  The store must stay a deque."""
+        platform = spr_platform()
+        wq = platform.driver.device("dsa0").wq(0)
+        assert isinstance(wq._items, deque)
+
+    def test_fifo_preserved_under_interleaving(self):
+        platform = spr_platform()
+        device = platform.driver.device("dsa0")
+        wq = device.wq(0)
+        space = AddressSpace()
+        dml = Dml(
+            platform.env,
+            [platform.open_portal("dsa0", 0, space)],
+            kernels=platform.kernels,
+            costs=platform.costs,
+            space=space,
+        )
+        src = space.allocate(4 * KB)
+        dst = space.allocate(4 * KB)
+        descriptors = [
+            dml.make_descriptor(Opcode.MEMMOVE, 4 * KB, src=src, dst=dst)
+            for _ in range(6)
+        ]
+        for d in descriptors[:4]:
+            assert wq.submit(d)
+        assert wq.pop() is descriptors[0]
+        assert wq.pop() is descriptors[1]
+        for d in descriptors[4:]:
+            assert wq.submit(d)
+        assert [wq.pop() for _ in range(4)] == descriptors[2:6]
+
+
+class TestEnqcmdRetryAccounting:
+    def _swq_stack(self):
+        platform = spr_platform(
+            device_config=DeviceConfig.single(mode=WqMode.SHARED)
+        )
+        space = AddressSpace()
+        dml = Dml(
+            platform.env,
+            [platform.open_portal("dsa0", 0, space)],
+            kernels=platform.kernels,
+            costs=platform.costs,
+            space=space,
+        )
+        return platform, space, dml
+
+    def test_raise_path_records_retries_and_bound_is_exact(self):
+        """max_retries=N raises after exactly N failed ENQCMDs (the old
+        ``>`` comparison allowed N+1), and the retries still land in
+        the ``enqcmd_retries`` counter on the way out."""
+        platform, space, dml = self._swq_stack()
+        core = platform.core(0)
+        src = space.allocate(4 * KB)
+        dst = space.allocate(4 * KB)
+        descriptor = dml.make_descriptor(Opcode.MEMMOVE, 4 * KB, src=src, dst=dst)
+        raised = {}
+
+        def proc(env):
+            try:
+                yield from submit(
+                    env, core, dml.portals[0], descriptor, max_retries=3
+                )
+            except RuntimeError as err:
+                raised["err"] = err
+
+        # Every ENQCMD is rejected: the loop must give up at retry 3.
+        install_injector(FaultPlan(seed=7, swq_reject_rate=1.0))
+        platform.env.process(proc(platform.env))
+        platform.env.run()
+        assert "err" in raised
+        counter = platform.env.metrics.counter("dsa0.wq0.enqcmd_retries")
+        assert counter.value == 3
+
+
+class TestMakeDescriptorBlockOnFault:
+    def test_default_keeps_block_on_fault(self):
+        platform, space, dml = _stack()
+        descriptor = dml.make_descriptor(
+            Opcode.MEMMOVE, 4 * KB, src=space.allocate(4 * KB),
+            dst=space.allocate(4 * KB),
+        )
+        assert descriptor.flags & DescriptorFlags.BLOCK_ON_FAULT
+
+    def test_flag_can_be_cleared(self):
+        platform, space, dml = _stack()
+        descriptor = dml.make_descriptor(
+            Opcode.MEMMOVE, 4 * KB, src=space.allocate(4 * KB),
+            dst=space.allocate(4 * KB), block_on_fault=False,
+        )
+        assert not descriptor.flags & DescriptorFlags.BLOCK_ON_FAULT
+        assert descriptor.flags & DescriptorFlags.REQUEST_COMPLETION
+
+    def test_independent_of_cache_control(self):
+        platform, space, dml = _stack()
+        descriptor = dml.make_descriptor(
+            Opcode.MEMMOVE, 4 * KB, src=space.allocate(4 * KB),
+            dst=space.allocate(4 * KB), cache_control=True, block_on_fault=False,
+        )
+        assert descriptor.flags & DescriptorFlags.CACHE_CONTROL
+        assert not descriptor.flags & DescriptorFlags.BLOCK_ON_FAULT
+
+
+def _stack():
+    platform = spr_platform()
+    space = AddressSpace()
+    dml = Dml(
+        platform.env,
+        [platform.open_portal("dsa0", 0, space)],
+        kernels=platform.kernels,
+        costs=platform.costs,
+        space=space,
+    )
+    return platform, space, dml
+
+
+class TestDeterminism:
+    def test_disabled_injector_is_byte_identical(self):
+        """An installed-but-empty FaultPlan must not perturb anything:
+        the rendered experiment output matches a plain run exactly."""
+        from repro.experiments import run_experiment
+
+        baseline = run_experiment("fig2", quick=True).render()
+        install_injector(FaultPlan())  # no knobs set: injects nothing
+        try:
+            shadowed = run_experiment("fig2", quick=True).render()
+        finally:
+            uninstall_injector()
+        assert shadowed == baseline
+
+    def test_seeded_sweep_reproduces(self):
+        """Two quick fault-sweep runs produce identical renders: every
+        injection decision comes from the derived seed streams."""
+        from repro.experiments import run_experiment
+
+        first = run_experiment("faults", quick=True).render()
+        second = run_experiment("faults", quick=True).render()
+        assert first == second
+
+    def test_serial_matches_parallel_workers(self):
+        """The fault sweep injects identically in-process and in worker
+        processes: ``--jobs 2`` output equals the serial output."""
+        serial = ParallelRunner(jobs=1, quick=True, cache=None)
+        parallel = ParallelRunner(jobs=2, quick=True, cache=None)
+        targets = ["faults", "fig2"]
+        serial_out = {o.exp_id: o.result.render() for o in serial.run_iter(targets)}
+        parallel_out = {o.exp_id: o.result.render() for o in parallel.run_iter(targets)}
+        assert serial_out == parallel_out
