@@ -1,0 +1,248 @@
+#!/usr/bin/env python
+"""Observability microbenchmark: tracer and histogram cost envelopes.
+
+Measures the cost of the observability layer introduced for streaming,
+constant-memory runs, answering three questions a calibration user has
+before turning instrumentation on for a long sweep:
+
+* **record throughput** — events/second into the disabled
+  ``NULL_TRACER`` (the hot-path floor every simulation pays), the
+  unbounded in-memory ``Tracer``, and the bounded ``RingTracer``
+  (ring + spill-to-disk);
+* **histogram throughput and accuracy** — samples/second into the
+  ``exact`` backend (stores every value) vs the ``streaming``
+  log-bucket backend, plus the streaming backend's worst observed
+  relative error on p50/p99/p99.9 against exact over seeded lognormal
+  and bimodal sample sets;
+* **memory envelope** — tracemalloc peak while recording the same
+  workload through the unbounded tracer vs the ring, and through the
+  exact vs streaming histograms.  These ratios are the point of the
+  subsystem, so ``--require`` gates on them (memory ratios are stable
+  across machines; raw throughput is not).
+
+Results are written as JSON (default ``BENCH_obs.json``)::
+
+    PYTHONPATH=src python scripts/bench_obs.py --out BENCH_obs.json
+
+Methodology: throughput runs ``--repeats`` times, best run wins
+(minimum wall time); memory peaks are measured once per configuration
+under tracemalloc with the workload generator's own allocations
+identical across arms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import shutil
+import sys
+import tempfile
+import time
+import tracemalloc
+
+from repro.obs import NULL_TRACER, DEFAULT_RELATIVE_ERROR, RingTracer, StreamingHistogram, Tracer
+from repro.sim.stats import Histogram as ExactHistogram
+
+RING_CAPACITY = 1 << 14
+
+ACCURACY_SHAPES = {
+    "lognormal": lambda rng: rng.lognormvariate(3.0, 1.2),
+    "bimodal": lambda rng: rng.gauss(10.0, 1.0) if rng.random() < 0.9 else rng.gauss(500.0, 25.0),
+}
+
+
+def _drive_tracer(tracer, n):
+    complete = tracer.complete
+    instant = tracer.instant
+    for i in range(n):
+        complete(float(i), 1.5, "memmove", "execute", "eng0", 1, {"bytes": 4096})
+        if not i % 64:
+            instant(float(i), "poll", "wait", "core0", 0)
+
+
+def _tracer_factories(spill_root):
+    return {
+        "null": lambda: NULL_TRACER,
+        "plain": lambda: Tracer(),
+        "ring": lambda: RingTracer(
+            capacity=RING_CAPACITY, spill_dir=tempfile.mkdtemp(dir=spill_root)
+        ),
+    }
+
+
+def _cleanup(tracer):
+    if isinstance(tracer, RingTracer):
+        tracer.cleanup()
+    elif isinstance(tracer, Tracer):
+        tracer.clear()
+
+
+def bench_tracers(records, repeats, spill_root):
+    out = {}
+    for name, make in _tracer_factories(spill_root).items():
+        best = float("inf")
+        for _ in range(repeats):
+            tracer = make()
+            start = time.perf_counter()
+            _drive_tracer(tracer, records)
+            best = min(best, time.perf_counter() - start)
+            _cleanup(tracer)
+        out[name] = {
+            "records": records,
+            "best_s": round(best, 4),
+            "records_per_sec": round(records / best),
+        }
+    return out
+
+
+def bench_histograms(samples, repeats):
+    out = {}
+    for name, make in (("exact", ExactHistogram), ("streaming", StreamingHistogram)):
+        best = float("inf")
+        for _ in range(repeats):
+            rng = random.Random(7)
+            hist = make()
+            add = hist.add
+            start = time.perf_counter()
+            for _ in range(samples):
+                add(rng.lognormvariate(3.0, 1.2))
+            best = min(best, time.perf_counter() - start)
+        out[name] = {
+            "samples": samples,
+            "best_s": round(best, 4),
+            "samples_per_sec": round(samples / best),
+        }
+    return out
+
+
+def _peak_bytes(workload):
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    workload()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak
+
+
+def bench_memory(records, spill_root):
+    peaks = {}
+    for name, make in _tracer_factories(spill_root).items():
+        if name == "null":
+            continue
+        tracer = make()
+        peaks[f"tracer_{name}_peak_kb"] = round(
+            _peak_bytes(lambda: _drive_tracer(tracer, records)) / 1024
+        )
+        _cleanup(tracer)
+
+    for name, make in (("exact", ExactHistogram), ("streaming", StreamingHistogram)):
+        hist = make()
+        rng = random.Random(7)
+
+        def fill():
+            for _ in range(records):
+                hist.add(rng.lognormvariate(3.0, 1.2))
+
+        peaks[f"hist_{name}_peak_kb"] = round(_peak_bytes(fill) / 1024)
+
+    peaks["tracer_ring_over_plain"] = round(
+        peaks["tracer_ring_peak_kb"] / peaks["tracer_plain_peak_kb"], 4
+    )
+    peaks["hist_streaming_over_exact"] = round(
+        peaks["hist_streaming_peak_kb"] / peaks["hist_exact_peak_kb"], 4
+    )
+    return peaks
+
+
+def bench_accuracy(samples):
+    out = {}
+    worst = 0.0
+    for shape, draw in ACCURACY_SHAPES.items():
+        rng = random.Random(11)
+        exact, streaming = ExactHistogram(), StreamingHistogram()
+        for _ in range(samples):
+            value = draw(rng)
+            exact.add(value)
+            streaming.add(value)
+        errors = {}
+        for pct in (50.0, 99.0, 99.9):
+            reference = exact.percentile(pct)
+            error = abs(streaming.percentile(pct) - reference) / abs(reference)
+            errors[f"p{pct:g}_rel_error"] = round(error, 6)
+            worst = max(worst, error)
+        errors["buckets"] = streaming.bucket_count
+        out[shape] = errors
+    out["worst_rel_error"] = round(worst, 6)
+    return out
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_obs.json", help="JSON output path")
+    parser.add_argument("--records", type=int, default=200_000, help="trace records per run")
+    parser.add_argument("--samples", type=int, default=200_000, help="histogram samples per run")
+    parser.add_argument("--repeats", type=int, default=3, help="runs per measurement (best wins)")
+    parser.add_argument(
+        "--max-mem-ratio",
+        type=float,
+        default=0.5,
+        help="gate: bounded/unbounded peak memory must stay below this",
+    )
+    parser.add_argument(
+        "--require",
+        action="store_true",
+        help="exit non-zero when a memory ratio or accuracy bound fails",
+    )
+    args = parser.parse_args(argv)
+
+    spill_root = tempfile.mkdtemp(prefix="bench_obs_")
+    try:
+        tracers = bench_tracers(args.records, args.repeats, spill_root)
+        histograms = bench_histograms(args.samples, args.repeats)
+        memory = bench_memory(args.records, spill_root)
+    finally:
+        shutil.rmtree(spill_root, ignore_errors=True)
+    accuracy = bench_accuracy(args.samples)
+
+    for name, row in tracers.items():
+        print(f"tracer {name:6s}  {row['records_per_sec']/1e6:6.2f} M rec/s")
+    for name, row in histograms.items():
+        print(f"hist {name:9s}  {row['samples_per_sec']/1e6:6.2f} M samp/s")
+    print(
+        f"memory  ring/plain {memory['tracer_ring_over_plain']:.3f}   "
+        f"streaming/exact {memory['hist_streaming_over_exact']:.3f}"
+    )
+    print(
+        f"accuracy  worst rel error {accuracy['worst_rel_error']:.5f} "
+        f"(bound {DEFAULT_RELATIVE_ERROR})"
+    )
+
+    ok = (
+        memory["tracer_ring_over_plain"] < args.max_mem_ratio
+        and memory["hist_streaming_over_exact"] < args.max_mem_ratio
+        and accuracy["worst_rel_error"] <= DEFAULT_RELATIVE_ERROR
+    )
+    payload = {
+        "benchmark": "repro.obs streaming observability (ring tracer + streaming histogram)",
+        "python": sys.version.split()[0],
+        "repeats": args.repeats,
+        "ring_capacity": RING_CAPACITY,
+        "tracers": tracers,
+        "histograms": histograms,
+        "memory": memory,
+        "accuracy": accuracy,
+        "max_mem_ratio": args.max_mem_ratio,
+        "rel_error_bound": DEFAULT_RELATIVE_ERROR,
+        "pass": ok,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"{'PASS' if ok else 'FAIL'} -> {args.out}")
+    if args.require and not ok:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""CI smoke: streaming observability runs in constant memory.
+
+Drives the full streaming stack — a ``RingTracer`` (bounded ring,
+spill-to-disk), a ``streaming``-backend ``HistogramMetric``, and a
+``ResultSink`` — through a synthetic descriptor workload at two sizes
+(default 1e5 and 1e6 records+samples) and compares the tracemalloc
+peaks.  If memory is genuinely O(capacity + buckets) rather than
+O(records), a 10x larger run must not grow the peak by more than
+``--tolerance`` (default 10%): the ring, the bucket map, and the sink's
+line buffer are all full well before the small run finishes.
+
+Exits 0 when the peak is flat, 1 when it grew — wire it into CI as a
+regression tripwire for accidental unbounded accumulation anywhere on
+the record path (e.g. a forgotten list.append in the tracer, a
+per-sample side list in the histogram, or the sink buffering lines).
+
+    PYTHONPATH=src python scripts/check_constant_memory.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import shutil
+import sys
+import tempfile
+import tracemalloc
+
+from repro.obs import MetricsRegistry, ResultSink, RingTracer
+
+RING_CAPACITY = 1 << 13
+
+
+def drive(n, workdir):
+    """Emit ``n`` trace records, ``n`` histogram samples, n/1000 sink lines."""
+    tracer = RingTracer(capacity=RING_CAPACITY, spill_dir=str(workdir / "spill"))
+    registry = MetricsRegistry()
+    hist = registry.histogram("smoke.lat", backend="streaming")
+    sink = ResultSink(workdir / "results.jsonl")
+    rng = random.Random(13)
+    complete = tracer.complete
+    add = hist.add
+    try:
+        for i in range(n):
+            complete(float(i), 2.0, "memmove", "execute", "eng0", 1, {"bytes": 4096})
+            add(rng.lognormvariate(3.0, 1.2))
+            if not i % 1000:
+                sink.series("smoke", "lat", [(i, hist.percentile(50))])
+        registry.counter("smoke.records").add(n)
+    finally:
+        sink.close()
+        tracer.cleanup()
+    return len(hist.samples)
+
+
+def measure(n, workdir):
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    drive(n, workdir)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--small", type=int, default=100_000, help="baseline record count")
+    parser.add_argument("--big", type=int, default=1_000_000, help="scaled record count")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional peak growth from --small to --big",
+    )
+    args = parser.parse_args(argv)
+    if args.big <= args.small:
+        parser.error("--big must exceed --small")
+
+    import pathlib
+
+    root = pathlib.Path(tempfile.mkdtemp(prefix="const_mem_"))
+    try:
+        drive(min(args.small, 10_000), root / "warmup")  # stabilize allocator caches
+        small_peak = measure(args.small, root / "small")
+        big_peak = measure(args.big, root / "big")
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    growth = big_peak / small_peak - 1.0
+    scale = args.big / args.small
+    print(
+        f"peak @ {args.small:>9,d} records: {small_peak/1024:10.1f} KiB\n"
+        f"peak @ {args.big:>9,d} records: {big_peak/1024:10.1f} KiB\n"
+        f"growth {growth:+.1%} across a {scale:.0f}x workload "
+        f"(tolerance {args.tolerance:.0%})"
+    )
+    if growth > args.tolerance:
+        print("FAIL: peak memory scales with record count")
+        return 1
+    print("PASS: constant-memory envelope holds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

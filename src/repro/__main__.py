@@ -27,10 +27,15 @@ from repro.exec import ParallelRunner, ResultCache
 from repro.experiments import all_experiments, resolve_ids
 from repro.guidelines import OffloadAdvisor
 from repro.obs import (
+    MemoryWatermark,
     MetricsRegistry,
+    ResultSink,
+    RingTracer,
     Tracer,
     install_metrics,
     install_tracer,
+    publish_overhead,
+    set_default_hist_backend,
     snapshot_table,
     uninstall_metrics,
     uninstall_tracer,
@@ -59,8 +64,15 @@ def _cmd_run(args) -> int:
         return 2
     tracer = None
     if args.trace:
-        tracer = Tracer()
+        if args.trace_buffer > 0:
+            # Bounded memory: ring of recent records, full segments
+            # spilled to JSONL shards, merged back at export time.
+            tracer = RingTracer(capacity=args.trace_buffer)
+        else:
+            tracer = Tracer()
         install_tracer(tracer)
+    set_default_hist_backend(args.hist_backend)
+    sink = ResultSink(args.results) if args.results else None
     profiler = None
     if args.profile:
         import cProfile
@@ -93,10 +105,13 @@ def _cmd_run(args) -> int:
         seed=args.seed,
         cache=None if (args.no_cache or in_process) else ResultCache(),
         trace=tracer is not None,
+        sink=sink,
+        hist_backend=args.hist_backend,
     )
     summary_rows = []
     failures = 0
     errors = 0
+    watermark = MemoryWatermark().start() if args.metrics else None
     if profiler is not None:
         profiler.enable()
     try:
@@ -144,9 +159,35 @@ def _cmd_run(args) -> int:
 
         stats = pstats.Stats(profiler, stream=sys.stdout)
         stats.strip_dirs().sort_stats("cumulative").print_stats(25)
+    if watermark is not None or tracer is not None:
+        # Self-metering: what did observing this run itself cost?
+        overhead = publish_overhead(
+            MetricsRegistry(), tracer=tracer, source_registry=registry,
+            watermark=watermark,
+        )
+        if args.metrics:
+            print(snapshot_table(overhead.snapshot(), title="Observability overhead").render())
+            print()
+    if watermark is not None:
+        watermark.stop()
     if tracer is not None:
         count = write_chrome_trace(tracer, args.trace)
-        print(f"wrote {count} trace events to {args.trace} (open in ui.perfetto.dev)")
+        spilled = ""
+        if tracer.spilled_records:
+            spilled = (
+                f" ({tracer.spilled_records} spilled across "
+                f"{tracer.shard_count} shards, {tracer.spilled_bytes / 1024:.0f} KiB)"
+            )
+        print(f"wrote {count} trace events to {args.trace} (open in ui.perfetto.dev){spilled}")
+        if isinstance(tracer, RingTracer):
+            tracer.cleanup()
+    if sink is not None:
+        summary = sink.finalize()
+        print(
+            f"streamed {summary['lines']} result lines to {args.results} "
+            f"({summary['series']} series, {summary['anchors_held']}/{summary['anchors']} "
+            f"anchors); summary at {args.results}.summary.json"
+        )
     if len(targets) > 1:
         table = Table(
             "Run summary",
@@ -250,9 +291,34 @@ def main(argv=None) -> int:
         "(bypasses cache reads)",
     )
     run_parser.add_argument(
+        "--trace-buffer",
+        type=int,
+        default=0,
+        metavar="N",
+        help="bound trace memory to a ring of N records; full segments "
+        "spill to JSONL shards and are merged at export (0 = unbounded "
+        "in-memory tracer, the default); see docs/OBSERVABILITY.md",
+    )
+    run_parser.add_argument(
         "--metrics",
         action="store_true",
-        help="print the metrics-registry snapshot after each experiment",
+        help="print the metrics-registry snapshot after each experiment "
+        "plus a final observability-overhead table",
+    )
+    run_parser.add_argument(
+        "--hist-backend",
+        choices=["auto", "exact", "streaming"],
+        default="auto",
+        help="histogram metric backend: exact (store samples), streaming "
+        "(fixed log buckets, <=1%% percentile error, O(1) memory), or "
+        "auto (exact until 65536 samples, then streaming; the default)",
+    )
+    run_parser.add_argument(
+        "--results",
+        metavar="PATH",
+        help="stream completed sweep series, anchors, and per-experiment "
+        "outcomes to a JSONL file as they finish; writes PATH.summary.json "
+        "at the end",
     )
     run_parser.add_argument(
         "--profile",

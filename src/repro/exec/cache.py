@@ -43,7 +43,9 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.registry import module_path
 
 #: Bump to orphan every existing entry when the stored payload changes.
-CACHE_FORMAT = 1
+#: v2: ExperimentResult grew ``metrics_state`` (invertible registry
+#: state for exact histogram merges); v1 pickles lack the field.
+CACHE_FORMAT = 2
 
 #: Default cache root, relative to the current working directory.
 DEFAULT_ROOT = ".repro-cache"
@@ -80,17 +82,27 @@ class ResultCache:
         self.root = Path(root)
 
     # -- keying ----------------------------------------------------------
-    def key(self, exp_id: str, quick: bool, seed: int) -> str:
-        """Full content key for one (experiment, flags, seed, code) tuple."""
+    def key(self, exp_id: str, quick: bool, seed: int, variant: str = "") -> str:
+        """Full content key for one (experiment, flags, seed, code) tuple.
+
+        ``variant`` salts the key for run modes that change the stored
+        payload without changing the code — today the non-default
+        ``--hist-backend`` choices, whose metrics snapshots differ from
+        the ``auto`` default.  The empty default keeps existing keys.
+        """
         source_fp = fingerprint(module_path(exp_id))
         material = f"v{CACHE_FORMAT}|{exp_id}|quick={int(bool(quick))}|seed={seed}|{source_fp}"
+        if variant:
+            material += f"|variant={variant}"
         return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
     def _path(self, exp_id: str, key: str) -> Path:
         return self.root / f"{exp_id}-{key[:16]}.pkl"
 
     # -- read/write ------------------------------------------------------
-    def get(self, exp_id: str, quick: bool, seed: int) -> Optional[CachedResult]:
+    def get(
+        self, exp_id: str, quick: bool, seed: int, variant: str = ""
+    ) -> Optional[CachedResult]:
         """The stored result for this key, or None on a miss.
 
         An experiment whose source cannot be fingerprinted (e.g. a
@@ -98,7 +110,7 @@ class ResultCache:
         always a miss.
         """
         try:
-            key = self.key(exp_id, quick, seed)
+            key = self.key(exp_id, quick, seed, variant)
         except Exception:
             return None
         path = self._path(exp_id, key)
@@ -120,9 +132,17 @@ class ResultCache:
             result=result, wall=payload["wall"], created=payload["created"], key=key
         )
 
-    def put(self, exp_id: str, quick: bool, seed: int, result: ExperimentResult, wall: float) -> Path:
+    def put(
+        self,
+        exp_id: str,
+        quick: bool,
+        seed: int,
+        result: ExperimentResult,
+        wall: float,
+        variant: str = "",
+    ) -> Path:
         """Store ``result``; returns the entry path."""
-        key = self.key(exp_id, quick, seed)
+        key = self.key(exp_id, quick, seed, variant)
         path = self._path(exp_id, key)
         self.root.mkdir(parents=True, exist_ok=True)
         payload = {

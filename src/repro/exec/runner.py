@@ -22,6 +22,7 @@ path the cache-only fast case takes.
 
 from __future__ import annotations
 
+import os
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
@@ -33,12 +34,15 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.registry import run_experiment
 from repro.obs import (
     MetricsRegistry,
+    ResultSink,
     Tracer,
     install_metrics,
+    install_sink,
     install_tracer,
     installed_metrics,
     installed_tracer,
     uninstall_metrics,
+    uninstall_sink,
 )
 from repro.sim.rng import DEFAULT_SEED, install_seed, uninstall_seed
 
@@ -64,20 +68,43 @@ class RunOutcome:
         return self.error is None
 
 
-def _worker(exp_id: str, quick: bool, seed: int, with_trace: bool) -> RunOutcome:
+def _worker(
+    exp_id: str,
+    quick: bool,
+    seed: int,
+    with_trace: bool,
+    sink_shard: Optional[str] = None,
+    hist_backend: Optional[str] = None,
+) -> RunOutcome:
     """Run one experiment in a worker process.
 
     Must stay a module-level function (pickled by name).  Pool workers
     are reused across experiments, so each call installs a fresh
-    registry/tracer rather than assuming a clean process.
+    registry/tracer rather than assuming a clean process.  When
+    ``sink_shard`` is given, the worker streams its sweep points to
+    that JSONL shard; the parent splices shards into the main sink in
+    request order (see :meth:`ParallelRunner.run_iter`).
     """
     install_seed(seed)
+    if hist_backend is not None:
+        # Module globals don't cross the process boundary; re-apply the
+        # parent's --hist-backend choice in every worker call.
+        from repro.obs import set_default_hist_backend
+
+        set_default_hist_backend(hist_backend)
     registry = MetricsRegistry()
     install_metrics(registry)
     tracer: Optional[Tracer] = None
     if with_trace:
         tracer = Tracer()
         install_tracer(tracer)
+    shard: Optional[ResultSink] = None
+    if sink_shard is not None:
+        try:
+            shard = ResultSink(sink_shard)
+            install_sink(shard)
+        except OSError:
+            shard = None
     start = time.perf_counter()
     try:
         result = run_experiment(exp_id, quick=quick)
@@ -88,6 +115,10 @@ def _worker(exp_id: str, quick: bool, seed: int, with_trace: bool) -> RunOutcome
             wall=time.perf_counter() - start,
             trace_events=list(tracer.events) if tracer is not None else [],
         )
+    finally:
+        if shard is not None:
+            uninstall_sink()
+            shard.close()
     return RunOutcome(
         exp_id=exp_id,
         result=result,
@@ -116,6 +147,12 @@ class ParallelRunner:
         Whether a live tracer is installed.  Tracing bypasses cache
         *reads* (a cached result carries no trace events) but completed
         runs are still stored.
+    sink:
+        A :class:`~repro.obs.ResultSink` to stream outcomes to, or
+        ``None``.  Serial runs install it so experiments write sweep
+        points directly; parallel runs give each worker a shard file
+        and splice shards back in request order.  Either way the runner
+        appends one ``result`` line per finished experiment.
     """
 
     def __init__(
@@ -125,12 +162,16 @@ class ParallelRunner:
         seed: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         trace: bool = False,
+        sink: Optional[ResultSink] = None,
+        hist_backend: Optional[str] = None,
     ):
         self.jobs = max(1, int(jobs))
         self.quick = bool(quick)
         self.seed = DEFAULT_SEED if seed is None else int(seed)
         self.cache = cache
         self.trace = bool(trace)
+        self.sink = sink
+        self.hist_backend = hist_backend
 
     # -- merge ----------------------------------------------------------
     def _merge(self, outcome: RunOutcome) -> None:
@@ -145,13 +186,43 @@ class ParallelRunner:
                 # Serial semantics: the shared registry holds the most
                 # recent experiment's metrics, not an accumulation.
                 registry.clear()
-                registry.absorb_flat(outcome.result.metrics)
+                state = getattr(outcome.result, "metrics_state", None)
+                if state:
+                    # Live state: histograms/gauges come back as real
+                    # metric objects with exact (merged) percentiles.
+                    registry.absorb_state(state)
+                else:
+                    registry.absorb_flat(outcome.result.metrics)
+
+    def _sink_result(self, outcome: RunOutcome) -> None:
+        """Append one ``result`` line for a finished outcome."""
+        if self.sink is None:
+            return
+        result = outcome.result
+        self.sink.result(
+            outcome.exp_id,
+            ok=outcome.ok,
+            cached=outcome.cached,
+            wall=round(outcome.wall, 6),
+            anchors_held=(
+                sum(1 for a in result.anchors if a.holds) if result is not None else 0
+            ),
+            anchors_total=len(result.anchors) if result is not None else 0,
+            metrics=len(result.metrics) if result is not None else 0,
+        )
+
+    @property
+    def _cache_variant(self) -> str:
+        """Cache-key salt for run modes that change the stored payload."""
+        if self.hist_backend and self.hist_backend != "auto":
+            return f"hist={self.hist_backend}"
+        return ""
 
     def _lookup(self, exp_id: str) -> Optional[RunOutcome]:
         if self.cache is None or self.trace:
             return None
         start = time.perf_counter()
-        hit = self.cache.get(exp_id, self.quick, self.seed)
+        hit = self.cache.get(exp_id, self.quick, self.seed, self._cache_variant)
         if hit is None:
             return None
         return RunOutcome(
@@ -166,7 +237,8 @@ class ParallelRunner:
             return
         try:
             self.cache.put(
-                outcome.exp_id, self.quick, self.seed, outcome.result, outcome.wall
+                outcome.exp_id, self.quick, self.seed, outcome.result, outcome.wall,
+                self._cache_variant,
             )
         except Exception:
             # A full disk or unpicklable payload must not fail the run.
@@ -212,33 +284,70 @@ class ParallelRunner:
                 misses.append(exp_id)
 
         if self.jobs == 1 or len(misses) <= 1:
-            for exp_id in exp_ids:
-                outcome = hits.get(exp_id)
-                if outcome is None:
-                    outcome = self._run_local(exp_id)
-                    self._store(outcome)
-                else:
-                    self._merge(outcome)
-                yield outcome
+            if self.sink is not None:
+                install_sink(self.sink)
+            try:
+                for exp_id in exp_ids:
+                    outcome = hits.get(exp_id)
+                    if outcome is None:
+                        outcome = self._run_local(exp_id)
+                        self._store(outcome)
+                    else:
+                        self._merge(outcome)
+                    self._sink_result(outcome)
+                    yield outcome
+            finally:
+                if self.sink is not None:
+                    uninstall_sink()
             return
 
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(misses))) as pool:
-            futures = {
-                exp_id: pool.submit(_worker, exp_id, self.quick, self.seed, self.trace)
-                for exp_id in misses
-            }
-            for exp_id in exp_ids:
-                outcome = hits.get(exp_id)
-                if outcome is None:
-                    try:
-                        outcome = futures[exp_id].result()
-                    except Exception:
-                        # Worker died (OOM, BrokenProcessPool, unpicklable
-                        # result): surface it like an experiment failure.
-                        outcome = RunOutcome(exp_id=exp_id, error=traceback.format_exc())
-                    self._store(outcome)
-                self._merge(outcome)
-                yield outcome
+        shard_dir: Optional[str] = None
+        if self.sink is not None:
+            shard_dir = self.sink.path + ".shards"
+            os.makedirs(shard_dir, exist_ok=True)
+
+        def shard_path(exp_id: str) -> Optional[str]:
+            if shard_dir is None:
+                return None
+            return os.path.join(shard_dir, f"shard-{exp_id}.jsonl")
+
+        try:
+            with ProcessPoolExecutor(max_workers=min(self.jobs, len(misses))) as pool:
+                futures = {
+                    exp_id: pool.submit(
+                        _worker, exp_id, self.quick, self.seed, self.trace,
+                        shard_path(exp_id), self.hist_backend,
+                    )
+                    for exp_id in misses
+                }
+                for exp_id in exp_ids:
+                    outcome = hits.get(exp_id)
+                    if outcome is None:
+                        try:
+                            outcome = futures[exp_id].result()
+                        except Exception:
+                            # Worker died (OOM, BrokenProcessPool, unpicklable
+                            # result): surface it like an experiment failure.
+                            outcome = RunOutcome(exp_id=exp_id, error=traceback.format_exc())
+                        self._store(outcome)
+                        # Splice the worker's stream in before the result
+                        # line, preserving serial line order.
+                        if self.sink is not None:
+                            shard = shard_path(exp_id)
+                            self.sink.absorb_file(shard)
+                            try:
+                                os.unlink(shard)
+                            except OSError:
+                                pass
+                    self._merge(outcome)
+                    self._sink_result(outcome)
+                    yield outcome
+        finally:
+            if shard_dir is not None:
+                try:
+                    os.rmdir(shard_dir)
+                except OSError:
+                    pass
 
     def run(self, exp_ids: Iterable[str]) -> List[RunOutcome]:
         """Materialized :meth:`run_iter`."""

@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from repro.analysis.series import Series
 from repro.analysis.tables import Table
+from repro.obs.sink import installed_sink
 
 
 @dataclass
@@ -36,14 +37,32 @@ class ExperimentResult:
     #: Flat metrics snapshot captured after the run when a shared
     #: registry is installed (``python -m repro run --metrics``).
     metrics: Dict[str, float] = field(default_factory=dict)
+    #: Invertible registry state (``MetricsRegistry.export_state``) for
+    #: exact histogram/gauge merges across worker processes; the flat
+    #: ``metrics`` dict above stays the rendering-friendly view.
+    metrics_state: Dict[str, Any] = field(default_factory=dict)
 
     def add_series(self, series: Series) -> None:
+        """Record a completed sweep series; streams it to any active sink.
+
+        ``add_series`` is the sweep-point choke point every experiment
+        already goes through, so installing a
+        :class:`~repro.obs.sink.ResultSink` makes each finished figure
+        line durable on disk the moment it exists — a crashed sweep
+        keeps everything completed so far.
+        """
         self.series[series.label] = series
+        sink = installed_sink()
+        if sink is not None:
+            sink.series(self.exp_id, series.label, series.points)
 
     def check(self, name: str, expected: str, measured: str, holds: bool) -> None:
         self.anchors.append(
             AnchorCheck(name=name, expected=expected, measured=measured, holds=bool(holds))
         )
+        sink = installed_sink()
+        if sink is not None:
+            sink.anchor(self.exp_id, name, expected, measured, holds)
 
     @property
     def anchors_hold(self) -> bool:

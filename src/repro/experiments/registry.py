@@ -107,6 +107,10 @@ def run_experiment(exp_id: str, quick: bool = False) -> ExperimentResult:
     try:
         result = module.run(quick=quick)
         result.metrics = registry.snapshot()
+        # The invertible state rides along so worker histograms can be
+        # merged exactly into a parent registry (absorb_state), not
+        # flattened to their final leaf values.
+        result.metrics_state = registry.export_state()
         completed = True
         return result
     finally:

@@ -1,28 +1,37 @@
 """Observability: simulator-wide tracing, metrics, and trace export.
 
 See ``docs/OBSERVABILITY.md`` for the event-category and metric-naming
-conventions and the Perfetto workflow.
+conventions, the streaming (constant-memory) tier, and the Perfetto
+workflow.
 """
 
 from repro.obs.export import (
     chrome_trace_events,
+    iter_chrome_events,
     metrics_table,
     snapshot_table,
     write_chrome_trace,
 )
 from repro.obs.metrics import (
+    AUTO_STREAMING_THRESHOLD,
     Counter,
     Gauge,
     HistogramMetric,
     MetricsRegistry,
+    default_hist_backend,
     install_metrics,
     installed_metrics,
+    set_default_hist_backend,
     uninstall_metrics,
 )
+from repro.obs.overhead import MemoryWatermark, publish_overhead
 from repro.obs.phases import PHASE_CATEGORIES, phase_breakdown, span_durations
+from repro.obs.sink import ResultSink, install_sink, installed_sink, uninstall_sink
+from repro.obs.streaming import DEFAULT_RELATIVE_ERROR, StreamingHistogram
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
+    RingTracer,
     Tracer,
     install_tracer,
     installed_tracer,
@@ -30,24 +39,37 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "AUTO_STREAMING_THRESHOLD",
     "Counter",
+    "DEFAULT_RELATIVE_ERROR",
     "Gauge",
     "HistogramMetric",
+    "MemoryWatermark",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "PHASE_CATEGORIES",
+    "ResultSink",
+    "RingTracer",
+    "StreamingHistogram",
     "Tracer",
     "chrome_trace_events",
+    "default_hist_backend",
     "install_metrics",
+    "install_sink",
     "install_tracer",
     "installed_metrics",
+    "installed_sink",
     "installed_tracer",
+    "iter_chrome_events",
     "metrics_table",
     "phase_breakdown",
+    "publish_overhead",
+    "set_default_hist_backend",
     "snapshot_table",
     "span_durations",
     "uninstall_metrics",
+    "uninstall_sink",
     "uninstall_tracer",
     "write_chrome_trace",
 ]

@@ -12,34 +12,37 @@ thread row inside it.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, Iterable, Iterator, List
 
 from repro.analysis.tables import Table
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracer import Tracer
+from repro.obs.tracer import Tracer, TraceRecord
 
 #: Simulated time is in nanoseconds; Chrome ``ts`` is in microseconds.
 _NS_TO_US = 1e-3
 
 
-def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
-    """Convert a tracer's records into Chrome trace-event dicts."""
+def iter_chrome_events(records: Iterable[TraceRecord]) -> Iterator[Dict[str, Any]]:
+    """Reshape trace records into Chrome trace-event dicts, lazily.
+
+    One record in, one event dict out (plus a ``process_name`` metadata
+    event the first time each agent appears), so a spilled
+    :class:`~repro.obs.tracer.RingTracer` trace streams through without
+    ever being materialized as a list.
+    """
     pids: Dict[str, int] = {}
-    out: List[Dict[str, Any]] = []
-    for phase, ts, name, cat, agent, track, args in tracer.events:
+    for phase, ts, name, cat, agent, track, args in records:
         pid = pids.get(agent)
         if pid is None:
             pid = len(pids) + 1
             pids[agent] = pid
-            out.append(
-                {
-                    "ph": "M",
-                    "name": "process_name",
-                    "pid": pid,
-                    "tid": 0,
-                    "args": {"name": agent},
-                }
-            )
+            yield {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": agent},
+            }
         event: Dict[str, Any] = {
             "ph": phase,
             "ts": ts * _NS_TO_US,
@@ -55,16 +58,31 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
             event["s"] = "t"  # thread-scoped instant
         if args:
             event["args"] = args
-        out.append(event)
-    return out
+        yield event
+
+
+def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    """Convert a tracer's records into Chrome trace-event dicts."""
+    return list(iter_chrome_events(tracer.iter_records()))
 
 
 def write_chrome_trace(tracer: Tracer, path: str) -> int:
-    """Write the trace as a JSON event array; returns the event count."""
-    events = chrome_trace_events(tracer)
+    """Write the trace as a JSON event array; returns the event count.
+
+    Events are streamed to the file one at a time — shard merge for a
+    spilling tracer happens inside :meth:`Tracer.iter_records` — so the
+    writer's memory use is O(1) in trace length.
+    """
+    count = 0
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(events, fh)
-    return len(events)
+        fh.write("[")
+        for event in iter_chrome_events(tracer.iter_records()):
+            if count:
+                fh.write(", ")
+            fh.write(json.dumps(event, default=str))
+            count += 1
+        fh.write("]")
+    return count
 
 
 def metrics_table(registry: MetricsRegistry, title: str = "Metrics") -> Table:

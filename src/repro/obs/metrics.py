@@ -10,14 +10,54 @@ shared across several :class:`~repro.sim.engine.Environment` instances
 Hot-path discipline: components create their metric objects **once**
 (at construction) and keep them in attributes, so each update is an
 attribute access plus a float add — no per-event name lookup.
+
+Histogram backends
+------------------
+:class:`HistogramMetric` keeps sample distributions behind one of two
+backends:
+
+* ``exact`` — :class:`repro.sim.stats.Histogram`, stores every sample;
+  exact percentiles, O(n) memory.
+* ``streaming`` — :class:`repro.obs.streaming.StreamingHistogram`,
+  fixed log buckets; percentiles within a documented 1% relative error,
+  O(1) memory, exact bucket-wise merge.
+
+The default mode is ``auto``: exact until
+:data:`AUTO_STREAMING_THRESHOLD` samples (small runs keep exact
+percentiles and byte-identical output), then the samples are folded
+into a streaming histogram and memory stops growing.  Select globally
+with :func:`set_default_hist_backend` (the CLI's ``--hist-backend``) or
+per metric via ``registry.histogram(name, backend=...)``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
+from repro.obs.streaming import StreamingHistogram
 from repro.sim.stats import Histogram as _SampleHistogram
 from repro.sim.stats import TimeWeightedStat
+
+#: ``auto`` histograms hold exact samples up to this count, then spill
+#: into fixed buckets.  High enough that every quick-mode experiment
+#: stays exact; low enough that a million-sample run stays O(1).
+AUTO_STREAMING_THRESHOLD = 65536
+
+_BACKENDS = ("auto", "exact", "streaming")
+
+_default_backend = "auto"
+
+
+def set_default_hist_backend(backend: str) -> None:
+    """Set the backend new :class:`HistogramMetric` objects default to."""
+    if backend not in _BACKENDS:
+        raise ValueError(f"unknown histogram backend {backend!r}; choose from {_BACKENDS}")
+    global _default_backend
+    _default_backend = backend
+
+
+def default_hist_backend() -> str:
+    return _default_backend
 
 
 class Counter:
@@ -49,10 +89,8 @@ class Gauge:
         self._stat = TimeWeightedStat()
 
     def update(self, now: float, level: float) -> None:
-        if now < self._stat._last_time:
-            fresh = TimeWeightedStat(start_time=now, initial=self._stat.level)
-            fresh.maximum = max(self._stat.maximum, self._stat.level)
-            self._stat = fresh
+        if now < self._stat.last_time:
+            self._stat.restart_epoch(now)
         self._stat.update(now, level)
 
     @property
@@ -68,16 +106,84 @@ class Gauge:
 
 
 class HistogramMetric:
-    """Named sample distribution with exact percentiles."""
+    """Named sample distribution behind a selectable backend.
 
-    __slots__ = ("name", "samples")
+    ``samples`` is the live backend object — an exact
+    :class:`~repro.sim.stats.Histogram` or a
+    :class:`~repro.obs.streaming.StreamingHistogram`; both expose
+    ``add``/``percentile``/``summary``/``mean``/``__len__``, so readers
+    don't care which is active.  In ``auto`` mode the metric starts
+    exact and promotes itself to streaming when it crosses
+    :data:`AUTO_STREAMING_THRESHOLD` samples.
+    """
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "samples", "_auto_left")
+
+    def __init__(self, name: str, backend: Optional[str] = None):
         self.name = name
-        self.samples = _SampleHistogram()
+        backend = _default_backend if backend is None else backend
+        if backend not in _BACKENDS:
+            raise ValueError(f"unknown histogram backend {backend!r}; choose from {_BACKENDS}")
+        if backend == "streaming":
+            self.samples: Union[_SampleHistogram, StreamingHistogram] = StreamingHistogram()
+            self._auto_left: Optional[int] = None
+        else:
+            self.samples = _SampleHistogram()
+            self._auto_left = AUTO_STREAMING_THRESHOLD if backend == "auto" else None
+
+    @property
+    def backend(self) -> str:
+        """The *active* backend: ``exact`` or ``streaming``."""
+        return "streaming" if isinstance(self.samples, StreamingHistogram) else "exact"
 
     def add(self, value: float) -> None:
         self.samples.add(value)
+        if self._auto_left is not None:
+            self._auto_left -= 1
+            if self._auto_left <= 0:
+                self._promote()
+
+    def _promote(self) -> None:
+        """Fold the exact samples into fixed buckets; stop storing them."""
+        streaming = StreamingHistogram()
+        streaming.extend(self.samples.values)
+        self.samples = streaming
+        self._auto_left = None
+
+    def percentile(self, pct: float) -> float:
+        return self.samples.percentile(pct)
+
+    def summary(self) -> Dict[str, float]:
+        return self.samples.summary()
+
+    # -- merge / serialization ------------------------------------------
+    def export_state(self) -> Dict[str, Any]:
+        """Backend-tagged state; merged exactly by :meth:`absorb_state`."""
+        if isinstance(self.samples, StreamingHistogram):
+            return {"backend": "streaming", "state": self.samples.state()}
+        return {"backend": "exact", "samples": self.samples.values}
+
+    def absorb_state(self, state: Dict[str, Any]) -> None:
+        """Fold a worker histogram's exported state in, exactly.
+
+        exact+exact extends samples; streaming+streaming merges bucket
+        counts; a mixed pair promotes the exact side first (streaming
+        wins — its error bound then covers the merged result).
+        """
+        incoming_streaming = state["backend"] == "streaming"
+        if incoming_streaming and not isinstance(self.samples, StreamingHistogram):
+            self._promote()
+        if isinstance(self.samples, StreamingHistogram):
+            if incoming_streaming:
+                self.samples.merge(StreamingHistogram.from_state(state["state"]))
+            else:
+                self.samples.extend(state["samples"])
+        else:
+            self.samples.extend(state["samples"])
+            if self._auto_left is not None:
+                self._auto_left = AUTO_STREAMING_THRESHOLD - len(self.samples)
+                if self._auto_left <= 0:
+                    self._promote()
 
 
 Metric = Union[Counter, Gauge, HistogramMetric]
@@ -98,10 +204,10 @@ class MetricsRegistry:
     def __iter__(self) -> Iterator[Tuple[str, Metric]]:
         return iter(sorted(self._metrics.items()))
 
-    def _get_or_create(self, name: str, kind: type) -> Metric:
+    def _get_or_create(self, name: str, kind: type, **kwargs) -> Metric:
         metric = self._metrics.get(name)
         if metric is None:
-            metric = kind(name)
+            metric = kind(name, **kwargs)
             self._metrics[name] = metric
         elif not isinstance(metric, kind):
             raise TypeError(
@@ -116,8 +222,11 @@ class MetricsRegistry:
     def gauge(self, name: str) -> Gauge:
         return self._get_or_create(name, Gauge)  # type: ignore[return-value]
 
-    def histogram(self, name: str) -> HistogramMetric:
-        return self._get_or_create(name, HistogramMetric)  # type: ignore[return-value]
+    def histogram(self, name: str, backend: Optional[str] = None) -> HistogramMetric:
+        """Get or create a histogram; ``backend`` only applies on creation."""
+        if name in self._metrics:
+            return self._get_or_create(name, HistogramMetric)  # type: ignore[return-value]
+        return self._get_or_create(name, HistogramMetric, backend=backend)  # type: ignore[return-value]
 
     def snapshot(self) -> Dict[str, float]:
         """Flatten every metric into ``{dotted.name: value}``.
@@ -135,21 +244,76 @@ class MetricsRegistry:
                 flat[f"{name}.mean"] = metric.mean()
                 flat[f"{name}.max"] = metric.maximum
             else:
-                summary = metric.samples.summary()
+                summary = metric.summary()
                 for leaf in ("count", "mean", "p50", "p99", "max"):
                     flat[f"{name}.{leaf}"] = summary[leaf]
         return dict(sorted(flat.items()))
 
+    def export_state(self) -> Dict[str, Tuple[str, Any]]:
+        """Serializable live state: ``{name: (kind, payload)}``.
+
+        Unlike :meth:`snapshot`, this is invertible — histograms carry
+        their sample lists (exact) or bucket counts (streaming), gauges
+        their full time-weighted state — so a worker registry can be
+        folded into a parent with :meth:`absorb_state` *without* losing
+        distribution shape.  Payloads are plain dicts/lists (picklable
+        and JSON-able).
+        """
+        state: Dict[str, Tuple[str, Any]] = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Counter):
+                state[name] = ("counter", metric.value)
+            elif isinstance(metric, Gauge):
+                state[name] = ("gauge", metric._stat.state())
+            else:
+                state[name] = ("histogram", metric.export_state())
+        return state
+
+    def absorb_state(self, state: Dict[str, Tuple[str, Any]]) -> None:
+        """Merge an :meth:`export_state` dict into this registry, exactly.
+
+        Counters sum; histograms merge sample-for-sample (exact) or
+        bucket-for-bucket (streaming), so a merged ``p99`` is the ``p99``
+        of the union, not the last worker's value.  Gauges merge
+        conservatively: the maximum is the max of maxima, the level is
+        the incoming level, and the mean is the span-weighted average of
+        the two epochs (exact when the epochs cover disjoint runs, which
+        is how the parallel runner uses it).
+        """
+        for name, (kind, payload) in state.items():
+            if kind == "counter":
+                self.counter(name).value += float(payload)
+            elif kind == "gauge":
+                gauge = self.gauge(name)
+                incoming = TimeWeightedStat.from_state(payload)
+                mine = gauge._stat
+                if mine.elapsed <= 0 and mine.maximum == 0.0 and mine.level == 0.0:
+                    gauge._stat = incoming
+                    continue
+                span = mine.elapsed + incoming.elapsed
+                if span > 0:
+                    area = mine.mean() * mine.elapsed + incoming.mean() * incoming.elapsed
+                    merged = TimeWeightedStat(start_time=0.0, initial=0.0)
+                    merged.update(span, incoming.level)
+                    merged._area = area  # reuse the stat's own integrator
+                    gauge._stat = merged
+                gauge._stat.maximum = max(mine.maximum, incoming.maximum)
+            elif kind == "histogram":
+                self.histogram(name).absorb_state(payload)
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+
     def absorb_flat(self, flat: Dict[str, float]) -> None:
         """Fold a flat :meth:`snapshot` dict in as plain counters.
 
-        Used by the parallel runner to merge worker-registry snapshots
-        into the parent registry: snapshot leaves (``foo.level``,
-        ``foo.p99``, …) cannot be turned back into live gauges or
-        histograms, so each leaf lands as a counter holding the final
-        value — which is all the CLI's rendering paths need.  A leaf
-        that already exists as a counter is overwritten, not summed
-        (snapshots are absolute values, not deltas).
+        Lossy fallback for payloads that only carry a snapshot (old
+        cache entries): snapshot leaves (``foo.level``, ``foo.p99``, …)
+        cannot be turned back into live gauges or histograms, so each
+        leaf lands as a counter holding the final value — which is all
+        the CLI's rendering paths need.  A leaf that already exists as a
+        counter is overwritten, not summed (snapshots are absolute
+        values, not deltas).  Prefer :meth:`absorb_state` wherever the
+        producer can export live state.
         """
         for name, value in flat.items():
             self.counter(name).value = float(value)

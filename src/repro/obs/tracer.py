@@ -28,7 +28,10 @@ keep emitting on the same timeline.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+import json
+import os
+import tempfile
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 #: One recorded event: (phase, ts_ns, name, category, agent, track, args).
 #: ``phase`` follows the Chrome trace-event letters: "B" begin, "E" end,
@@ -132,6 +135,160 @@ class Tracer:
 
     def clear(self) -> None:
         self.events.clear()
+
+    # -- streaming-reader surface ----------------------------------------
+    @property
+    def record_count(self) -> int:
+        """Total records recorded (including any spilled to disk)."""
+        return len(self)
+
+    @property
+    def spilled_records(self) -> int:
+        """Records no longer held in memory (0 for the in-memory tracer)."""
+        return 0
+
+    @property
+    def spilled_bytes(self) -> int:
+        return 0
+
+    def iter_records(self) -> Iterator[TraceRecord]:
+        """All records in recording order, without copying the store.
+
+        Exporters iterate this instead of touching :attr:`events` so the
+        same code path serves both the in-memory tracer and
+        :class:`RingTracer` (which interleaves disk shards with its
+        ring).
+        """
+        return iter(self.events)
+
+
+class RingTracer(Tracer):
+    """Bounded-memory tracer: a ring of recent records, shards on disk.
+
+    Records accumulate in an in-memory buffer of at most ``capacity``
+    entries; each time the buffer fills, the whole segment is spilled as
+    one JSONL shard (``shard-00000.jsonl``, ``shard-00001.jsonl``, …)
+    under ``spill_dir`` and the buffer restarts empty.  Memory is
+    therefore O(capacity) regardless of run length, while
+    :meth:`iter_records` still replays the *complete* record stream —
+    shards first (parsed one line at a time), then the live tail — so
+    the Chrome-trace exporter never materializes the spilled part.
+
+    ``spill_dir`` defaults to a fresh temporary directory; call
+    :meth:`cleanup` (or :meth:`clear`) when the trace has been exported.
+    Args dicts are serialized with ``default=str``, so a stray non-JSON
+    value degrades to its string form instead of losing the record.
+    """
+
+    __slots__ = ("capacity", "spill_dir", "_owns_spill_dir", "_shards", "_spilled", "_spilled_bytes")
+
+    #: Default ring capacity (records) for ``--trace-buffer``-less use.
+    DEFAULT_CAPACITY = 1 << 18
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, spill_dir: Optional[str] = None):
+        super().__init__()
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.capacity = int(capacity)
+        self._owns_spill_dir = spill_dir is None
+        self.spill_dir = (
+            tempfile.mkdtemp(prefix="repro-trace-") if spill_dir is None else str(spill_dir)
+        )
+        self._shards: List[str] = []
+        self._spilled = 0
+        self._spilled_bytes = 0
+
+    def __len__(self) -> int:
+        return self._spilled + len(self.events)
+
+    @property
+    def spilled_records(self) -> int:
+        return self._spilled
+
+    @property
+    def spilled_bytes(self) -> int:
+        return self._spilled_bytes
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def _flush_segment(self) -> None:
+        os.makedirs(self.spill_dir, exist_ok=True)
+        path = os.path.join(self.spill_dir, f"shard-{len(self._shards):05d}.jsonl")
+        dumps = json.dumps
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in self.events:
+                fh.write(dumps(record, default=str))
+                fh.write("\n")
+            self._spilled_bytes += fh.tell()
+        self._shards.append(path)
+        self._spilled += len(self.events)
+        self.events.clear()
+
+    def _append(self, record: TraceRecord) -> None:
+        self.events.append(record)
+        if len(self.events) >= self.capacity:
+            self._flush_segment()
+
+    # The four record methods are re-implemented (not wrapped) so the
+    # traced hot path stays one call deep, same as the base tracer.
+    def begin(self, ts, name, cat, agent="sim", track=DEFAULT_TRACK, args=None) -> None:  # noqa: D102
+        self._append(("B", ts, name, cat, agent, track, args))
+
+    def end(self, ts, name, cat, agent="sim", track=DEFAULT_TRACK, args=None) -> None:  # noqa: D102
+        self._append(("E", ts, name, cat, agent, track, args))
+
+    def complete(self, ts, dur, name, cat, agent="sim", track=DEFAULT_TRACK, args=None) -> None:  # noqa: D102
+        merged = dict(args) if args else {}
+        merged["_dur"] = dur
+        self._append(("X", ts, name, cat, agent, track, merged))
+
+    def instant(self, ts, name, cat, agent="sim", track=DEFAULT_TRACK, args=None) -> None:  # noqa: D102
+        self._append(("i", ts, name, cat, agent, track, args))
+
+    def absorb(self, events: List[TraceRecord]) -> int:
+        """Same contract as :meth:`Tracer.absorb`, routed through the ring."""
+        offset = self._tracks
+        highest = 0
+        append = self._append
+        for phase, ts, name, cat, agent, track, args in events:
+            if track:
+                if track > highest:
+                    highest = track
+                track += offset
+            append((phase, ts, name, cat, agent, track, args))
+        self._tracks = offset + highest
+        return len(events)
+
+    def iter_records(self) -> Iterator[TraceRecord]:
+        loads = json.loads
+        for path in self._shards:
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    phase, ts, name, cat, agent, track, args = loads(line)
+                    yield (phase, ts, name, cat, agent, track, args)
+        yield from self.events
+
+    def clear(self) -> None:
+        self.events.clear()
+        for path in self._shards:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._shards.clear()
+        self._spilled = 0
+        self._spilled_bytes = 0
+
+    def cleanup(self) -> None:
+        """Delete shards (and the spill dir, when this tracer made it)."""
+        self.clear()
+        if self._owns_spill_dir:
+            try:
+                os.rmdir(self.spill_dir)
+            except OSError:
+                pass
 
 
 class NullTracer(Tracer):

@@ -59,6 +59,16 @@ class TimeWeightedStat:
     def level(self) -> float:
         return self._level
 
+    @property
+    def last_time(self) -> float:
+        """Timestamp of the most recent :meth:`update` (or epoch start)."""
+        return self._last_time
+
+    @property
+    def elapsed(self) -> float:
+        """Observed span of the current averaging epoch."""
+        return self._last_time - self._origin
+
     def update(self, now: float, level: float) -> None:
         if now < self._last_time:
             raise ValueError(f"time went backwards: {now} < {self._last_time}")
@@ -68,6 +78,22 @@ class TimeWeightedStat:
         if level > self.maximum:
             self.maximum = level
 
+    def restart_epoch(self, now: float) -> None:
+        """Restart averaging at ``now``; the level and maximum carry over.
+
+        This is the supported way to reuse one stat across successive
+        simulations whose clocks restart at zero (a shared metrics
+        registry sees exactly that): the accumulated area and origin are
+        discarded, the current level keeps being held from ``now``, and
+        the maximum additionally remembers the level that was live when
+        the epoch ended.
+        """
+        if self._level > self.maximum:
+            self.maximum = self._level
+        self._last_time = now
+        self._origin = now
+        self._area = 0.0
+
     def mean(self, now: Optional[float] = None) -> float:
         end = self._last_time if now is None else now
         span = end - self._origin
@@ -75,6 +101,24 @@ class TimeWeightedStat:
             return self._level
         area = self._area + self._level * (end - self._last_time)
         return area / span
+
+    def state(self) -> Dict[str, float]:
+        """Serializable snapshot, invertible via :meth:`from_state`."""
+        return {
+            "last_time": self._last_time,
+            "level": self._level,
+            "area": self._area,
+            "origin": self._origin,
+            "maximum": self.maximum,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, float]) -> "TimeWeightedStat":
+        stat = cls(start_time=state["origin"], initial=state["level"])
+        stat._area = state["area"]
+        stat._last_time = state["last_time"]
+        stat.maximum = state["maximum"]
+        return stat
 
 
 class Histogram:
@@ -140,6 +184,13 @@ class Histogram:
 
     def count_below(self, threshold: float) -> int:
         return bisect_right(self._ordered(), threshold)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another exact histogram's samples in (exact merge)."""
+        if other._samples:
+            self._samples.extend(other._samples)
+            self._sum += other._sum
+            self._dirty = True
 
     def summary(self) -> Dict[str, float]:
         return {

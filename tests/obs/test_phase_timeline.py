@@ -63,6 +63,75 @@ def test_fig5_breakdown_reconstructed_from_trace_alone(fig5_trace):
     assert breakdown["wait"] > breakdown["prepare"] + breakdown["submit"]
 
 
+class TestSpanDurationEdgeCases:
+    """Synthetic traces probing the reconstruction corner cases."""
+
+    @staticmethod
+    def _b(ts, cat, pid=1, tid=1):
+        return {"ph": "B", "ts": ts, "cat": cat, "pid": pid, "tid": tid}
+
+    @staticmethod
+    def _e(ts, pid=1, tid=1):
+        return {"ph": "E", "ts": ts, "pid": pid, "tid": tid}
+
+    def test_unclosed_span_at_end_of_run_is_dropped(self):
+        # A run cut short mid-descriptor: `execute` opened, never closed.
+        events = [
+            self._b(0.0, "submit"),
+            self._e(2.0),
+            self._b(5.0, "execute"),
+        ]
+        totals = span_durations(events)
+        assert totals == {1: {"submit": 2.0}}
+
+    def test_all_spans_unclosed_yields_no_tracks(self):
+        events = [self._b(0.0, "submit"), self._b(1.0, "execute", tid=2)]
+        assert span_durations(events) == {}
+        breakdown = phase_breakdown(events)
+        assert all(value == 0.0 for value in breakdown.values())
+
+    def test_interleaved_agents_on_same_track_keep_separate_stacks(self):
+        # One descriptor track (tid=1) whose phases are emitted by two
+        # agents (core pid=1, engine pid=2).  The engine's E must close
+        # the engine's B, not the core's still-open span, even though
+        # the raw event order interleaves them.
+        events = [
+            self._b(0.0, "wait", pid=1),       # core opens wait
+            self._b(1.0, "execute", pid=2),    # engine starts executing
+            self._e(4.0, pid=2),               # engine closes execute (3)
+            self._e(6.0, pid=1),               # core closes wait (6)
+        ]
+        totals = span_durations(events)
+        # Durations merged by tid across pids, each pair matched per pid.
+        assert totals == {1: {"wait": 6.0, "execute": 3.0}}
+
+    def test_unbalanced_end_on_a_thread_raises(self):
+        events = [self._b(0.0, "wait", pid=1), self._e(1.0, pid=2)]
+        with pytest.raises(ValueError):
+            span_durations(events)
+
+    def test_nested_spans_on_one_thread_close_innermost_first(self):
+        events = [
+            self._b(0.0, "wait"),
+            self._b(1.0, "translate"),
+            self._e(2.0),   # closes translate (1)
+            self._e(5.0),   # closes wait (5)
+        ]
+        assert span_durations(events) == {1: {"wait": 5.0, "translate": 1.0}}
+
+    def test_unclosed_spans_do_not_pollute_breakdown_average(self):
+        # Track 1 is complete; track 2 has only an unclosed `execute`.
+        # Track 2 therefore carries no lifecycle durations and must not
+        # dilute the per-descriptor mean.
+        events = [
+            self._b(0.0, "execute", tid=1),
+            self._e(4.0, tid=1),
+            self._b(9.0, "execute", tid=2),
+        ]
+        breakdown = phase_breakdown(events)
+        assert breakdown["execute"] == 4.0
+
+
 def test_wait_covers_device_side_phases(fig5_trace):
     # The host observes `wait` while the device runs queue + translate +
     # execute, so per descriptor wait ≥ the device-side phases it spans.

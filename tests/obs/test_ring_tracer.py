@@ -1,0 +1,102 @@
+"""RingTracer: bounded memory, shard spill, lossless streaming export."""
+
+import json
+import os
+
+from repro.obs import RingTracer, Tracer, chrome_trace_events, write_chrome_trace
+
+
+def _fill(tracer, n, agent="pe0"):
+    for i in range(n):
+        tracer.complete(float(i), 1.0, "op", "execute", agent, 1, {"i": i})
+
+
+class TestRing:
+    def test_buffer_never_exceeds_capacity(self, tmp_path):
+        tracer = RingTracer(capacity=100, spill_dir=str(tmp_path))
+        for i in range(1000):
+            tracer.instant(float(i), "tick", "cat")
+            assert len(tracer.events) < 100
+        assert len(tracer) == 1000
+        assert tracer.spilled_records == 1000  # 10 full segments
+        assert tracer.shard_count == 10
+        assert tracer.spilled_bytes > 0
+
+    def test_iter_records_replays_spill_then_tail_in_order(self, tmp_path):
+        tracer = RingTracer(capacity=7, spill_dir=str(tmp_path))
+        _fill(tracer, 25)
+        records = list(tracer.iter_records())
+        assert len(records) == 25
+        assert [r[1] for r in records] == [float(i) for i in range(25)]
+        # Args survive the JSONL round trip.
+        assert records[0][6]["i"] == 0
+        assert records[0][6]["_dur"] == 1.0
+
+    def test_export_identical_to_unbounded_tracer(self, tmp_path):
+        plain = Tracer()
+        ring = RingTracer(capacity=16, spill_dir=str(tmp_path))
+        for tracer in (plain, ring):
+            tracer.begin(0.0, "a", "queue", "wq0", 1)
+            _fill(tracer, 100)
+            tracer.end(500.0, "a", "queue", "wq0", 1)
+            tracer.instant(501.0, "done", "cat", "sim", 0, {"mode": "x"})
+        assert chrome_trace_events(ring) == chrome_trace_events(plain)
+
+    def test_write_chrome_trace_streams_valid_json(self, tmp_path):
+        ring = RingTracer(capacity=8, spill_dir=str(tmp_path / "spill"))
+        _fill(ring, 50)
+        out = tmp_path / "trace.json"
+        count = write_chrome_trace(ring, str(out))
+        events = json.loads(out.read_text())
+        assert count == len(events)
+        # 50 records + 1 process_name metadata event.
+        assert count == 51
+
+    def test_absorb_remaps_tracks_through_the_ring(self, tmp_path):
+        parent = RingTracer(capacity=4, spill_dir=str(tmp_path))
+        parent.next_track()  # parent already handed out track 1
+        worker = Tracer()
+        worker.begin(0.0, "w", "execute", "pe0", worker.next_track())
+        worker.instant(1.0, "d", "cat", "sim", 0)
+        absorbed = parent.absorb(worker.events)
+        assert absorbed == 2
+        records = list(parent.iter_records())
+        assert records[0][5] == 2  # worker track 1 shifted past parent's 1
+        assert records[1][5] == 0  # DEFAULT_TRACK stays 0
+
+    def test_clear_removes_shards(self, tmp_path):
+        tracer = RingTracer(capacity=5, spill_dir=str(tmp_path))
+        _fill(tracer, 23)
+        assert tracer.shard_count > 0
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.spilled_records == 0
+        assert not list(tmp_path.glob("*.jsonl"))
+        # Recording keeps working after a clear; shard names restart.
+        _fill(tracer, 6)
+        assert len(tracer) == 6
+
+    def test_cleanup_removes_owned_tempdir(self):
+        tracer = RingTracer(capacity=3)
+        _fill(tracer, 10)
+        spill_dir = tracer.spill_dir
+        assert os.path.isdir(spill_dir)
+        tracer.cleanup()
+        assert not os.path.exists(spill_dir)
+
+    def test_non_json_args_degrade_to_strings_not_errors(self, tmp_path):
+        class Odd:
+            def __str__(self):
+                return "odd!"
+
+        tracer = RingTracer(capacity=2, spill_dir=str(tmp_path))
+        tracer.instant(0.0, "a", "cat", args={"x": Odd()})
+        tracer.instant(1.0, "b", "cat")  # triggers the spill
+        records = list(tracer.iter_records())
+        assert records[0][6]["x"] == "odd!"
+
+    def test_capacity_must_be_positive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RingTracer(capacity=0)

@@ -1,0 +1,105 @@
+"""ResultSink: streamed JSONL lines, shard splicing, summary merge."""
+
+import json
+
+import pytest
+
+from repro.analysis.series import Series
+from repro.experiments.base import ExperimentResult
+from repro.obs import ResultSink, install_sink, installed_sink, uninstall_sink
+
+
+def _lines(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+class TestSink:
+    def test_lines_are_flushed_as_written(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = ResultSink(path)
+        sink.series("fig2", "sync:MEMMOVE", [(64, 0.5), (4096, 2.0)])
+        # Readable mid-run, before close: each line is flushed.
+        assert _lines(path) == [
+            {
+                "kind": "series",
+                "exp": "fig2",
+                "label": "sync:MEMMOVE",
+                "points": [[64, 0.5], [4096, 2.0]],
+            }
+        ]
+        sink.anchor("fig2", "crossover", "~4KB", "4KB", True)
+        sink.result("fig2", ok=True, cached=False, wall=1.5)
+        sink.close()
+        assert [l["kind"] for l in _lines(path)] == ["series", "anchor", "result"]
+
+    def test_write_after_close_raises(self, tmp_path):
+        sink = ResultSink(tmp_path / "run.jsonl")
+        sink.close()
+        with pytest.raises(ValueError):
+            sink.write("series", exp="x")
+
+    def test_absorb_file_splices_lines_and_tolerates_missing_shard(self, tmp_path):
+        shard = ResultSink(tmp_path / "shard.jsonl")
+        shard.series("fig5", "lat", [(1, 2)])
+        shard.close()
+        main = ResultSink(tmp_path / "run.jsonl")
+        main.result("fig2", ok=True, cached=False, wall=0.1)
+        assert main.absorb_file(tmp_path / "shard.jsonl") == 1
+        assert main.absorb_file(tmp_path / "no-such-shard.jsonl") == 0
+        main.close()
+        assert [(l["kind"], l["exp"]) for l in _lines(tmp_path / "run.jsonl")] == [
+            ("result", "fig2"),
+            ("series", "fig5"),
+        ]
+
+    def test_finalize_merges_summary(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = ResultSink(path)
+        sink.series("fig2", "a", [(1, 1)])
+        sink.series("fig2", "b", [(1, 1)])
+        sink.anchor("fig2", "x", "e", "m", True)
+        sink.anchor("fig2", "y", "e", "m", False)
+        sink.result("fig2", ok=True, cached=False, wall=2.0)
+        sink.result("fig5", ok=True, cached=True, wall=0.0)
+        summary = sink.finalize()
+        assert summary["lines"] == 6
+        assert summary["series"] == 2
+        assert summary["anchors"] == 2
+        assert summary["anchors_held"] == 1
+        assert summary["wall_s"] == pytest.approx(2.0)
+        assert summary["experiments"]["fig2"]["series"] == 2
+        assert summary["experiments"]["fig5"]["cached"] is True
+        on_disk = json.loads((tmp_path / "run.jsonl.summary.json").read_text())
+        assert on_disk == json.loads(json.dumps(summary))
+
+
+class TestInstalledSink:
+    def test_experiment_result_streams_series_and_anchors(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = ResultSink(path)
+        install_sink(sink)
+        try:
+            result = ExperimentResult(exp_id="figX", title="t", description="d")
+            series = Series(label="s")
+            series.add(1.0, 2.0)
+            result.add_series(series)
+            result.check("anchor", "paper", "measured", True)
+        finally:
+            uninstall_sink()
+            sink.close()
+        lines = _lines(path)
+        assert [l["kind"] for l in lines] == ["series", "anchor"]
+        assert lines[0]["exp"] == "figX"
+        assert lines[1]["holds"] is True
+        # Local accumulation still works alongside the stream.
+        assert "s" in result.series
+        assert result.anchors[0].holds
+
+    def test_no_sink_installed_is_a_noop(self):
+        assert installed_sink() is None
+        result = ExperimentResult(exp_id="figY", title="t", description="d")
+        series = Series(label="s")
+        series.add(1.0, 2.0)
+        result.add_series(series)  # must not raise
+        assert "s" in result.series

@@ -1,0 +1,161 @@
+"""StreamingHistogram: error bounds, merge exactness, API parity.
+
+The acceptance bar for the streaming tier is differential: over
+hundreds of random sample sets, streaming p50/p99 must agree with the
+exact backend within the documented relative-error bound
+(:data:`repro.obs.streaming.DEFAULT_RELATIVE_ERROR`, 1%).
+"""
+
+import random
+
+import pytest
+
+from repro.obs.streaming import DEFAULT_RELATIVE_ERROR, StreamingHistogram
+from repro.sim.stats import Histogram as ExactHistogram
+
+
+def _random_samples(rng: random.Random) -> list:
+    """One random sample set from a randomly chosen shape and scale."""
+    n = rng.randint(3, 400)
+    shape = rng.choice(["uniform", "lognormal", "exponential", "bimodal"])
+    scale = 10.0 ** rng.randint(-3, 6)
+    if shape == "uniform":
+        return [rng.uniform(0.1, 1.0) * scale for _ in range(n)]
+    if shape == "lognormal":
+        return [rng.lognormvariate(0.0, 1.5) * scale for _ in range(n)]
+    if shape == "exponential":
+        return [rng.expovariate(1.0) * scale + 1e-9 for _ in range(n)]
+    return [
+        (rng.uniform(1.0, 2.0) if rng.random() < 0.9 else rng.uniform(50.0, 100.0)) * scale
+        for _ in range(n)
+    ]
+
+
+class TestDifferential:
+    def test_percentiles_match_exact_within_bound_over_200_sets(self):
+        """p50/p99 within the documented 1% bound on >=200 random sets."""
+        rng = random.Random(0xD5A)
+        sets = 0
+        worst = 0.0
+        while sets < 200:
+            samples = _random_samples(rng)
+            exact = ExactHistogram()
+            streaming = StreamingHistogram()
+            for value in samples:
+                exact.add(value)
+                streaming.add(value)
+            for pct in (50.0, 99.0, 99.9):
+                want = exact.percentile(pct)
+                got = streaming.percentile(pct)
+                err = abs(got - want) / want
+                worst = max(worst, err)
+                assert err <= DEFAULT_RELATIVE_ERROR, (
+                    f"set {sets}: p{pct} streaming={got} exact={want} err={err:.4%}"
+                )
+            sets += 1
+        assert worst <= DEFAULT_RELATIVE_ERROR
+
+    def test_count_sum_min_max_are_exact(self):
+        rng = random.Random(7)
+        samples = [rng.lognormvariate(2.0, 1.0) for _ in range(5000)]
+        hist = StreamingHistogram()
+        hist.extend(samples)
+        assert len(hist) == 5000
+        assert hist.minimum == min(samples)
+        assert hist.maximum == max(samples)
+        assert hist.mean == pytest.approx(sum(samples) / 5000)
+
+
+class TestBuckets:
+    def test_memory_is_bounded_by_buckets_not_samples(self):
+        rng = random.Random(1)
+        hist = StreamingHistogram()
+        for _ in range(200_000):
+            hist.add(rng.lognormvariate(5.0, 2.0))
+        # 200k samples spanning many decades land in O(100s) of buckets.
+        assert hist.bucket_count < 3000
+        assert len(hist) == 200_000
+
+    def test_zero_and_negative_values(self):
+        hist = StreamingHistogram()
+        hist.extend([-10.0, -1.0, 0.0, 0.0, 1.0, 10.0])
+        assert len(hist) == 6
+        assert hist.minimum == -10.0
+        assert hist.maximum == 10.0
+        # Nearest-rank p50 over 6 samples is the 3rd: one of the zeros.
+        assert hist.percentile(50) == 0.0
+        assert hist.percentile(0) == -10.0
+        assert hist.percentile(100) == 10.0
+
+    def test_empty_summary_matches_exact_backend(self):
+        assert StreamingHistogram().summary() == ExactHistogram().summary()
+
+    def test_invalid_relative_error_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(relative_error=0.0)
+        with pytest.raises(ValueError):
+            StreamingHistogram(relative_error=1.0)
+
+    def test_percentile_out_of_range_rejected(self):
+        hist = StreamingHistogram()
+        hist.add(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(101.0)
+
+
+class TestMerge:
+    def test_bucketwise_merge_equals_single_histogram(self):
+        """Merging shards is exact: same buckets as one big histogram."""
+        rng = random.Random(11)
+        samples = [rng.lognormvariate(0.0, 2.0) for _ in range(10_000)]
+        whole = StreamingHistogram()
+        whole.extend(samples)
+        left, right = StreamingHistogram(), StreamingHistogram()
+        left.extend(samples[:3000])
+        right.extend(samples[3000:])
+        left.merge(right)
+        merged, single = left.state(), whole.state()
+        # Bucket counts merge exactly; only the float sum sees a
+        # different addition order.
+        assert merged["sum"] == pytest.approx(single.pop("sum"))
+        merged.pop("sum")
+        assert merged == single
+        for pct in (1.0, 50.0, 99.0, 99.9):
+            assert left.percentile(pct) == whole.percentile(pct)
+
+    def test_merge_rejects_mismatched_alpha(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(0.01).merge(StreamingHistogram(0.02))
+
+    def test_merge_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            StreamingHistogram().merge(ExactHistogram())
+
+
+class TestState:
+    def test_state_round_trip(self):
+        rng = random.Random(3)
+        hist = StreamingHistogram()
+        hist.extend([rng.expovariate(0.1) for _ in range(1000)])
+        clone = StreamingHistogram.from_state(hist.state())
+        assert clone.state() == hist.state()
+        assert clone.percentile(99) == hist.percentile(99)
+
+    def test_state_survives_json_round_trip(self):
+        import json
+
+        hist = StreamingHistogram()
+        hist.extend([0.5, 3.0, -2.0, 0.0, 1e6])
+        clone = StreamingHistogram.from_state(json.loads(json.dumps(hist.state())))
+        assert clone.summary() == hist.summary()
+
+    def test_representative_error_bound_analytically(self):
+        """Every bucket representative is within alpha of its bounds."""
+        hist = StreamingHistogram()
+        gamma = (1 + hist.alpha) / (1 - hist.alpha)
+        for index in range(-50, 51):
+            rep = 2.0 * gamma**index / (gamma + 1.0)
+            low, high = gamma ** (index - 1), gamma**index
+            # Worst case within the bucket (low, high]:
+            worst = max(abs(rep - low) / low, abs(rep - high) / high)
+            assert worst <= hist.alpha + 1e-12

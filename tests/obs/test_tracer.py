@@ -39,6 +39,40 @@ class TestSpans:
         assert len(tracks) == 100
 
 
+class TestAbsorb:
+    def test_absorb_with_only_default_track_events_is_identity(self):
+        """DEFAULT_TRACK (0) events need no remap and must claim no ids."""
+        parent = Tracer()
+        parent.next_track()  # parent is at 1
+        worker = Tracer()
+        worker.instant(1.0, "a", "cat", "sim", 0)
+        worker.instant(2.0, "b", "cat", "sim", 0)
+        assert parent.absorb(worker.events) == 2
+        assert [record[5] for record in parent.events] == [0, 0]
+        # No phantom worker tracks were reserved: the next parent track
+        # is 2, not shifted past a highest-track of zero plus anything.
+        assert parent.next_track() == 2
+
+    def test_absorb_empty_list_leaves_track_counter_alone(self):
+        parent = Tracer()
+        parent.next_track()
+        assert parent.absorb([]) == 0
+        assert parent.next_track() == 2
+
+    def test_absorb_shifts_only_nonzero_tracks(self):
+        parent = Tracer()
+        parent.next_track()
+        parent.next_track()  # parent handed out 1 and 2
+        worker = Tracer()
+        worker.begin(0.0, "w", "execute", "pe0", worker.next_track())
+        worker.instant(0.5, "mark", "cat", "sim", 0)
+        worker.end(1.0, "w", "execute", "pe0", 1)
+        parent.absorb(worker.events)
+        assert [record[5] for record in parent.events] == [3, 0, 3]
+        # Subsequent parent tracks continue past the remapped range.
+        assert parent.next_track() == 4
+
+
 class TestDisabledTracer:
     def test_null_tracer_records_nothing(self):
         tracer = NullTracer()

@@ -56,6 +56,37 @@ class TestTimeWeightedStat:
         with pytest.raises(ValueError):
             tw.update(4.0, 2.0)
 
+    def test_restart_epoch_resets_mean_carries_level_and_max(self):
+        tw = TimeWeightedStat()
+        tw.update(10.0, 8.0)   # level 0 over [0, 10), then 8
+        tw.update(20.0, 2.0)   # mean so far: (0*10 + 8*10) / 20 = 4
+        assert tw.mean() == pytest.approx(4.0)
+        tw.restart_epoch(0.0)  # a new simulation's clock starts at zero
+        assert tw.level == 2.0       # level carries over
+        assert tw.maximum == 8.0     # maximum carries over
+        assert tw.last_time == 0.0
+        assert tw.elapsed == 0.0
+        tw.update(10.0, 2.0)
+        assert tw.mean() == pytest.approx(2.0)  # old epoch's area is gone
+
+    def test_restart_epoch_promotes_live_level_into_maximum(self):
+        tw = TimeWeightedStat()
+        tw.update(5.0, 9.0)
+        # The level live at epoch end counts toward the maximum even
+        # though no later update ever observed it.
+        tw.restart_epoch(0.0)
+        assert tw.maximum == 9.0
+
+    def test_state_round_trip(self):
+        tw = TimeWeightedStat()
+        tw.update(4.0, 6.0)
+        tw.update(9.0, 1.0)
+        clone = TimeWeightedStat.from_state(tw.state())
+        assert clone.level == tw.level
+        assert clone.maximum == tw.maximum
+        assert clone.mean() == pytest.approx(tw.mean())
+        assert clone.elapsed == tw.elapsed
+
     @given(st.lists(st.tuples(st.floats(0.01, 10.0), st.floats(0, 100)), min_size=1, max_size=50))
     def test_mean_is_bounded_by_levels(self, steps):
         tw = TimeWeightedStat()
@@ -103,6 +134,16 @@ class TestHistogram:
         assert summary["mean"] == pytest.approx(2.0)
         assert summary["min"] == 1.0
         assert summary["max"] == 3.0
+
+    def test_merge_is_exact(self):
+        left, right, whole = Histogram(), Histogram(), Histogram()
+        left.extend([5.0, 1.0, 9.0])
+        right.extend([2.0, 8.0])
+        whole.extend([5.0, 1.0, 9.0, 2.0, 8.0])
+        left.merge(right)
+        assert left.values == whole.values
+        assert left.mean == pytest.approx(whole.mean)
+        assert left.percentile(99) == whole.percentile(99)
 
     @given(st.lists(st.floats(0, 1e9), min_size=1, max_size=300))
     def test_max_percentile_is_max(self, values):
