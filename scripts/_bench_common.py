@@ -1,0 +1,107 @@
+"""Shared A/B harness for the ``scripts/bench_*.py`` family.
+
+Every microbenchmark here follows the same recipe: run each
+(implementation, workload) pair ``--repeats`` times with the best run
+winning (minimum wall time — the standard way to strip scheduler noise
+from a CPU-bound measurement), reduce per-workload speedups with a
+geometric mean, write a JSON payload next to the repo root, and exit
+non-zero under ``--require`` when a hard gate fails.  This module holds
+those pieces once; each script keeps only its workloads and its own
+flag semantics (soft targets vs hard gates differ by bench).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional
+
+
+@dataclass
+class BestRun:
+    """Outcome of a best-of-N timing loop."""
+
+    seconds: float      # wall time of the fastest repeat
+    value: Any          # run() return of the fastest repeat
+    context: Any        # setup() product of the fastest repeat (or None)
+
+    def rate(self, count: Optional[float] = None) -> float:
+        """``count`` (default: the run's value) per second of best wall."""
+        count = self.value if count is None else count
+        return count / self.seconds
+
+
+def best_of(
+    repeats: int,
+    run: Callable[[Any], Any],
+    setup: Optional[Callable[[], Any]] = None,
+    teardown: Optional[Callable[[Any], None]] = None,
+) -> BestRun:
+    """Time ``run`` ``repeats`` times; the minimum wall time wins.
+
+    ``setup`` builds per-repeat state outside the timed region (a fresh
+    Environment, a tracer); its product is passed to ``run`` and to
+    ``teardown`` (always called, timed out of band).  The best repeat's
+    value and context are kept so callers can harvest counters from the
+    exact run they report.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1: {repeats}")
+    best = BestRun(seconds=float("inf"), value=None, context=None)
+    for _ in range(repeats):
+        context = setup() if setup is not None else None
+        start = time.perf_counter()
+        value = run(context)
+        elapsed = time.perf_counter() - start
+        if elapsed < best.seconds:
+            best = BestRun(seconds=elapsed, value=value, context=context)
+        if teardown is not None:
+            teardown(context)
+    return best
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive speedups (1.0 for an empty set)."""
+    values = list(values)
+    if not values:
+        return 1.0
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geomean needs positive values, got {value}")
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def base_parser(
+    description: str, out_default: str, repeats_default: int = 5
+) -> argparse.ArgumentParser:
+    """Parser with the flags every bench shares (--out/--repeats/--require)."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--out", default=out_default, help="JSON output path")
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=repeats_default,
+        help="runs per measurement (best wins)",
+    )
+    parser.add_argument(
+        "--require",
+        action="store_true",
+        help="exit non-zero when a hard gate fails",
+    )
+    return parser
+
+
+def write_json(path: str, payload: dict) -> None:
+    payload = dict(payload, python=sys.version.split()[0])
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+
+
+def gate_exit(ok: bool, require: bool) -> int:
+    """Exit status for ``sys.exit``: failures only bite under --require."""
+    return 1 if (require and not ok) else 0

@@ -29,13 +29,11 @@ calendar entries actually processed.
 
 from __future__ import annotations
 
-import argparse
 import heapq
-import json
 import sys
-import time
 from itertools import count
 
+from _bench_common import base_parser, best_of, gate_exit, geomean, write_json
 from repro.sim.engine import Environment
 
 # ---------------------------------------------------------------------------
@@ -282,27 +280,13 @@ WORKLOADS = {
 
 
 def measure(env_factory, workload, repeats):
-    best = float("inf")
-    events = 0
-    for _ in range(repeats):
-        env = env_factory()
-        start = time.perf_counter()
-        events = workload(env)
-        elapsed = time.perf_counter() - start
-        best = min(best, elapsed)
-    return events / best, events, best
+    best = best_of(repeats, workload, setup=env_factory)
+    return best.rate(), best.value, best.seconds
 
 
 def main(argv=None):
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_engine.json", help="JSON output path")
-    parser.add_argument("--repeats", type=int, default=5, help="runs per measurement (best wins)")
+    parser = base_parser(__doc__.splitlines()[0], "BENCH_engine.json")
     parser.add_argument("--target", type=float, default=1.3, help="required overall speedup")
-    parser.add_argument(
-        "--require",
-        action="store_true",
-        help="exit non-zero when the overall speedup misses --target",
-    )
     args = parser.parse_args(argv)
 
     results = {}
@@ -325,26 +309,20 @@ def main(argv=None):
             f"after {after_eps/1e6:6.2f} M ev/s   x{speedup:.2f}"
         )
 
-    overall = 1.0
-    for s in speedups:
-        overall *= s
-    overall **= 1.0 / len(speedups)
-
-    payload = {
-        "benchmark": "repro.sim.engine event loop",
-        "python": sys.version.split()[0],
-        "repeats": args.repeats,
-        "workloads": results,
-        "overall_speedup_geomean": round(overall, 3),
-        "target": args.target,
-        "pass": overall >= args.target,
-    }
-    with open(args.out, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
+    overall = geomean(speedups)
+    write_json(
+        args.out,
+        {
+            "benchmark": "repro.sim.engine event loop",
+            "repeats": args.repeats,
+            "workloads": results,
+            "overall_speedup_geomean": round(overall, 3),
+            "target": args.target,
+            "pass": overall >= args.target,
+        },
+    )
     print(f"overall geomean x{overall:.2f} (target x{args.target}) -> {args.out}")
-    if args.require and overall < args.target:
-        return 1
-    return 0
+    return gate_exit(overall >= args.target, args.require)
 
 
 if __name__ == "__main__":

@@ -39,12 +39,10 @@ so the stale-timer reduction is visible, plus the new implementation's
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
-import time
 from typing import List, Optional
 
+from _bench_common import base_parser, best_of, gate_exit, geomean, write_json
 from repro.mem.link import FairShareLink
 from repro.sim.engine import Environment, Event
 
@@ -224,27 +222,20 @@ WORKLOADS = {
 
 
 def measure(link_cls, workload, repeats):
-    best = float("inf")
-    transfers = 0
-    events = 0
-    cancelled = stale = 0
-    for _ in range(repeats):
-        env = Environment()
-        start = time.perf_counter()
-        transfers = workload(env, link_cls)
-        elapsed = time.perf_counter() - start
-        if elapsed < best:
-            best = elapsed
-            events = env._seq  # calendar entries scheduled (incl. stale timers)
-            cancelled = env.cancelled_events
-            stale = env.stale_timers
-    return transfers / best, transfers, best, events, cancelled, stale
+    best = best_of(repeats, lambda env: workload(env, link_cls), setup=Environment)
+    env = best.context  # stats harvested from the exact run reported
+    return (
+        best.rate(),
+        best.value,
+        best.seconds,
+        env._seq,  # calendar entries scheduled (incl. stale timers)
+        env.cancelled_events,
+        env.stale_timers,
+    )
 
 
 def main(argv=None):
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_link.json", help="JSON output path")
-    parser.add_argument("--repeats", type=int, default=5, help="runs per measurement (best wins)")
+    parser = base_parser(__doc__.splitlines()[0], "BENCH_link.json")
     parser.add_argument(
         "--target",
         type=float,
@@ -257,11 +248,6 @@ def main(argv=None):
         type=float,
         default=1.0,
         help="hard regression gate checked by --require",
-    )
-    parser.add_argument(
-        "--require",
-        action="store_true",
-        help="exit non-zero when the geomean falls below --min",
     )
     args = parser.parse_args(argv)
 
@@ -293,30 +279,24 @@ def main(argv=None):
             f"after {after_tps/1e3:7.1f} k xfer/s ({after_ev} ev)   x{speedup:.2f}"
         )
 
-    overall = 1.0
-    for s in speedups:
-        overall *= s
-    overall **= 1.0 / len(speedups)
-
-    payload = {
-        "benchmark": "repro.mem.link FairShareLink (virtual time vs legacy)",
-        "python": sys.version.split()[0],
-        "repeats": args.repeats,
-        "workloads": results,
-        "overall_speedup_geomean": round(overall, 3),
-        "target": args.target,
-        "pass": overall >= args.target,
-        "min_gate": args.min_gate,
-    }
-    with open(args.out, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
+    overall = geomean(speedups)
+    write_json(
+        args.out,
+        {
+            "benchmark": "repro.mem.link FairShareLink (virtual time vs legacy)",
+            "repeats": args.repeats,
+            "workloads": results,
+            "overall_speedup_geomean": round(overall, 3),
+            "target": args.target,
+            "pass": overall >= args.target,
+            "min_gate": args.min_gate,
+        },
+    )
     print(
         f"overall geomean x{overall:.2f} (soft target x{args.target}, "
         f"gate x{args.min_gate}) -> {args.out}"
     )
-    if args.require and overall < args.min_gate:
-        return 1
-    return 0
+    return gate_exit(overall >= args.min_gate, args.require)
 
 
 if __name__ == "__main__":

@@ -32,15 +32,13 @@ identical across arms.
 
 from __future__ import annotations
 
-import argparse
-import json
 import random
 import shutil
 import sys
 import tempfile
-import time
 import tracemalloc
 
+from _bench_common import base_parser, best_of, gate_exit, write_json
 from repro.obs import NULL_TRACER, DEFAULT_RELATIVE_ERROR, RingTracer, StreamingHistogram, Tracer
 from repro.sim.stats import Histogram as ExactHistogram
 
@@ -81,37 +79,35 @@ def _cleanup(tracer):
 def bench_tracers(records, repeats, spill_root):
     out = {}
     for name, make in _tracer_factories(spill_root).items():
-        best = float("inf")
-        for _ in range(repeats):
-            tracer = make()
-            start = time.perf_counter()
-            _drive_tracer(tracer, records)
-            best = min(best, time.perf_counter() - start)
-            _cleanup(tracer)
+        best = best_of(
+            repeats,
+            lambda tracer: _drive_tracer(tracer, records),
+            setup=make,
+            teardown=_cleanup,
+        )
         out[name] = {
             "records": records,
-            "best_s": round(best, 4),
-            "records_per_sec": round(records / best),
+            "best_s": round(best.seconds, 4),
+            "records_per_sec": round(records / best.seconds),
         }
     return out
 
 
 def bench_histograms(samples, repeats):
     out = {}
+
+    def fill(hist):
+        rng = random.Random(7)
+        add = hist.add
+        for _ in range(samples):
+            add(rng.lognormvariate(3.0, 1.2))
+
     for name, make in (("exact", ExactHistogram), ("streaming", StreamingHistogram)):
-        best = float("inf")
-        for _ in range(repeats):
-            rng = random.Random(7)
-            hist = make()
-            add = hist.add
-            start = time.perf_counter()
-            for _ in range(samples):
-                add(rng.lognormvariate(3.0, 1.2))
-            best = min(best, time.perf_counter() - start)
+        best = best_of(repeats, fill, setup=make)
         out[name] = {
             "samples": samples,
-            "best_s": round(best, 4),
-            "samples_per_sec": round(samples / best),
+            "best_s": round(best.seconds, 4),
+            "samples_per_sec": round(samples / best.seconds),
         }
     return out
 
@@ -178,21 +174,14 @@ def bench_accuracy(samples):
 
 
 def main(argv=None):
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_obs.json", help="JSON output path")
+    parser = base_parser(__doc__.splitlines()[0], "BENCH_obs.json", repeats_default=3)
     parser.add_argument("--records", type=int, default=200_000, help="trace records per run")
     parser.add_argument("--samples", type=int, default=200_000, help="histogram samples per run")
-    parser.add_argument("--repeats", type=int, default=3, help="runs per measurement (best wins)")
     parser.add_argument(
         "--max-mem-ratio",
         type=float,
         default=0.5,
         help="gate: bounded/unbounded peak memory must stay below this",
-    )
-    parser.add_argument(
-        "--require",
-        action="store_true",
-        help="exit non-zero when a memory ratio or accuracy bound fails",
     )
     args = parser.parse_args(argv)
 
@@ -225,7 +214,6 @@ def main(argv=None):
     )
     payload = {
         "benchmark": "repro.obs streaming observability (ring tracer + streaming histogram)",
-        "python": sys.version.split()[0],
         "repeats": args.repeats,
         "ring_capacity": RING_CAPACITY,
         "tracers": tracers,
@@ -236,12 +224,9 @@ def main(argv=None):
         "rel_error_bound": DEFAULT_RELATIVE_ERROR,
         "pass": ok,
     }
-    with open(args.out, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
+    write_json(args.out, payload)
     print(f"{'PASS' if ok else 'FAIL'} -> {args.out}")
-    if args.require and not ok:
-        return 1
-    return 0
+    return gate_exit(ok, args.require)
 
 
 if __name__ == "__main__":

@@ -50,6 +50,41 @@ CACHE_FORMAT = 2
 #: Default cache root, relative to the current working directory.
 DEFAULT_ROOT = ".repro-cache"
 
+#: Flag values that mean "the default run mode" and are dropped from
+#: the variant salt, so default runs keep their historical (empty
+#: variant) keys across releases that add new flags.
+VARIANT_DEFAULTS = {"fidelity": "des", "hist": "auto"}
+
+
+def variant_string(**flags) -> str:
+    """Canonical cache-``variant`` salt for run-mode flags.
+
+    One builder instead of ad hoc concatenation at call sites:
+    ``variant_string(hist="streaming", fidelity="auto")`` →
+    ``"fidelity=auto,hist=streaming"``.  Properties that make distinct
+    flag combinations collision-free:
+
+    * keys are emitted in sorted order (call-site order is irrelevant);
+    * ``None`` and default values (:data:`VARIANT_DEFAULTS`) are
+      dropped, so a new flag at its default never orphans old entries;
+    * the ``=`` / ``,`` separators are rejected inside keys and values,
+      so two different mappings can never serialize identically.
+    """
+    parts: List[str] = []
+    for key in sorted(flags):
+        value = flags[key]
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            value = int(value)
+        text = str(value)
+        if VARIANT_DEFAULTS.get(key) == text:
+            continue
+        if any(sep in key or sep in text for sep in ("=", ",")):
+            raise ValueError(f"variant flag may not contain '=' or ',': {key}={text!r}")
+        parts.append(f"{key}={text}")
+    return ",".join(parts)
+
 
 @dataclass
 class CachedResult:
@@ -86,9 +121,12 @@ class ResultCache:
         """Full content key for one (experiment, flags, seed, code) tuple.
 
         ``variant`` salts the key for run modes that change the stored
-        payload without changing the code — today the non-default
-        ``--hist-backend`` choices, whose metrics snapshots differ from
-        the ``auto`` default.  The empty default keeps existing keys.
+        payload without changing the code — the non-default
+        ``--hist-backend`` choices (metrics snapshots differ from the
+        ``auto`` default) and non-default ``--fidelity`` tiers (results
+        are within-tolerance, not byte-identical).  Callers build it
+        with :func:`variant_string`; the empty default keeps existing
+        keys.
         """
         source_fp = fingerprint(module_path(exp_id))
         material = f"v{CACHE_FORMAT}|{exp_id}|quick={int(bool(quick))}|seed={seed}|{source_fp}"

@@ -29,7 +29,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional
 
-from repro.exec.cache import ResultCache
+from repro.exec.cache import ResultCache, variant_string
 from repro.experiments.base import ExperimentResult
 from repro.experiments.registry import run_experiment
 from repro.obs import (
@@ -44,6 +44,7 @@ from repro.obs import (
     uninstall_metrics,
     uninstall_sink,
 )
+from repro.sim.fidelity import install_fidelity, uninstall_fidelity
 from repro.sim.rng import DEFAULT_SEED, install_seed, uninstall_seed
 
 
@@ -75,6 +76,7 @@ def _worker(
     with_trace: bool,
     sink_shard: Optional[str] = None,
     hist_backend: Optional[str] = None,
+    fidelity: Optional[str] = None,
 ) -> RunOutcome:
     """Run one experiment in a worker process.
 
@@ -92,6 +94,11 @@ def _worker(
         from repro.obs import set_default_hist_backend
 
         set_default_hist_backend(hist_backend)
+    if fidelity is not None:
+        # Same reason: pool workers are reused, so the parent's
+        # --fidelity choice is re-installed on every call (an explicit
+        # "des" disables batching left over from a previous runner).
+        install_fidelity(fidelity)
     registry = MetricsRegistry()
     install_metrics(registry)
     tracer: Optional[Tracer] = None
@@ -164,6 +171,7 @@ class ParallelRunner:
         trace: bool = False,
         sink: Optional[ResultSink] = None,
         hist_backend: Optional[str] = None,
+        fidelity: Optional[str] = None,
     ):
         self.jobs = max(1, int(jobs))
         self.quick = bool(quick)
@@ -172,6 +180,10 @@ class ParallelRunner:
         self.trace = bool(trace)
         self.sink = sink
         self.hist_backend = hist_backend
+        #: ``--fidelity`` mode string installed in every worker (and
+        #: in-process for ``jobs=1``); None = leave whatever the caller
+        #: installed (normally nothing, i.e. full DES).
+        self.fidelity = fidelity
 
     # -- merge ----------------------------------------------------------
     def _merge(self, outcome: RunOutcome) -> None:
@@ -213,10 +225,13 @@ class ParallelRunner:
 
     @property
     def _cache_variant(self) -> str:
-        """Cache-key salt for run modes that change the stored payload."""
-        if self.hist_backend and self.hist_backend != "auto":
-            return f"hist={self.hist_backend}"
-        return ""
+        """Cache-key salt for run modes that change the stored payload.
+
+        Built by the one canonical :func:`~repro.exec.cache.variant_string`
+        so every payload-changing flag is salted uniformly and distinct
+        flag combinations can never collide.
+        """
+        return variant_string(hist=self.hist_backend, fidelity=self.fidelity)
 
     def _lookup(self, exp_id: str) -> Optional[RunOutcome]:
         if self.cache is None or self.trace:
@@ -255,6 +270,9 @@ class ParallelRunner:
         owns_registry = installed_metrics() is None
         if owns_registry:
             install_metrics(MetricsRegistry())
+        owns_fidelity = self.fidelity is not None
+        if owns_fidelity:
+            install_fidelity(self.fidelity)
         start = time.perf_counter()
         try:
             result = run_experiment(exp_id, quick=self.quick)
@@ -268,6 +286,8 @@ class ParallelRunner:
             uninstall_seed()
             if owns_registry:
                 uninstall_metrics()
+            if owns_fidelity:
+                uninstall_fidelity()
         return RunOutcome(exp_id=exp_id, result=result, wall=time.perf_counter() - start)
 
     # -- driver ---------------------------------------------------------
@@ -316,7 +336,7 @@ class ParallelRunner:
                 futures = {
                     exp_id: pool.submit(
                         _worker, exp_id, self.quick, self.seed, self.trace,
-                        shard_path(exp_id), self.hist_backend,
+                        shard_path(exp_id), self.hist_backend, self.fidelity,
                     )
                     for exp_id in misses
                 }

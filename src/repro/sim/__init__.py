@@ -42,6 +42,15 @@ from repro.sim.engine import (
     SimulationError,
     Timeout,
 )
+from repro.sim.fidelity import (
+    DECLARED_TOLERANCE,
+    FidelityMode,
+    FidelityPolicy,
+    active_fidelity,
+    fidelity,
+    install_fidelity,
+    uninstall_fidelity,
+)
 from repro.sim.resources import PriorityStore, Resource, Store
 from repro.sim.stats import Histogram, OnlineStat, TimeWeightedStat
 from repro.sim.rng import DEFAULT_SEED, install_seed, installed_seed, make_rng, uninstall_seed
@@ -65,4 +74,11 @@ __all__ = [
     "OnlineStat",
     "TimeWeightedStat",
     "make_rng",
+    "DECLARED_TOLERANCE",
+    "FidelityMode",
+    "FidelityPolicy",
+    "active_fidelity",
+    "fidelity",
+    "install_fidelity",
+    "uninstall_fidelity",
 ]

@@ -1,0 +1,111 @@
+"""Analytical bulk advance of a detected steady-state region.
+
+Given a pilot run's :class:`~repro.sim.fidelity.SteadyStateDetector`
+record and a :class:`~repro.sim.fidelity.ClosedLoopPlan`, this module
+decides whether the batched region may be advanced in one step and, if
+so, with what synthesized observables:
+
+* each worker's remaining iterations complete at the window's measured
+  per-completion gap — the region's elapsed time is the slowest
+  worker's ``batched × gap``;
+* latency samples are the window's *actual observed values cycled*, not
+  a fitted distribution — every synthesized sample is one the DES
+  really produced, so exact-histogram percentiles land inside the
+  window's own spread and a :class:`~repro.obs.streaming.StreamingHistogram`
+  fed the same stream keeps its 1% envelope;
+* the caller scales core cycle accounting and device counters by the
+  same completion ratio (see ``workloads.microbench``).
+
+Rejection is the common, safe outcome: any worker whose window is
+missing or drifting, or an aggregate rate above the closed-form bound,
+returns ``None`` and the caller re-runs the full DES.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.sim.fidelity import ClosedLoopPlan, FidelityPolicy, SteadyStateDetector
+
+
+@dataclass(frozen=True)
+class WorkerExtrapolation:
+    """One worker's share of the batched region."""
+
+    worker: int
+    units: int                   # closed-loop units advanced analytically
+    gap_ns: float                # steady per-completion gap
+    latencies: List[float]       # window samples to cycle for synthesis
+
+    @property
+    def elapsed_ns(self) -> float:
+        return self.units * self.gap_ns
+
+
+@dataclass(frozen=True)
+class BatchAdvance:
+    """The whole batched region, ready to apply to a pilot result."""
+
+    workers: List[WorkerExtrapolation]
+    #: Wall advance of the region: the slowest worker finishes last.
+    extra_elapsed_ns: float
+
+    @property
+    def synthesized_units(self) -> int:
+        return sum(w.units for w in self.workers)
+
+
+def cycle_samples(samples: Sequence[float], count: int) -> List[float]:
+    """``count`` values cycled from ``samples`` in order.
+
+    Cycling (rather than repeating the mean) preserves the window's
+    spread, so min/max/percentiles of the synthesized stream stay
+    within the observed envelope.
+    """
+    if not samples:
+        return []
+    n = len(samples)
+    repeats, tail = divmod(count, n)
+    return list(samples) * repeats + list(samples[:tail])
+
+
+def extrapolate_closed_loop(
+    plan: ClosedLoopPlan,
+    detector: SteadyStateDetector,
+    policy: FidelityPolicy,
+    rate_bound: Optional[float] = None,
+) -> Optional[BatchAdvance]:
+    """Extrapolate the batched region, or None when any gate fails.
+
+    Gates (every worker must pass):
+
+    * the window exists and spans positive time;
+    * rate and latency drift within the policy's thresholds;
+    * aggregate measured rate ≤ ``rate_bound × policy.rate_guard``
+      (when a bound is supplied) — a window "faster than physics"
+      means the detector measured something other than steady state.
+    """
+    workers: List[WorkerExtrapolation] = []
+    total_rate = 0.0
+    for worker in range(detector.n_workers):
+        window = detector.window_of(worker, plan.window_start, plan.window)
+        if window is None or not window.is_steady(policy):
+            return None
+        workers.append(
+            WorkerExtrapolation(
+                worker=worker,
+                units=plan.batched,
+                gap_ns=window.gap_ns,
+                latencies=window.latencies,
+            )
+        )
+        total_rate += 1.0 / window.gap_ns
+    if not workers:
+        return None
+    if rate_bound is not None and total_rate > rate_bound * policy.rate_guard:
+        return None
+    return BatchAdvance(
+        workers=workers,
+        extra_elapsed_ns=max(w.elapsed_ns for w in workers),
+    )

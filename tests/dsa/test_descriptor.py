@@ -1,0 +1,103 @@
+"""WorkDescriptor.clone_range boundary semantics.
+
+``clone_range`` is how partial-completion recovery resubmits the
+unfinished tail of a BOF=0 descriptor: every non-zero address operand
+advances by the completed byte count, and the clone gets fresh
+lifecycle state (completion record, timestamps, completion event).
+These tests pin the page-boundary arithmetic and the inherit/renew
+split the recovery path depends on.
+"""
+
+import pytest
+
+from repro.dsa.descriptor import DescriptorFlags, WorkDescriptor
+from repro.dsa.opcodes import Opcode
+
+PAGE = 4096
+
+
+def _memmove(size=2 * PAGE):
+    return WorkDescriptor(
+        opcode=Opcode.MEMMOVE,
+        src=0x10_000,
+        dst=0x80_000,
+        size=size,
+        dispatch_weight=2.5,
+    )
+
+
+class TestCloneRangeBoundaries:
+    def test_full_range_is_plain_resubmission(self):
+        desc = _memmove()
+        clone = desc.clone_range(0, desc.size)
+        assert (clone.src, clone.dst, clone.size) == (desc.src, desc.dst, desc.size)
+
+    def test_first_page(self):
+        clone = _memmove().clone_range(0, PAGE)
+        assert clone.src == 0x10_000
+        assert clone.dst == 0x80_000
+        assert clone.size == PAGE
+
+    def test_last_page(self):
+        clone = _memmove().clone_range(PAGE, PAGE)
+        assert clone.src == 0x10_000 + PAGE
+        assert clone.dst == 0x80_000 + PAGE
+        assert clone.size == PAGE
+
+    def test_single_final_byte(self):
+        desc = _memmove()
+        clone = desc.clone_range(desc.size - 1, 1)
+        assert clone.src == desc.src + desc.size - 1
+        assert clone.size == 1
+
+    def test_zero_operands_stay_zero(self):
+        # FILL has no source; offsetting a null operand would fabricate
+        # an address out of nothing.
+        desc = WorkDescriptor(opcode=Opcode.FILL, dst=0x80_000, size=2 * PAGE, pattern=0xAB)
+        clone = desc.clone_range(PAGE, PAGE)
+        assert clone.src == 0
+        assert clone.src2 == 0
+        assert clone.dst == 0x80_000 + PAGE
+
+    def test_out_of_range_rejected(self):
+        desc = _memmove()
+        with pytest.raises(ValueError):
+            desc.clone_range(-1, PAGE)
+        with pytest.raises(ValueError):
+            desc.clone_range(0, 0)
+        with pytest.raises(ValueError):
+            desc.clone_range(PAGE, PAGE + 1)  # one byte past the end
+        with pytest.raises(ValueError):
+            desc.clone_range(desc.size, 1)
+
+
+class TestCloneRangeState:
+    def test_lifecycle_state_is_fresh(self):
+        desc = _memmove()
+        desc.times.submitted = 100.0
+        desc.completion.bytes_completed = PAGE
+        desc.completion_event = object()
+        clone = desc.clone_range(PAGE, PAGE)
+        assert clone.completion is not desc.completion
+        assert clone.completion.bytes_completed == 0
+        assert clone.times is not desc.times
+        assert clone.times.submitted is None
+        assert clone.completion_event is None
+
+    def test_flags_pattern_and_weight_inherited(self):
+        desc = WorkDescriptor(
+            opcode=Opcode.FILL,
+            flags=DescriptorFlags.REQUEST_COMPLETION,  # BOF=0
+            dst=0x80_000,
+            size=2 * PAGE,
+            pattern=0x1234,
+            pattern2=0x5678,
+            pattern_bytes=16,
+            dispatch_weight=2.5,
+        )
+        clone = desc.clone_range(PAGE, PAGE)
+        assert clone.flags == desc.flags
+        assert not clone.block_on_fault
+        assert (clone.pattern, clone.pattern2, clone.pattern_bytes) == (0x1234, 0x5678, 16)
+        assert clone.dispatch_weight == 2.5
+        assert clone.validate() is None

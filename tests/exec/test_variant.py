@@ -1,0 +1,84 @@
+"""Cache variant salting: canonical builder and collision freedom.
+
+The result cache keys on ``(exp_id, quick, seed, variant)``; the variant
+string is the only thing separating results produced under different
+runtime flags (histogram backend, fidelity tier). These tests pin the
+canonical builder — deterministic ordering, default elision — and prove
+that no two distinct flag combinations ever share a cache entry.
+"""
+
+import itertools
+
+import pytest
+
+from repro.exec.cache import ResultCache, variant_string
+from repro.exec.runner import ParallelRunner
+
+
+class TestVariantString:
+    def test_empty_for_no_flags(self):
+        assert variant_string() == ""
+
+    def test_defaults_are_elided(self):
+        # The default configuration must map to the pre-variant key ""
+        # so existing caches stay valid.
+        assert variant_string(fidelity="des", hist="auto") == ""
+        assert variant_string(fidelity=None, hist=None) == ""
+
+    def test_keys_are_sorted(self):
+        assert (
+            variant_string(hist="exact", fidelity="auto")
+            == variant_string(fidelity="auto", hist="exact")
+            == "fidelity=auto,hist=exact"
+        )
+
+    def test_bools_normalise_to_ints(self):
+        assert variant_string(trace=True) == "trace=1"
+        assert variant_string(trace=False) == "trace=0"
+
+    def test_separator_characters_rejected(self):
+        with pytest.raises(ValueError):
+            variant_string(**{"bad=key": 1})
+        with pytest.raises(ValueError):
+            variant_string(hist="a,b")
+
+    def test_distinct_flag_combos_never_collide(self):
+        fidelities = [None, "auto", "analytical"]
+        hists = [None, "exact", "streaming"]
+        traces = [False, True]
+        combos = list(itertools.product(fidelities, hists, traces))
+        strings = [
+            variant_string(fidelity=f, hist=h, trace=t) for f, h, t in combos
+        ]
+        assert len(set(strings)) == len(combos)
+
+
+class TestRunnerVariant:
+    def test_default_runner_uses_legacy_empty_variant(self):
+        assert ParallelRunner(jobs=1)._cache_variant == ""
+
+    def test_fidelity_flag_salts_the_variant(self):
+        assert ParallelRunner(jobs=1, fidelity="auto")._cache_variant == "fidelity=auto"
+
+    def test_explicit_des_matches_default(self):
+        assert ParallelRunner(jobs=1, fidelity="des")._cache_variant == ""
+
+    def test_combined_flags(self):
+        runner = ParallelRunner(jobs=1, hist_backend="streaming", fidelity="auto")
+        assert runner._cache_variant == "fidelity=auto,hist=streaming"
+
+
+class TestCacheKeying:
+    @pytest.fixture
+    def cache(self, tmp_path):
+        return ResultCache(root=tmp_path / "cache")
+
+    def test_variant_separates_entries(self, cache):
+        base = cache.key("fig2", quick=False, seed=1)
+        salted = cache.key("fig2", quick=False, seed=1, variant="fidelity=auto")
+        assert base != salted
+
+    def test_same_variant_same_key(self, cache):
+        a = cache.key("fig2", quick=True, seed=7, variant="fidelity=auto")
+        b = cache.key("fig2", quick=True, seed=7, variant="fidelity=auto")
+        assert a == b

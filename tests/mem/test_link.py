@@ -3,6 +3,7 @@
 import importlib.util
 import math
 import random
+import sys
 from pathlib import Path
 
 import pytest
@@ -16,7 +17,13 @@ def _load_legacy_link():
     path = Path(__file__).resolve().parents[2] / "scripts" / "bench_link.py"
     spec = importlib.util.spec_from_file_location("bench_link", path)
     module = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(module)
+    # The bench imports its shared harness (scripts/_bench_common.py)
+    # as a sibling module, so scripts/ must be importable while it loads.
+    sys.path.insert(0, str(path.parent))
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.path.remove(str(path.parent))
     return module.LegacyFairShareLink
 
 

@@ -135,6 +135,71 @@ class TestCalendarHygiene:
         assert fired == [7.5, 9.0]
 
 
+class TestCompactionThreshold:
+    """Exact boundary of the lazy-sweep trigger.
+
+    Compaction runs only when BOTH hold after a cancel: the dead count
+    strictly exceeds ``CALENDAR_COMPACT_THRESHOLD`` (64) AND dead
+    entries make up more than half the calendar.  These tests pin the
+    off-by-one on each condition.
+    """
+
+    @staticmethod
+    def _cancel_n(env, timers, n):
+        for timer in timers[:n]:
+            timer.cancel()
+
+    def test_threshold_cancels_do_not_compact(self):
+        env = Environment()
+        timers = [env.timeout(float(i + 1)) for i in range(100)]
+        self._cancel_n(env, timers, CALENDAR_COMPACT_THRESHOLD)
+        # 64 > 64 is false: every dead entry is still in the heap.
+        assert env._dead_entries == CALENDAR_COMPACT_THRESHOLD
+        assert len(env._calendar) == 100
+        assert env.stale_timers == 0
+
+    def test_one_past_threshold_compacts(self):
+        env = Environment()
+        timers = [env.timeout(float(i + 1)) for i in range(100)]
+        self._cancel_n(env, timers, CALENDAR_COMPACT_THRESHOLD + 1)
+        # 65 > 64 and 130 > 100: the sweep fires and zeroes the debt.
+        assert env.stale_timers == CALENDAR_COMPACT_THRESHOLD + 1
+        assert len(env._calendar) == 100 - (CALENDAR_COMPACT_THRESHOLD + 1)
+        assert env._dead_entries == 0
+
+    def test_majority_condition_defers_compaction(self):
+        env = Environment()
+        timers = [env.timeout(float(i + 1)) for i in range(200)]
+        self._cancel_n(env, timers, CALENDAR_COMPACT_THRESHOLD + 1)
+        # Past the count threshold, but 130 > 200 is false: dead entries
+        # are a minority, so the sweep waits.
+        assert env._dead_entries == CALENDAR_COMPACT_THRESHOLD + 1
+        assert len(env._calendar) == 200
+        assert env.stale_timers == 0
+
+    def test_exact_half_does_not_compact(self):
+        env = Environment()
+        n = 2 * (CALENDAR_COMPACT_THRESHOLD + 1)  # 130 entries
+        timers = [env.timeout(float(i + 1)) for i in range(n)]
+        self._cancel_n(env, timers, CALENDAR_COMPACT_THRESHOLD + 1)
+        # Exactly half dead (130 > 130 false): strict majority required.
+        assert env._dead_entries == CALENDAR_COMPACT_THRESHOLD + 1
+        assert len(env._calendar) == n
+        timers[CALENDAR_COMPACT_THRESHOLD + 1].cancel()  # one past half
+        assert env._dead_entries == 0
+        assert env.stale_timers == CALENDAR_COMPACT_THRESHOLD + 2
+
+    def test_compacted_calendar_still_runs_survivors(self):
+        env = Environment()
+        fired = []
+        timers = [env.timeout(float(i + 1)) for i in range(100)]
+        timers[-1].callbacks.append(lambda ev: fired.append(env.now))
+        self._cancel_n(env, timers, CALENDAR_COMPACT_THRESHOLD + 1)
+        env.run()
+        assert fired == [100.0]
+        assert env.now == 100.0
+
+
 class TestChurnCounters:
     def test_counters_flush_to_metrics_registry(self):
         registry = MetricsRegistry()
