@@ -10,7 +10,7 @@ write latency exceeds its read latency, and CXL→CXL is slowest.
 Run:  python examples/tiered_memory_migration.py
 """
 
-from repro import DmlPath, Opcode, spr_platform
+from repro import Opcode, spr_platform
 from repro.mem import AddressSpace
 from repro.runtime.dml import Dml
 

@@ -41,6 +41,7 @@ from repro.obs import (
     uninstall_tracer,
     write_chrome_trace,
 )
+from repro.sim.calendar import set_default_calendar
 
 
 def _cmd_list(_args) -> int:
@@ -72,6 +73,7 @@ def _cmd_run(args) -> int:
             tracer = Tracer()
         install_tracer(tracer)
     set_default_hist_backend(args.hist_backend)
+    set_default_calendar(args.calendar)
     sink = ResultSink(args.results) if args.results else None
     profiler = None
     if args.profile:
@@ -108,6 +110,7 @@ def _cmd_run(args) -> int:
         sink=sink,
         hist_backend=args.hist_backend,
         fidelity=args.fidelity,
+        calendar=args.calendar,
     )
     summary_rows = []
     failures = 0
@@ -324,6 +327,16 @@ def main(argv=None) -> int:
         "within a declared 5%% tolerance, DES fallback at transients), or "
         "analytical (loose gates, best-effort accuracy); see "
         "docs/PERFORMANCE.md section 6",
+    )
+    run_parser.add_argument(
+        "--calendar",
+        choices=["heap", "wheel", "auto"],
+        default="heap",
+        help="event-calendar backend: heap (binary heap, byte-identical "
+        "default), wheel (hierarchical timing wheel, O(1) amortized — for "
+        "open-loop runs with millions of pending timers), or auto (heap "
+        "until 65536 pending entries, then promote to a wheel); both pop "
+        "in the identical order, see docs/PERFORMANCE.md section 7",
     )
     run_parser.add_argument(
         "--results",

@@ -35,6 +35,9 @@ class CpuCore:
         self.env = env
         self.core_id = core_id
         self.frequency_ghz = frequency_ghz
+        #: Cached tracer agent label — the submit/prepare hot paths used
+        #: to rebuild this f-string once per descriptor.
+        self.trace_agent = f"core{core_id}"
         self._time: Dict[CycleCategory, float] = {cat: 0.0 for cat in CycleCategory}
 
     def account(self, category: CycleCategory, duration_ns: float) -> None:

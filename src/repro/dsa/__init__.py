@@ -9,7 +9,12 @@ published shapes (see DESIGN.md §3).
 """
 
 from repro.dsa.opcodes import Opcode, DescriptorFlags
-from repro.dsa.descriptor import BatchDescriptor, CompletionRecord, WorkDescriptor
+from repro.dsa.descriptor import (
+    BatchDescriptor,
+    CompletionRecord,
+    DescriptorPool,
+    WorkDescriptor,
+)
 from repro.dsa.errors import StatusCode
 from repro.dsa.config import (
     DeviceConfig,
@@ -26,6 +31,7 @@ __all__ = [
     "Opcode",
     "DescriptorFlags",
     "WorkDescriptor",
+    "DescriptorPool",
     "BatchDescriptor",
     "CompletionRecord",
     "StatusCode",

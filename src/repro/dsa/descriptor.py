@@ -21,7 +21,7 @@ DESCRIPTOR_BYTES = 64
 COMPLETION_RECORD_BYTES = 32
 
 
-@dataclass
+@dataclass(slots=True)
 class CompletionRecord:
     """What the device writes back when a descriptor finishes."""
 
@@ -37,7 +37,7 @@ class CompletionRecord:
         return self.status != StatusCode.NONE
 
 
-@dataclass
+@dataclass(slots=True)
 class Timestamps:
     """Lifecycle probe points for the Fig 5 latency breakdown."""
 
@@ -53,9 +53,15 @@ class Timestamps:
         return self.completed - self.submitted
 
 
-@dataclass
+@dataclass(slots=True)
 class WorkDescriptor:
-    """One 64-byte operation request."""
+    """One 64-byte operation request.
+
+    ``slots=True`` (here and on the record/timestamp members): a
+    million-descriptor run allocates these in bulk, and slotted
+    instances are both smaller (no per-object ``__dict__``) and faster
+    to field-access in the submission hot path.
+    """
 
     opcode: Opcode
     pasid: int = 0
@@ -111,7 +117,9 @@ class WorkDescriptor:
     def block_on_fault(self) -> bool:
         return bool(self.flags & DescriptorFlags.BLOCK_ON_FAULT)
 
-    def clone_range(self, offset: int, size: int) -> "WorkDescriptor":
+    def clone_range(
+        self, offset: int, size: int, pool: Optional["DescriptorPool"] = None
+    ) -> "WorkDescriptor":
         """A fresh descriptor covering ``[offset, offset + size)``.
 
         This is how software resumes a partially completed BOF=0
@@ -121,12 +129,21 @@ class WorkDescriptor:
         the original's are already consumed — and inherits the flags,
         pattern, and QoS weight verbatim.  ``offset = 0`` with the full
         size is a plain resubmission clone (e.g. after a device reset).
+
+        With ``pool``, the clone is built by recycling a released
+        descriptor (and its record/timestamp members) instead of
+        allocating four objects — the fault-retry storm in
+        ``repro.runtime.recovery`` produces clones at line rate.
         """
         if offset < 0 or size <= 0 or offset + size > self.size:
             raise ValueError(
                 f"clone_range [{offset}, {offset + size}) outside descriptor "
                 f"of size {self.size}"
             )
+        if pool is not None:
+            recycled = pool.acquire()
+            if recycled is not None:
+                return self._clone_into(recycled, offset, size)
         return WorkDescriptor(
             opcode=self.opcode,
             pasid=self.pasid,
@@ -146,8 +163,93 @@ class WorkDescriptor:
             dispatch_weight=self.dispatch_weight,
         )
 
+    def _clone_into(
+        self, target: "WorkDescriptor", offset: int, size: int
+    ) -> "WorkDescriptor":
+        """Rewrite ``target`` in place as this descriptor's range clone."""
+        target.opcode = self.opcode
+        target.pasid = self.pasid
+        target.flags = self.flags
+        target.src = self.src + offset if self.src else 0
+        target.src2 = self.src2 + offset if self.src2 else 0
+        target.dst = self.dst + offset if self.dst else 0
+        target.dst2 = self.dst2 + offset if self.dst2 else 0
+        target.size = size
+        target.pattern = self.pattern
+        target.pattern2 = self.pattern2
+        target.pattern_bytes = self.pattern_bytes
+        target.dif = self.dif
+        target.dif_new = self.dif_new
+        target.delta_max_size = self.delta_max_size
+        target.delta_size = self.delta_size
+        target.dispatch_weight = self.dispatch_weight
+        return target
 
-@dataclass
+
+class DescriptorPool:
+    """Bounded free list of :class:`WorkDescriptor` objects.
+
+    A recovery loop retiring one clone per fault, or a generator
+    resubmitting millions of one-shot descriptors, spends a measurable
+    share of its time in allocation (a descriptor is four objects:
+    itself, its completion record, its timestamps, plus the field
+    defaults).  :meth:`release` parks a descriptor whose lifecycle is
+    over; ``clone_range(..., pool=...)`` / :meth:`acquire` reuse it
+    after scrubbing the consumed state in place.
+
+    Callers own the proof that nothing else references a released
+    descriptor — release is for clones the caller itself created and
+    consumed, never for a descriptor handed in by outside code.
+    """
+
+    __slots__ = ("limit", "_free", "reuses", "released")
+
+    def __init__(self, limit: int = 256):
+        if limit < 0:
+            raise ValueError(f"pool limit must be >= 0, got {limit}")
+        self.limit = limit
+        self._free: List[WorkDescriptor] = []
+        self.reuses = 0
+        self.released = 0
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def acquire(self) -> Optional[WorkDescriptor]:
+        """A scrubbed parked descriptor, or None when the pool is empty."""
+        if not self._free:
+            return None
+        self.reuses += 1
+        return self._free.pop()
+
+    def release(self, descriptor: WorkDescriptor) -> bool:
+        """Park a spent descriptor for reuse; False when full (dropped).
+
+        The consumed members are scrubbed here (not in acquire) so a
+        parked descriptor never pins a completion event or fault
+        address from its previous life.
+        """
+        if len(self._free) >= self.limit:
+            return False
+        completion = descriptor.completion
+        completion.status = StatusCode.NONE
+        completion.bytes_completed = 0
+        completion.result = 0
+        completion.fault_address = None
+        times = descriptor.times
+        times.allocated = None
+        times.prepared = None
+        times.submitted = None
+        times.dispatched = None
+        times.completed = None
+        descriptor.completion_event = None
+        descriptor.trace_track = -1
+        self._free.append(descriptor)
+        self.released += 1
+        return True
+
+
+@dataclass(slots=True)
 class BatchDescriptor:
     """Descriptor pointing at an array of work descriptors (F2)."""
 

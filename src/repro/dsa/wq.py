@@ -32,6 +32,19 @@ Descriptor = Union[WorkDescriptor, BatchDescriptor]
 class WorkQueue:
     """Bounded descriptor queue with an enqueue notification hook."""
 
+    __slots__ = (
+        "env",
+        "config",
+        "name",
+        "_items",
+        "on_enqueue",
+        "enqueued",
+        "rejected",
+        "_m_occupancy",
+        "_m_enqueued",
+        "_m_rejected",
+    )
+
     def __init__(self, env: Environment, config: WqConfig, owner: str = "dsa"):
         config.validate()
         self.env = env

@@ -77,6 +77,7 @@ def _worker(
     sink_shard: Optional[str] = None,
     hist_backend: Optional[str] = None,
     fidelity: Optional[str] = None,
+    calendar: Optional[str] = None,
 ) -> RunOutcome:
     """Run one experiment in a worker process.
 
@@ -99,6 +100,12 @@ def _worker(
         # --fidelity choice is re-installed on every call (an explicit
         # "des" disables batching left over from a previous runner).
         install_fidelity(fidelity)
+    if calendar is not None:
+        # Same pattern as --hist-backend: the parent installed the
+        # process-wide default, the worker re-applies it per call.
+        from repro.sim.calendar import set_default_calendar
+
+        set_default_calendar(calendar)
     registry = MetricsRegistry()
     install_metrics(registry)
     tracer: Optional[Tracer] = None
@@ -172,6 +179,7 @@ class ParallelRunner:
         sink: Optional[ResultSink] = None,
         hist_backend: Optional[str] = None,
         fidelity: Optional[str] = None,
+        calendar: Optional[str] = None,
     ):
         self.jobs = max(1, int(jobs))
         self.quick = bool(quick)
@@ -184,6 +192,9 @@ class ParallelRunner:
         #: in-process for ``jobs=1``); None = leave whatever the caller
         #: installed (normally nothing, i.e. full DES).
         self.fidelity = fidelity
+        #: ``--calendar`` backend re-installed in every worker; for
+        #: ``jobs=1`` the CLI already set the process-wide default.
+        self.calendar = calendar
 
     # -- merge ----------------------------------------------------------
     def _merge(self, outcome: RunOutcome) -> None:
@@ -231,7 +242,9 @@ class ParallelRunner:
         so every payload-changing flag is salted uniformly and distinct
         flag combinations can never collide.
         """
-        return variant_string(hist=self.hist_backend, fidelity=self.fidelity)
+        return variant_string(
+            hist=self.hist_backend, fidelity=self.fidelity, calendar=self.calendar
+        )
 
     def _lookup(self, exp_id: str) -> Optional[RunOutcome]:
         if self.cache is None or self.trace:
@@ -337,6 +350,7 @@ class ParallelRunner:
                     exp_id: pool.submit(
                         _worker, exp_id, self.quick, self.seed, self.trace,
                         shard_path(exp_id), self.hist_backend, self.fidelity,
+                        self.calendar,
                     )
                     for exp_id in misses
                 }

@@ -168,9 +168,14 @@ class StreamingHistogram:
         return self._sorted_neg, self._sorted_pos
 
     def percentile(self, pct: float) -> float:
-        """Nearest-rank percentile within ``alpha`` relative error."""
+        """Nearest-rank percentile within ``alpha`` relative error.
+
+        Raises :class:`ValueError` when empty, mirroring the exact
+        backend — the two are drop-in interchangeable, including in
+        what they refuse to answer.
+        """
         if not self.count:
-            return 0.0
+            raise ValueError("percentile() of an empty histogram is undefined")
         if not 0.0 <= pct <= 100.0:
             raise ValueError(f"percentile out of range: {pct}")
         rank = max(1, math.ceil(pct / 100.0 * self.count))
@@ -200,13 +205,15 @@ class StreamingHistogram:
 
     def summary(self) -> Dict[str, float]:
         """Same shape as the exact backend's summary (plus nothing)."""
+        if not self.count:  # empty is reportable, all-zero by contract
+            return {"count": 0.0, "mean": 0.0, "min": 0.0, "p50": 0.0, "p99": 0.0, "max": 0.0}
         return {
             "count": float(self.count),
             "mean": self.mean,
-            "min": self.minimum if self.count else 0.0,
+            "min": self.minimum,
             "p50": self.percentile(50),
             "p99": self.percentile(99),
-            "max": self.maximum if self.count else 0.0,
+            "max": self.maximum,
         }
 
     # -- serialization ---------------------------------------------------

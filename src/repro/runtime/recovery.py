@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Generator, Optional
 
 from repro.cpu.core import CpuCore, CycleCategory
-from repro.dsa.descriptor import WorkDescriptor
+from repro.dsa.descriptor import DescriptorPool, WorkDescriptor
 from repro.dsa.errors import StatusCode
 from repro.dsa.opcodes import RESUMABLE_OPCODES
 from repro.runtime.dml import Dml, DmlPath
@@ -97,6 +97,7 @@ def recover(
     descriptor: WorkDescriptor,
     policy: RetryPolicy = RetryPolicy(),
     in_llc: bool = False,
+    pool: Optional[DescriptorPool] = None,
 ) -> Generator:
     """Run ``descriptor`` on hardware, resuming across faults.
 
@@ -106,6 +107,12 @@ def recover(
     carries the final outcome (total ``bytes_completed`` on success),
     so callers keep polling the object they built.  Returns a
     :class:`RecoveryResult`.
+
+    With ``pool``, the resume clones this loop creates are recycled
+    through it: each retry's spent clone (which only this generator
+    ever references — the caller polls ``descriptor``) is released
+    before the next one is built, so a long fault storm allocates O(1)
+    descriptors instead of O(retries).
     """
     env = dml.env
     metrics = env.metrics
@@ -124,10 +131,14 @@ def recover(
             result.bytes_hardware += pending.size
             result.status = completion.status
             _propagate(descriptor, pending, total)
+            if pool is not None and pending is not descriptor:
+                pool.release(pending)
             return result
         if completion.status not in RETRYABLE_STATUSES:
             result.status = completion.status
             _propagate(descriptor, pending, None)
+            if pool is not None and pending is not descriptor:
+                pool.release(pending)
             return result
 
         result.faults += 1
@@ -154,32 +165,36 @@ def recover(
                 result.status = completion.status
                 _propagate(descriptor, pending, None)
                 return result
+            if pool is not None and pending is not descriptor:
+                pool.release(pending)
             tail = (
-                descriptor.clone_range(offset, total - offset)
+                descriptor.clone_range(offset, total - offset, pool=pool)
                 if offset
-                else _fresh_clone(descriptor)
+                else _fresh_clone(descriptor, pool)
             )
             if tracer.enabled and descriptor.trace_track >= 0:
                 tracer.begin(
-                    env.now, "degrade", "recovery", f"core{core.core_id}",
+                    env.now, "degrade", "recovery", core.trace_agent,
                     descriptor.trace_track, {"tail_bytes": tail.size},
                 )
             yield from dml.run_software(core, tail, in_llc=in_llc)
             if tracer.enabled and descriptor.trace_track >= 0:
                 tracer.end(
-                    env.now, "degrade", "recovery", f"core{core.core_id}",
+                    env.now, "degrade", "recovery", core.trace_agent,
                     descriptor.trace_track,
                 )
             result.bytes_software += tail.size
             result.status = tail.completion.status
             _propagate(descriptor, tail, total)
+            if pool is not None and tail is not descriptor:
+                pool.release(tail)
             return result
 
         # Resolve the fault like the paper's guideline: touch the page
         # so the OS maps it, back off, then resubmit the remainder.
         if tracer.enabled and descriptor.trace_track >= 0:
             tracer.begin(
-                env.now, "resume", "recovery", f"core{core.core_id}",
+                env.now, "resume", "recovery", core.trace_agent,
                 descriptor.trace_track,
                 {"attempt": retries, "offset": offset},
             )
@@ -196,22 +211,29 @@ def recover(
             yield env.timeout(backoff)
         if tracer.enabled and descriptor.trace_track >= 0:
             tracer.end(
-                env.now, "resume", "recovery", f"core{core.core_id}",
+                env.now, "resume", "recovery", core.trace_agent,
                 descriptor.trace_track,
             )
+        if pool is not None and pending is not descriptor:
+            # The spent clone's completion was consumed above; nobody
+            # else ever saw the object, so it can be recycled into the
+            # next attempt's clone.
+            pool.release(pending)
         pending = (
-            descriptor.clone_range(offset, total - offset)
+            descriptor.clone_range(offset, total - offset, pool=pool)
             if offset
-            else _fresh_clone(descriptor)
+            else _fresh_clone(descriptor, pool)
         )
         result.attempts += 1
         metrics.counter("recovery.resumes").add()
 
 
-def _fresh_clone(descriptor: WorkDescriptor) -> WorkDescriptor:
+def _fresh_clone(
+    descriptor: WorkDescriptor, pool: Optional[DescriptorPool] = None
+) -> WorkDescriptor:
     """Full-range clone: a resubmission needs an unconsumed completion
     record and event even when no bytes were salvaged."""
-    return descriptor.clone_range(0, descriptor.size)
+    return descriptor.clone_range(0, descriptor.size, pool=pool)
 
 
 def _propagate(

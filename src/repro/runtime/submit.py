@@ -37,7 +37,7 @@ def prepare_descriptor(
     tracer = env.tracer
     if tracer.enabled and descriptor.trace_track < 0:
         descriptor.trace_track = tracer.next_track()
-    agent = f"core{core.core_id}"
+    agent = core.trace_agent
     track = descriptor.trace_track
     if allocate:
         descriptor.times.allocated = env.now
@@ -69,7 +69,7 @@ def submit(
     tracer = env.tracer
     if tracer.enabled and descriptor.trace_track < 0:
         descriptor.trace_track = tracer.next_track()
-    agent = f"core{core.core_id}"
+    agent = core.trace_agent
     track = descriptor.trace_track
     if portal.mode is WqMode.DEDICATED:
         tracer.begin(env.now, "movdir64b", "submit", agent, track)

@@ -50,7 +50,7 @@ def wait_for(
     if event is None:
         raise RuntimeError("descriptor was never submitted (no completion event)")
     tracer = env.tracer
-    agent = f"core{core.core_id}"
+    agent = core.trace_agent
     traced = tracer.enabled and descriptor.trace_track >= 0
     if mode is WaitMode.UMWAIT:
         yield core.spend(CycleCategory.BUSY, costs.umonitor_ns)

@@ -33,6 +33,14 @@ Model code that re-arms a wake timer on every state change (see
 of letting it fire into a version-check no-op.
 """
 
+from repro.sim.arrivals import ArrivalProcess, BurstyProcess, PoissonProcess, open_loop
+from repro.sim.calendar import (
+    AUTO_PROMOTE_THRESHOLD,
+    CALENDAR_BACKENDS,
+    TimingWheel,
+    default_calendar,
+    set_default_calendar,
+)
 from repro.sim.engine import (
     Condition,
     Environment,
@@ -53,13 +61,30 @@ from repro.sim.fidelity import (
 )
 from repro.sim.resources import PriorityStore, Resource, Store
 from repro.sim.stats import Histogram, OnlineStat, TimeWeightedStat
-from repro.sim.rng import DEFAULT_SEED, install_seed, installed_seed, make_rng, uninstall_seed
+from repro.sim.rng import (
+    DEFAULT_SEED,
+    BatchedStream,
+    install_seed,
+    installed_seed,
+    make_rng,
+    uninstall_seed,
+)
 
 __all__ = [
     "DEFAULT_SEED",
+    "BatchedStream",
     "install_seed",
     "installed_seed",
     "uninstall_seed",
+    "AUTO_PROMOTE_THRESHOLD",
+    "CALENDAR_BACKENDS",
+    "TimingWheel",
+    "default_calendar",
+    "set_default_calendar",
+    "ArrivalProcess",
+    "BurstyProcess",
+    "PoissonProcess",
+    "open_loop",
     "Condition",
     "Environment",
     "Event",

@@ -1,0 +1,195 @@
+"""Vectorized open-loop arrival generators.
+
+Closed-loop experiments (the paper's figures) re-submit the moment a
+descriptor completes, so they never have more than queue-depth timers
+pending.  Open-loop traffic — the ROADMAP's datacenter serving mode —
+instead schedules work at instants drawn from an arrival process,
+independent of completions, which is exactly the millions-of-pending-
+timers regime the timing-wheel calendar exists for.
+
+Two processes are provided, both parameterized by ``rate`` in events
+per simulated nanosecond (the repo-wide time unit):
+
+* :class:`PoissonProcess` — exponential interarrival gaps, the
+  memoryless baseline.
+* :class:`BurstyProcess` — two-phase hyperexponential (H2) gaps fit by
+  the balanced-means rule to a target squared coefficient of variation
+  ``cv2 > 1``: same mean rate, heavy bursts interleaved with long idle
+  gaps.  ``cv2 == 1`` degenerates to Poisson.
+
+Gaps are drawn in vectorized numpy batches from streams ``derive``\\ d
+off the installed seed, and handed out as scalars with an index
+increment (amortized O(1) per arrival, like
+:class:`~repro.sim.rng.BatchedStream`).  Draws are *batch-size
+invariant*: each distribution pulls from its own derived child stream,
+so ``times(1_000_000)`` in one call, the same million via ``next_gap``
+one at a time, or any mix, produce identical instants — which is what
+makes serial and ``--jobs N`` runs draw-for-draw identical.
+
+:func:`open_loop` is the driver: a process that walks an arrival
+process and invokes a handler per arrival, keeping exactly one pending
+timer regardless of horizon length.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.sim.engine import Environment, Process
+from repro.sim.rng import DEFAULT_BATCH, derive, make_rng
+
+__all__ = ["ArrivalProcess", "PoissonProcess", "BurstyProcess", "open_loop"]
+
+
+class ArrivalProcess:
+    """Base class: batched gap generation + scalar hand-out.
+
+    Subclasses implement :meth:`gaps`, drawing ``n`` interarrival gaps
+    in one vectorized pass; the base class provides the scalar cursor
+    (:meth:`next_gap`) and absolute-instant helper (:meth:`times`).
+    """
+
+    __slots__ = ("rate", "batch", "_buf", "_pos")
+
+    def __init__(self, rate: float, batch: int = DEFAULT_BATCH):
+        if rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {rate}")
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        self.rate = rate
+        self.batch = batch
+        self._buf: Optional[np.ndarray] = None
+        self._pos = 0
+
+    def gaps(self, n: int) -> np.ndarray:
+        """``n`` interarrival gaps (ns), vectorized."""
+        raise NotImplementedError
+
+    def next_gap(self) -> float:
+        """One scalar gap; refills from :meth:`gaps` in batches."""
+        buf = self._buf
+        if buf is None or self._pos >= len(buf):
+            buf = self._buf = self.gaps(self.batch)
+            self._pos = 0
+        value = buf[self._pos]
+        self._pos += 1
+        return float(value)
+
+    def times(self, n: int, start: float = 0.0) -> np.ndarray:
+        """``n`` absolute arrival instants from ``start`` (exclusive).
+
+        Continues the stream: instants follow any gaps already handed
+        out, so mixing ``times`` and ``next_gap`` never replays or
+        skips a draw.
+        """
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        buf = self._buf
+        leftover = 0 if buf is None else len(buf) - self._pos
+        if leftover >= n:
+            take = buf[self._pos : self._pos + n]
+            self._pos += n
+        else:
+            fresh = self.gaps(n - leftover)
+            take = fresh if leftover == 0 else np.concatenate([buf[self._pos :], fresh])
+            self._buf = None
+            self._pos = 0
+        return start + np.cumsum(take)
+
+
+class PoissonProcess(ArrivalProcess):
+    """Memoryless arrivals: exponential gaps with mean ``1/rate``."""
+
+    __slots__ = ("_rng",)
+
+    def __init__(self, rate: float, rng=None, stream: int = 0, batch: int = DEFAULT_BATCH):
+        super().__init__(rate, batch)
+        self._rng = derive(make_rng(rng), stream)
+
+    def gaps(self, n: int) -> np.ndarray:
+        return self._rng.exponential(1.0 / self.rate, size=n)
+
+
+class BurstyProcess(ArrivalProcess):
+    """Hyperexponential (H2) arrivals: same mean rate, bursty gaps.
+
+    Balanced-means fit for a target squared coefficient of variation
+    ``cv2 >= 1``::
+
+        p  = (1 + sqrt((cv2 - 1) / (cv2 + 1))) / 2
+        l1 = 2 p rate          # the fast (burst) phase
+        l2 = 2 (1 - p) rate    # the slow (idle) phase
+
+    Each gap picks the fast phase with probability ``p``; the mean is
+    exactly ``1/rate`` and the variance hits the requested ``cv2``.
+    The phase selector and the two exponentials each draw from their
+    own derived child stream, which is what keeps the generator
+    batch-size invariant (one ``where`` over three aligned arrays).
+    """
+
+    __slots__ = ("cv2", "_p", "_scale_fast", "_scale_slow", "_rng_u", "_rng_fast", "_rng_slow")
+
+    def __init__(
+        self,
+        rate: float,
+        cv2: float = 4.0,
+        rng=None,
+        stream: int = 0,
+        batch: int = DEFAULT_BATCH,
+    ):
+        super().__init__(rate, batch)
+        if cv2 < 1.0:
+            raise ValueError(f"H2 requires cv2 >= 1 (got {cv2}); use PoissonProcess below that")
+        self.cv2 = cv2
+        p = 0.5 * (1.0 + np.sqrt((cv2 - 1.0) / (cv2 + 1.0)))
+        self._p = p
+        self._scale_fast = 1.0 / (2.0 * p * rate)
+        self._scale_slow = 1.0 / (2.0 * (1.0 - p) * rate)
+        root = derive(make_rng(rng), stream)
+        self._rng_u = derive(root, 0)
+        self._rng_fast = derive(root, 1)
+        self._rng_slow = derive(root, 2)
+
+    def gaps(self, n: int) -> np.ndarray:
+        u = self._rng_u.uniform(size=n)
+        fast = self._rng_fast.exponential(self._scale_fast, size=n)
+        slow = self._rng_slow.exponential(self._scale_slow, size=n)
+        return np.where(u < self._p, fast, slow)
+
+
+def open_loop(
+    env: Environment,
+    source: ArrivalProcess,
+    handler: Callable[[int, float], object],
+    count: Optional[int] = None,
+    until: Optional[float] = None,
+    start: float = 0.0,
+) -> Process:
+    """Drive ``handler(index, now)`` at each arrival instant.
+
+    Runs as an engine process holding exactly one pending timer, so an
+    arbitrarily long horizon costs O(1) calendar space from the driver
+    itself (the *handled* work is what piles up — that is the model's
+    business).  Stops after ``count`` arrivals, or at the first arrival
+    strictly past ``until``, whichever comes first; the process event's
+    value is the number of arrivals delivered.
+    """
+    if count is None and until is None:
+        raise ValueError("open_loop needs a stopping rule: count and/or until")
+
+    def _driver():
+        if start > 0.0:
+            yield env.timeout(start)
+        delivered = 0
+        while count is None or delivered < count:
+            gap = source.next_gap()
+            if until is not None and env.now + gap > until:
+                break
+            yield env.timeout(gap)
+            handler(delivered, env.now)
+            delivered += 1
+        return delivered
+
+    return env.process(_driver(), name="open_loop")

@@ -1,16 +1,37 @@
 """Core event loop: simulated clock, events, and generator processes.
 
-The engine follows the classic event-calendar design: a binary heap of
+The engine follows the classic event-calendar design: a calendar of
 ``(time, priority, sequence, event)`` entries, popped in order.  Model
 code is written as generator functions ("processes") that ``yield``
 events; when a yielded event triggers, the process is resumed with the
 event's value.
+
+The calendar has two interchangeable backends (``Environment(calendar=
+...)``, CLI ``--calendar``): the default binary heap, byte-identical to
+every prior build, and the :class:`~repro.sim.calendar.TimingWheel` for
+runs with millions of *concurrent* pending timers, where the heap's
+O(log n) per-event tuple comparisons dominate.  ``auto`` starts on the
+heap and promotes one-way to a wheel past
+:data:`~repro.sim.calendar.AUTO_PROMOTE_THRESHOLD` pending entries.
+Both backends pop in the identical ``(when, priority, seq)`` total
+order, so a model never observes which one is underneath.
+
+The engine also recycles :class:`Timeout` objects through a bounded
+free list (``Environment(timeout_pool=...)``): ``yield env.timeout()``
+is the dominant allocation of every model loop, and after a timeout's
+callbacks run the run loop proves via refcount that nobody else holds
+it, then resets it in place for the next ``timeout()`` call instead of
+letting it churn the allocator.
 """
 
 from __future__ import annotations
 
 import heapq
+from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, List, Optional, TYPE_CHECKING
+
+from repro.sim.calendar import AUTO_PROMOTE_THRESHOLD, CALENDAR_BACKENDS, TimingWheel
+from repro.sim.calendar import default_calendar as _default_calendar
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs uses sim.stats)
     from repro.obs.metrics import MetricsRegistry
@@ -20,14 +41,25 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs uses sim.stats)
 #: the ``__init__`` chain (see its docstring).
 _new_event = object.__new__
 
+#: Bound once: a module-global load is one opcode cheaper than
+#: ``heapq.heappush`` (global + attribute) in the scheduling hot paths.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 #: Scheduling priorities (lower runs first at equal timestamps).
 URGENT = 0
 NORMAL = 1
 
 #: Calendar compaction: when more than this many cancelled entries sit
-#: in the heap *and* they outnumber the live entries, the calendar is
-#: rebuilt without them (one O(n) pass instead of n O(log n) pops).
+#: in the calendar *and* they outnumber the live entries, the calendar
+#: is rebuilt without them (one O(n) pass instead of n O(log n) pops).
 CALENDAR_COMPACT_THRESHOLD = 64
+
+#: Default capacity of the per-environment :class:`Timeout` free list.
+#: Deep enough to absorb a large fan-out's worth of simultaneously
+#: retiring timers; 0 disables pooling entirely (every ``timeout()``
+#: allocates, as in pre-pool builds).
+DEFAULT_TIMEOUT_POOL = 1024
 
 
 class SimulationError(RuntimeError):
@@ -102,7 +134,12 @@ class Event:
         return self._value
 
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
-        """Trigger the event successfully with ``value`` after ``delay``."""
+        """Trigger the event successfully with ``value`` after ``delay``.
+
+        The calendar insert is inlined (rather than calling
+        ``env._schedule``) because succeed is the scheduling path of
+        every process completion and ping-pong style handoff.
+        """
         if self._triggered:
             raise SimulationError("event already triggered")
         if self._cancelled:
@@ -110,7 +147,12 @@ class Event:
         self._triggered = True
         self._ok = True
         self._value = value
-        self.env._schedule(self, delay)
+        env = self.env
+        env._seq += 1
+        if env._fast:
+            _heappush(env._calendar, (env._now + delay, NORMAL, env._seq, self))
+        else:
+            env._insert_slow((env._now + delay, NORMAL, env._seq, self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -153,9 +195,11 @@ class Event:
         env._cancelled_events += 1
         if self._triggered:  # a live calendar entry exists for it
             env._dead_entries += 1
+            wheel = env._wheel
+            pending = len(env._calendar) if wheel is None else len(wheel)
             if (
                 env._dead_entries > CALENDAR_COMPACT_THRESHOLD
-                and env._dead_entries * 2 > len(env._calendar)
+                and env._dead_entries * 2 > pending
             ):
                 env._compact()
         return True
@@ -352,14 +396,31 @@ class Environment:
         initial_time: float = 0.0,
         tracer: Optional["Tracer"] = None,
         metrics: Optional["MetricsRegistry"] = None,
+        calendar: Optional[str] = None,
+        timeout_pool: int = DEFAULT_TIMEOUT_POOL,
     ):
         # Imported here, not at module level: repro.obs depends on
         # repro.sim.stats, so a top-level import would be circular.
         from repro.obs.metrics import MetricsRegistry, installed_metrics
         from repro.obs.tracer import installed_tracer
 
+        backend = calendar if calendar is not None else _default_calendar()
+        if backend not in CALENDAR_BACKENDS:
+            raise ValueError(
+                f"unknown calendar backend {backend!r}; choose from {CALENDAR_BACKENDS}"
+            )
         self._now = float(initial_time)
         self._calendar: List = []
+        self._backend = backend
+        self._wheel: Optional[TimingWheel] = TimingWheel() if backend == "wheel" else None
+        # One flag, not two: the heap fast path tests a single slot
+        # attribute per insert; wheel and auto(-promotion) inserts go
+        # through _insert_slow.
+        self._fast = backend == "heap"
+        if timeout_pool < 0:
+            raise ValueError(f"timeout_pool must be >= 0, got {timeout_pool}")
+        self._timeout_pool: List[Timeout] = []
+        self._pool_limit = timeout_pool
         self._seq = 0
         self._active_process: Optional[Process] = None
         # Cancellation bookkeeping: totals are exposed as properties and
@@ -387,6 +448,18 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         return self._active_process
 
+    @property
+    def calendar_backend(self) -> str:
+        """The backend this environment was built with (heap/wheel/auto)."""
+        return self._backend
+
+    @property
+    def using_wheel(self) -> bool:
+        """True once events are ordered by a timing wheel (wheel, or auto
+        after promotion)."""
+        return self._wheel is not None
+
+
     # -- event factories ------------------------------------------------
     def event(self) -> Event:
         return Event(self)
@@ -397,21 +470,32 @@ class Environment:
         This is the engine's dominant allocation (``yield
         env.timeout(...)`` inside every model loop), so it bypasses the
         ``Timeout.__init__`` / ``Event.__init__`` / ``_schedule`` call
-        chain and builds the object and its calendar entry inline.
+        chain and builds the object and its calendar entry inline —
+        or skips the allocation entirely by reusing a retired timeout
+        from the free list (the run loop returns them once their
+        refcount proves no one else holds them).
         """
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
-        ev = _new_event(Timeout)
-        ev.env = self
-        ev.callbacks = []
-        ev._value = value
-        ev._ok = True
-        ev._triggered = True
-        ev._processed = False
-        ev._defused = False
-        ev._cancelled = False
+        pool = self._timeout_pool
+        if pool:
+            ev = pool.pop()
+            ev._value = value
+        else:
+            ev = _new_event(Timeout)
+            ev.env = self
+            ev.callbacks = []
+            ev._value = value
+            ev._ok = True
+            ev._triggered = True
+            ev._processed = False
+            ev._defused = False
+            ev._cancelled = False
         self._seq += 1
-        heapq.heappush(self._calendar, (self._now + delay, NORMAL, self._seq, ev))
+        if self._fast:
+            _heappush(self._calendar, (self._now + delay, NORMAL, self._seq, ev))
+        else:
+            self._insert_slow((self._now + delay, NORMAL, self._seq, ev))
         return ev
 
     def process(self, generator: Generator, name: str = "") -> Process:
@@ -425,8 +509,52 @@ class Environment:
 
     # -- scheduling ------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        # No auto-promotion check here: pending-count growth into the
+        # millions is always timeout-driven (``timeout()`` checks), and
+        # keeping this non-pooled path two branches shorter matters for
+        # succeed/fail-heavy workloads.
         self._seq += 1
-        heapq.heappush(self._calendar, (self._now + delay, priority, self._seq, event))
+        if self._fast:
+            _heappush(self._calendar, (self._now + delay, priority, self._seq, event))
+        else:
+            self._insert_slow((self._now + delay, priority, self._seq, event))
+
+    def _insert_slow(self, entry) -> None:
+        """Calendar insert for the wheel and auto backends.
+
+        ``auto`` environments stay on the heap (with this extra call
+        per insert) until the pending count crosses the promotion
+        threshold, then migrate one-way to a wheel.
+        """
+        wheel = self._wheel
+        if wheel is None:
+            _heappush(self._calendar, entry)
+            if len(self._calendar) > AUTO_PROMOTE_THRESHOLD:
+                self._promote()
+        else:
+            wheel.push(entry)
+
+    def _promote(self) -> None:
+        """One-way heap -> wheel migration (``auto`` backend only).
+
+        Live entries move to a fresh wheel, cancelled ones are dropped
+        on the way (they count as swept stale timers).  The heap list is
+        emptied *in place*: ``run()`` binds it locally, and finding it
+        empty is what makes the run loop re-check for the wheel.
+        """
+        wheel = TimingWheel()
+        calendar = self._calendar
+        dead = 0
+        push = wheel.push
+        for entry in calendar:
+            if entry[3]._cancelled:
+                dead += 1
+            else:
+                push(entry)
+        del calendar[:]
+        self._stale_timers += dead
+        self._dead_entries = 0
+        self._wheel = wheel
 
     # -- cancellation bookkeeping ---------------------------------------
     @property
@@ -443,8 +571,14 @@ class Environment:
         """Rebuild the calendar without cancelled entries (one O(n) pass).
 
         In place: ``run()`` binds the calendar list locally for speed,
-        so the list object's identity must survive compaction.
+        so the list object's identity must survive compaction.  On the
+        wheel backend the sweep is delegated bucket-by-bucket.
         """
+        wheel = self._wheel
+        if wheel is not None:
+            self._stale_timers += wheel.compact(lambda entry: entry[3]._cancelled)
+            self._dead_entries = 0
+            return
         calendar = self._calendar
         live = [entry for entry in calendar if not entry[3]._cancelled]
         self._stale_timers += len(calendar) - len(live)
@@ -488,10 +622,22 @@ class Environment:
         return until
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
+        """Time of the next live scheduled event, or ``inf`` if none."""
+        wheel = self._wheel
+        if wheel is not None:
+            while True:
+                entry = wheel.peek()
+                if entry is None:
+                    return float("inf")
+                if entry[3]._cancelled:
+                    wheel.pop_due(float("inf"))
+                    self._stale_timers += 1
+                    self._dead_entries -= 1
+                    continue
+                return entry[0]
         calendar = self._calendar
         while calendar and calendar[0][3]._cancelled:
-            heapq.heappop(calendar)
+            _heappop(calendar)
             self._stale_timers += 1
             self._dead_entries -= 1
         return calendar[0][0] if calendar else float("inf")
@@ -502,10 +648,17 @@ class Environment:
         Cancelled entries encountered on the way are discarded without
         advancing the clock — they never happened.
         """
+        wheel = self._wheel
         while True:
-            if not self._calendar:
-                raise SimulationError("empty calendar")
-            when, _prio, _seq, event = heapq.heappop(self._calendar)
+            if wheel is not None:
+                entry = wheel.pop_due(float("inf"))
+                if entry is None:
+                    raise SimulationError("empty calendar")
+                when, _prio, _seq, event = entry
+            else:
+                if not self._calendar:
+                    raise SimulationError("empty calendar")
+                when, _prio, _seq, event = _heappop(self._calendar)
             if event._cancelled:
                 self._stale_timers += 1
                 self._dead_entries -= 1
@@ -526,30 +679,72 @@ class Environment:
         the heap and calendar) — one method call and one bounds check
         per event add up over the millions of events a sweep processes.
         Semantics are identical to calling :meth:`step` in a loop.
+
+        Retired :class:`Timeout` objects are recycled here: after an
+        event's callbacks run (or a cancelled entry is discarded), a
+        refcount of exactly 2 — the loop local plus the ``getrefcount``
+        argument — proves no model code still holds the object, so it
+        is reset in place and parked on the free list for the next
+        ``timeout()`` call.  An ``auto`` environment may promote to the
+        wheel mid-run (a callback scheduling past the threshold empties
+        the heap in place), so the outer loop re-checks the backend
+        whenever the heap drains.
         """
         if until is not None and until < self._now:
             raise ValueError(f"until ({until}) is in the past (now={self._now})")
-        calendar = self._calendar
-        pop = heapq.heappop
+        pool = self._timeout_pool
+        pool_limit = self._pool_limit
+        timeout_cls = Timeout
+        refcount = getrefcount
         try:
-            while calendar:
-                if until is not None and calendar[0][0] > until:
-                    self._now = until
+            while True:
+                wheel = self._wheel
+                if wheel is not None:
+                    self._run_wheel(wheel, until, pool, pool_limit)
                     return
-                when, _prio, _seq, event = pop(calendar)
-                if event._cancelled:
-                    # Lazily discard; the clock does not advance for a
-                    # timer that was cancelled before it fired.
-                    self._stale_timers += 1
-                    self._dead_entries -= 1
-                    continue
-                self._now = when
-                callbacks, event.callbacks = event.callbacks, None
-                event._processed = True
-                for callback in callbacks:
-                    callback(event)
-                if not event._ok and not event._defused:
-                    raise event._value
+                calendar = self._calendar
+                pop = _heappop
+                while calendar:
+                    if until is not None and calendar[0][0] > until:
+                        self._now = until
+                        return
+                    when, _prio, _seq, event = pop(calendar)
+                    if event._cancelled:
+                        # Lazily discard; the clock does not advance for
+                        # a timer that was cancelled before it fired.
+                        self._stale_timers += 1
+                        self._dead_entries -= 1
+                        if (
+                            type(event) is timeout_cls
+                            and len(pool) < pool_limit
+                            and refcount(event) == 2
+                        ):
+                            event._cancelled = False
+                            event._defused = False
+                            event._value = None
+                            event.callbacks.clear()
+                            pool.append(event)
+                        continue
+                    self._now = when
+                    callbacks, event.callbacks = event.callbacks, None
+                    event._processed = True
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    if (
+                        type(event) is timeout_cls
+                        and len(pool) < pool_limit
+                        and refcount(event) == 2
+                    ):
+                        event._processed = False
+                        event._defused = False
+                        event._value = None
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        pool.append(event)
+                if self._wheel is None:
+                    break
             if until is not None:
                 self._now = until
         finally:
@@ -558,3 +753,92 @@ class Environment:
                 or self._stale_timers != self._stale_flushed
             ):
                 self._flush_cancel_metrics()
+
+    def _run_wheel(self, wheel: TimingWheel, until: Optional[float], pool, pool_limit) -> None:
+        """The wheel-backed run loop (same semantics as the heap loop).
+
+        Instead of a ``pop_due`` method call per event, the loop drains
+        each sorted bucket directly: the bucket list and cursor live in
+        locals, and only ``wheel._cur_pos`` is written back per event —
+        *before* callbacks run, so a callback pushing into the current
+        slot insorts at the right position.  The head entry's time is
+        checked against ``until`` whether or not it is cancelled —
+        exactly like the heap loop's ``calendar[0][0] > until`` check —
+        so a cancelled far-future entry still lets the clock settle at
+        ``until``.
+        """
+        limit = float("inf") if until is None else until
+        timeout_cls = Timeout
+        refcount = getrefcount
+        while True:
+            bucket = wheel._cur_bucket
+            pos = wheel._cur_pos
+            if bucket is None or pos >= len(bucket):
+                if wheel._tick is None:
+                    wheel._calibrate()
+                if not wheel._materialize_next():
+                    break
+                continue
+            consumed = 0
+            try:
+                while True:
+                    try:
+                        # The index doubles as the bounds check (free on
+                        # 3.11+ zero-cost exceptions) — a same-slot push
+                        # from a callback grows the bucket and is picked
+                        # up naturally.
+                        entry = bucket[pos]
+                    except IndexError:
+                        break
+                    if entry[0] > limit:
+                        wheel._cur_pos = pos
+                        self._now = until
+                        return
+                    # Clear the consumed slot and drop the locals so the
+                    # entry tuple frees: pooling needs refcount == 2.
+                    bucket[pos] = None
+                    pos += 1
+                    wheel._cur_pos = pos
+                    consumed += 1
+                    when, _prio, _seq, event = entry
+                    entry = None
+                    if event._cancelled:
+                        self._stale_timers += 1
+                        self._dead_entries -= 1
+                        if (
+                            type(event) is timeout_cls
+                            and len(pool) < pool_limit
+                            and refcount(event) == 2
+                        ):
+                            event._cancelled = False
+                            event._defused = False
+                            event._value = None
+                            event.callbacks.clear()
+                            pool.append(event)
+                        continue
+                    self._now = when
+                    callbacks, event.callbacks = event.callbacks, None
+                    event._processed = True
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    if (
+                        type(event) is timeout_cls
+                        and len(pool) < pool_limit
+                        and refcount(event) == 2
+                    ):
+                        event._processed = False
+                        event._defused = False
+                        event._value = None
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        pool.append(event)
+            finally:
+                # The count is synced per bucket, not per event; a
+                # cancel-triggered compaction mid-bucket sees a count
+                # stale by at most one bucket's occupancy, which the
+                # compaction threshold heuristic absorbs.
+                wheel._count -= consumed
+        if until is not None:
+            self._now = until

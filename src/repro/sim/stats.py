@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from bisect import bisect_right, insort
+from bisect import bisect_right
 from typing import Dict, List, Optional, Sequence
 
 
@@ -188,9 +188,16 @@ class Histogram:
         return self._ordered()[-1] if self._samples else 0.0
 
     def percentile(self, pct: float) -> float:
-        """Nearest-rank percentile; ``pct`` in [0, 100]."""
+        """Nearest-rank percentile; ``pct`` in [0, 100].
+
+        Raises :class:`ValueError` on an empty histogram: a percentile
+        of nothing is not 0.0 (a silent zero once leaked into a latency
+        table as a perfect p99), and callers that can legitimately see
+        an empty histogram should branch on ``len(hist)`` — or use
+        :meth:`summary`, which reports the empty state explicitly.
+        """
         if not self._samples:
-            return 0.0
+            raise ValueError("percentile() of an empty histogram is undefined")
         if not 0.0 <= pct <= 100.0:
             raise ValueError(f"percentile out of range: {pct}")
         ordered = self._ordered()
@@ -208,6 +215,8 @@ class Histogram:
             self._dirty = True
 
     def summary(self) -> Dict[str, float]:
+        if not self._samples:  # empty is reportable, all-zero by contract
+            return {"count": 0.0, "mean": 0.0, "min": 0.0, "p50": 0.0, "p99": 0.0, "max": 0.0}
         return {
             "count": float(len(self._samples)),
             "mean": self.mean,

@@ -1,6 +1,5 @@
 """Property-based tests: arbiter fairness and batch limits."""
 
-import pytest
 from hypothesis import example, given, settings, strategies as st
 
 from repro.dsa.arbiter import GroupArbiter

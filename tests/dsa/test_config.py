@@ -9,7 +9,6 @@ from repro.dsa.config import (
     GroupConfig,
     TOTAL_WQ_ENTRIES,
     WqConfig,
-    WqMode,
 )
 from repro.dsa.errors import ConfigurationError
 

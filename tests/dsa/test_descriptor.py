@@ -10,7 +10,7 @@ split the recovery path depends on.
 
 import pytest
 
-from repro.dsa.descriptor import DescriptorFlags, WorkDescriptor
+from repro.dsa.descriptor import DescriptorFlags, DescriptorPool, WorkDescriptor
 from repro.dsa.opcodes import Opcode
 
 PAGE = 4096
@@ -101,3 +101,86 @@ class TestCloneRangeState:
         assert (clone.pattern, clone.pattern2, clone.pattern_bytes) == (0x1234, 0x5678, 16)
         assert clone.dispatch_weight == 2.5
         assert clone.validate() is None
+
+
+class TestDescriptorPool:
+    def test_release_then_pooled_clone_reuses_identity(self):
+        pool = DescriptorPool(limit=4)
+        desc = _memmove()
+        spent = desc.clone_range(0, PAGE)
+        spent.completion.bytes_completed = PAGE
+        spent.times.completed = 50.0
+        spent.completion_event = object()
+        assert pool.release(spent) is True
+        assert len(pool) == 1
+        clone = desc.clone_range(PAGE, PAGE, pool=pool)
+        assert clone is spent  # recycled, not reallocated
+        assert len(pool) == 0
+        assert pool.reuses == 1
+        # Scrubbed: no state from the previous life survives.
+        assert clone.completion.bytes_completed == 0
+        assert clone.completion.status is not None
+        assert clone.times.completed is None
+        assert clone.completion_event is None
+        assert clone.trace_track == -1
+        # Rewritten as the requested range clone.
+        assert clone.size == PAGE
+        assert clone.src == desc.src + PAGE
+        assert clone.dst == desc.dst + PAGE
+
+    def test_pooled_clone_matches_fresh_clone_field_for_field(self):
+        pool = DescriptorPool()
+        desc = WorkDescriptor(
+            opcode=Opcode.FILL,
+            flags=DescriptorFlags.REQUEST_COMPLETION,
+            dst=0x80_000,
+            size=2 * PAGE,
+            pattern=0x1234,
+            pattern2=0x5678,
+            pattern_bytes=16,
+            dispatch_weight=2.5,
+        )
+        pool.release(_memmove().clone_range(0, PAGE))
+        pooled = desc.clone_range(PAGE, PAGE, pool=pool)
+        fresh = desc.clone_range(PAGE, PAGE)
+        for name in (
+            "opcode", "pasid", "flags", "src", "src2", "dst", "dst2", "size",
+            "pattern", "pattern2", "pattern_bytes", "dif", "dif_new",
+            "delta_max_size", "delta_size", "dispatch_weight", "trace_track",
+        ):
+            assert getattr(pooled, name) == getattr(fresh, name), name
+
+    def test_empty_pool_falls_back_to_allocation(self):
+        pool = DescriptorPool()
+        clone = _memmove().clone_range(0, PAGE, pool=pool)
+        assert clone.size == PAGE
+        assert pool.reuses == 0
+
+    def test_release_respects_limit(self):
+        pool = DescriptorPool(limit=1)
+        assert pool.release(_memmove().clone_range(0, PAGE)) is True
+        assert pool.release(_memmove().clone_range(0, PAGE)) is False
+        assert len(pool) == 1
+        assert pool.released == 1
+
+    def test_pool_rejects_negative_limit(self):
+        with pytest.raises(ValueError):
+            DescriptorPool(limit=-1)
+
+    def test_pooled_clone_still_validates_range(self):
+        pool = DescriptorPool()
+        pool.release(_memmove().clone_range(0, PAGE))
+        with pytest.raises(ValueError):
+            _memmove().clone_range(0, 100 * PAGE, pool=pool)
+        assert len(pool) == 1  # nothing consumed on the error path
+
+
+class TestSlotsAudit:
+    def test_descriptor_objects_are_slotted(self):
+        # A million-descriptor run must not pay a __dict__ per object.
+        desc = _memmove()
+        assert not hasattr(desc, "__dict__")
+        assert not hasattr(desc.completion, "__dict__")
+        assert not hasattr(desc.times, "__dict__")
+        with pytest.raises(AttributeError):
+            desc.not_a_field = 1

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.dsa.config import DeviceConfig, WqMode
+from repro.dsa.config import WqMode
 from repro.dsa.descriptor import BatchDescriptor, WorkDescriptor
 from repro.dsa.errors import StatusCode
 from repro.dsa.opcodes import DescriptorFlags, Opcode

@@ -1,7 +1,6 @@
 """Engine-level semantics: drain, fence, cache control, SVM sharing."""
 
 import numpy as np
-import pytest
 
 from repro.dsa.config import DeviceConfig, WqMode
 from repro.dsa.descriptor import BatchDescriptor, WorkDescriptor

@@ -1,7 +1,6 @@
 """Failure injection through the full device pipeline."""
 
 import numpy as np
-import pytest
 
 from repro.dsa.descriptor import BatchDescriptor, WorkDescriptor
 from repro.dsa.dif import DifContext, dif_insert

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.dsa.crc import crc32c
-from repro.dsa.delta import create_delta
 from repro.dsa.descriptor import WorkDescriptor
 from repro.dsa.dif import DifContext, dif_insert
 from repro.dsa.errors import StatusCode

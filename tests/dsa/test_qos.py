@@ -6,7 +6,7 @@ from repro.dsa.config import DeviceConfig, EngineConfig, GroupConfig, WqConfig
 from repro.mem.link import FairShareLink
 from repro.platform import spr_platform
 from repro.sim import Environment
-from repro.workloads.microbench import MicrobenchConfig, run_dsa_microbench
+from repro.workloads.microbench import MicrobenchConfig
 
 KB = 1024
 
@@ -52,7 +52,7 @@ class TestWeightedLink:
     def test_cap_still_binds_weighted_flows(self):
         env = Environment()
         link = FairShareLink(env, bandwidth=100.0, per_flow_cap=5.0)
-        event = link.transfer(500.0, weight=10.0)
+        link.transfer(500.0, weight=10.0)
         env.run()
         assert env.now == pytest.approx(100.0)
 
@@ -90,9 +90,7 @@ class TestDevicePriorityQos:
             platform.env.process(
                 _dsa_worker(platform, portal, space, cfg, platform.core(wq_id), result)
             )
-        start = platform.env.now
         platform.env.run()
-        elapsed = platform.env.now - start
         # Both moved the same bytes; the high-priority client finished
         # its work earlier, i.e. its mean latency is lower.
         high = results[0].latency.mean

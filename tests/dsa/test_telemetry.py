@@ -1,6 +1,5 @@
 """Tests for the PCM-style device telemetry (§5)."""
 
-from repro.mem import AddressSpace
 from repro.platform import spr_platform
 from repro.workloads.microbench import MicrobenchConfig, run_dsa_microbench
 

@@ -45,12 +45,24 @@ class TestVariantString:
     def test_distinct_flag_combos_never_collide(self):
         fidelities = [None, "auto", "analytical"]
         hists = [None, "exact", "streaming"]
+        calendars = [None, "wheel", "auto"]
         traces = [False, True]
-        combos = list(itertools.product(fidelities, hists, traces))
+        combos = list(itertools.product(fidelities, hists, calendars, traces))
         strings = [
-            variant_string(fidelity=f, hist=h, trace=t) for f, h, t in combos
+            variant_string(fidelity=f, hist=h, calendar=c, trace=t)
+            for f, h, c, t in combos
         ]
         assert len(set(strings)) == len(combos)
+
+    def test_default_calendar_is_elided(self):
+        # heap is the byte-identical default; it must map to the
+        # pre-calendar key "" so existing caches stay valid.
+        assert variant_string(calendar="heap") == ""
+        assert variant_string(calendar=None) == ""
+
+    def test_calendar_salts_the_variant(self):
+        assert variant_string(calendar="wheel") == "calendar=wheel"
+        assert variant_string(calendar="auto") == "calendar=auto"
 
 
 class TestRunnerVariant:
@@ -66,6 +78,10 @@ class TestRunnerVariant:
     def test_combined_flags(self):
         runner = ParallelRunner(jobs=1, hist_backend="streaming", fidelity="auto")
         assert runner._cache_variant == "fidelity=auto,hist=streaming"
+
+    def test_calendar_flag_salts_the_variant(self):
+        assert ParallelRunner(jobs=1, calendar="wheel")._cache_variant == "calendar=wheel"
+        assert ParallelRunner(jobs=1, calendar="heap")._cache_variant == ""
 
 
 class TestCacheKeying:

@@ -11,6 +11,7 @@ from repro.mem import AddressSpace
 from repro.platform import spr_platform
 from repro.runtime.dml import Dml
 from repro.runtime.dto import Dto
+from repro.dsa.descriptor import DescriptorPool
 from repro.runtime.recovery import RetryPolicy, recover
 from repro.sim import make_rng
 
@@ -293,3 +294,58 @@ class TestDtoIntegration:
         assert dto.stats.bytes_offloaded == 64 * KB
         assert dto.stats.fault_fallbacks == 0
         assert platform.env.metrics.counter("recovery.faults").value == 0
+
+
+class TestRecoveryDescriptorPool:
+    def test_fault_storm_recycles_clones(self):
+        """A multi-fault recovery allocates O(1) clones through the pool."""
+        platform, space, dml = build_stack()
+        core = platform.core(0)
+        src = space.allocate(3 * PAGE, prefault=False)
+        dst = space.allocate(3 * PAGE, prefault=True)
+        descriptor = dml.make_descriptor(
+            Opcode.MEMMOVE, 3 * PAGE, src=src, dst=dst, block_on_fault=False
+        )
+        pool = DescriptorPool(limit=8)
+        out = {}
+
+        def proc(env):
+            out["result"] = yield from recover(
+                dml, core, descriptor, RetryPolicy(max_retries=5), pool=pool
+            )
+
+        platform.env.process(proc(platform.env))
+        platform.env.run()
+        result = out["result"]
+        assert result.status is StatusCode.SUCCESS
+        assert result.faults == 3
+        # Resume 1 allocates the only clone; resumes 2..3 recycle it.
+        assert pool.reuses == result.faults - 1
+        # The terminal clone was parked again after propagation.
+        assert len(pool) == 1
+        assert descriptor.completion.bytes_completed == 3 * PAGE
+
+    def test_pooled_and_unpooled_recovery_agree(self):
+        for pool in (None, DescriptorPool()):
+            platform, space, dml = build_stack()
+            core = platform.core(0)
+            src = space.allocate(16 * KB, prefault=False, backed=True)
+            dst = space.allocate(16 * KB, prefault=True, backed=True)
+            space.page_table.map_range(src.va, 2 * PAGE)
+            src.fill_random(make_rng(11))
+            descriptor = dml.make_descriptor(
+                Opcode.MEMMOVE, 16 * KB, src=src, dst=dst, block_on_fault=False
+            )
+            out = {}
+
+            def proc(env):
+                out["result"] = yield from recover(
+                    dml, core, descriptor, RetryPolicy(max_retries=4), pool=pool
+                )
+
+            platform.env.process(proc(platform.env))
+            platform.env.run()
+            assert out["result"].status is StatusCode.SUCCESS
+            assert out["result"].bytes_hardware == 16 * KB
+            assert np.array_equal(dst.data, src.data)
+            out.setdefault("timings", []).append(platform.env.now)

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.mem import AddressSpace, Buffer, MemorySystem
-from repro.mem.cxl import CxlMemoryParams
 from repro.mem.numa import NumaTopology, UpiParams
 from repro.mem.system import SAME_NODE_TURNAROUND_NS, TierKind
 from repro.sim import Environment

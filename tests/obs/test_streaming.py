@@ -90,6 +90,10 @@ class TestBuckets:
     def test_empty_summary_matches_exact_backend(self):
         assert StreamingHistogram().summary() == ExactHistogram().summary()
 
+    def test_empty_percentile_raises_like_exact_backend(self):
+        with pytest.raises(ValueError, match="empty histogram"):
+            StreamingHistogram().percentile(99)
+
     def test_invalid_relative_error_rejected(self):
         with pytest.raises(ValueError):
             StreamingHistogram(relative_error=0.0)

@@ -1,6 +1,5 @@
 """Tests for in-kernel clients and the DWQ credit tracker."""
 
-import numpy as np
 import pytest
 
 from repro.cpu.core import CycleCategory

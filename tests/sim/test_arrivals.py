@@ -1,0 +1,184 @@
+"""Open-loop arrival generators: determinism, statistics, and the driver."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    BurstyProcess,
+    Environment,
+    PoissonProcess,
+    open_loop,
+)
+from repro.sim.rng import install_seed, uninstall_seed
+
+
+@pytest.fixture(autouse=True)
+def _clean_seed():
+    yield
+    uninstall_seed()
+
+
+# -- construction and validation -------------------------------------------
+
+
+def test_rejects_nonpositive_rate():
+    with pytest.raises(ValueError):
+        PoissonProcess(0.0)
+    with pytest.raises(ValueError):
+        PoissonProcess(-1.0)
+    with pytest.raises(ValueError):
+        BurstyProcess(0.0)
+
+
+def test_rejects_bad_batch():
+    with pytest.raises(ValueError):
+        PoissonProcess(1.0, batch=0)
+
+
+def test_bursty_rejects_cv2_below_one():
+    with pytest.raises(ValueError, match="cv2 >= 1"):
+        BurstyProcess(1.0, cv2=0.5)
+
+
+# -- batch-size invariance (the S3 property) -------------------------------
+
+
+@pytest.mark.parametrize("make", [
+    lambda batch: PoissonProcess(0.01, rng=42, batch=batch),
+    lambda batch: BurstyProcess(0.01, cv2=4.0, rng=42, batch=batch),
+])
+@pytest.mark.parametrize("batch", [1, 7, 1000])
+def test_gap_stream_batch_invariant(make, batch):
+    reference = [make(4096).next_gap() for _ in range(300)]
+    got = [make(batch).next_gap() for _ in range(300)]
+    assert got == reference
+
+
+def test_times_equals_scalar_cumsum():
+    scalars = PoissonProcess(0.5, rng=1)
+    bulk = PoissonProcess(0.5, rng=1)
+    gaps = [scalars.next_gap() for _ in range(100)]
+    instants = bulk.times(100, start=10.0)
+    assert np.allclose(instants, 10.0 + np.cumsum(gaps))
+
+
+def test_times_continues_after_scalar_draws():
+    # Mixing next_gap and times must never replay or skip a draw.
+    mixed = PoissonProcess(0.5, rng=9, batch=16)
+    first = [mixed.next_gap() for _ in range(5)]
+    rest = mixed.times(40)
+    straight = PoissonProcess(0.5, rng=9, batch=16)
+    all_gaps = [straight.next_gap() for _ in range(45)]
+    assert first == all_gaps[:5]
+    assert np.allclose(rest, np.cumsum(all_gaps[5:]))
+    with pytest.raises(ValueError):
+        mixed.times(-1)
+
+
+def test_installed_seed_reproduces_streams():
+    # Worker-rebuild path: same installed seed + same stream id -> the
+    # identical arrival schedule, which is what --jobs N relies on.
+    install_seed(777)
+    a = PoissonProcess(0.1, stream=2).times(200)
+    install_seed(777)
+    b = PoissonProcess(0.1, stream=2).times(200)
+    assert np.array_equal(a, b)
+
+
+def test_distinct_streams_are_independent():
+    a = PoissonProcess(0.1, rng=5, stream=0).times(50)
+    b = PoissonProcess(0.1, rng=5, stream=1).times(50)
+    assert not np.array_equal(a, b)
+
+
+# -- distribution sanity ---------------------------------------------------
+
+
+def test_poisson_mean_rate():
+    gaps = PoissonProcess(0.02, rng=0).gaps(200_000)
+    assert abs(gaps.mean() - 50.0) / 50.0 < 0.02
+
+
+@pytest.mark.parametrize("cv2", [1.0, 4.0, 16.0])
+def test_bursty_hits_mean_and_cv2(cv2):
+    rate = 0.01
+    gaps = BurstyProcess(rate, cv2=cv2, rng=0).gaps(400_000)
+    mean = gaps.mean()
+    got_cv2 = gaps.var() / mean**2
+    assert abs(mean - 1.0 / rate) / (1.0 / rate) < 0.03
+    assert abs(got_cv2 - cv2) / cv2 < 0.08
+
+
+def test_bursty_is_burstier_than_poisson():
+    poisson = PoissonProcess(0.01, rng=3).gaps(100_000)
+    bursty = BurstyProcess(0.01, cv2=8.0, rng=3).gaps(100_000)
+    assert bursty.std() > 2.0 * poisson.std()
+
+
+# -- the open_loop driver --------------------------------------------------
+
+
+def test_open_loop_requires_stopping_rule():
+    env = Environment()
+    with pytest.raises(ValueError, match="stopping rule"):
+        open_loop(env, PoissonProcess(1.0, rng=0), lambda i, t: None)
+
+
+def test_open_loop_count():
+    env = Environment()
+    hits = []
+    proc = open_loop(env, PoissonProcess(0.1, rng=0), lambda i, t: hits.append((i, t)), count=50)
+    env.run()
+    assert proc.value == 50
+    assert [i for i, _ in hits] == list(range(50))
+    times = [t for _, t in hits]
+    assert times == sorted(times)
+    assert env.now == times[-1]
+
+
+def test_open_loop_until():
+    env = Environment()
+    hits = []
+    proc = open_loop(env, PoissonProcess(0.1, rng=0), lambda i, t: hits.append(t), until=500.0)
+    env.run()
+    assert proc.value == len(hits)
+    assert all(t <= 500.0 for t in hits)
+    assert len(hits) > 0
+    # Open-loop is independent of completions: roughly rate * horizon.
+    assert 25 <= len(hits) <= 75
+
+
+def test_open_loop_start_offset():
+    env = Environment()
+    hits = []
+    open_loop(env, PoissonProcess(0.1, rng=0), lambda i, t: hits.append(t), count=10, start=1000.0)
+    env.run()
+    assert all(t > 1000.0 for t in hits)
+
+
+def test_open_loop_keeps_one_pending_timer():
+    env = Environment()
+    pending_high = []
+
+    def handler(i, t):
+        # Driver timer only; the handler itself schedules nothing here.
+        pending_high.append(len(env._calendar))
+
+    open_loop(env, PoissonProcess(0.1, rng=0), handler, count=30)
+    env.run()
+    # At handler time the driver's next timer isn't armed yet; the
+    # calendar never accumulates driver state.
+    assert max(pending_high) <= 1
+
+
+@pytest.mark.parametrize("backend", ["heap", "wheel", "auto"])
+def test_open_loop_identical_across_backends(backend):
+    env = Environment(calendar=backend)
+    hits = []
+    open_loop(env, BurstyProcess(0.05, cv2=4.0, rng=11), lambda i, t: hits.append(t), count=200)
+    env.run()
+    ref_env = Environment(calendar="heap")
+    ref = []
+    open_loop(ref_env, BurstyProcess(0.05, cv2=4.0, rng=11), lambda i, t: ref.append(t), count=200)
+    ref_env.run()
+    assert hits == ref

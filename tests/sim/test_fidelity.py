@@ -18,7 +18,7 @@ from repro.mem.link import FairShareLink
 from repro.obs import MetricsRegistry, install_metrics, uninstall_metrics
 from repro.platform import spr_platform
 from repro.sim import Environment, SimulationError
-from repro.sim.batch import cycle_samples, extrapolate_closed_loop
+from repro.sim.batch import cycle_samples
 from repro.sim.fidelity import (
     DECLARED_TOLERANCE,
     FidelityMode,

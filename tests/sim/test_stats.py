@@ -103,8 +103,19 @@ class TestTimeWeightedStat:
 class TestHistogram:
     def test_empty_summary(self):
         hist = Histogram()
-        assert hist.percentile(99) == 0.0
         assert hist.mean == 0.0
+        assert hist.summary() == {
+            "count": 0.0, "mean": 0.0, "min": 0.0, "p50": 0.0, "p99": 0.0, "max": 0.0,
+        }
+
+    def test_empty_percentile_raises(self):
+        # Regression: this used to silently answer 0.0, which reads as
+        # a perfect tail latency.  Empty percentiles are undefined.
+        with pytest.raises(ValueError, match="empty histogram"):
+            Histogram().percentile(99)
+        hist = Histogram()
+        hist.add(5.0)
+        assert hist.percentile(99) == 5.0
 
     def test_percentiles_exact(self):
         hist = Histogram()

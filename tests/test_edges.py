@@ -7,7 +7,7 @@ from repro.dsa.errors import StatusCode
 from repro.dsa.opcodes import Opcode
 from repro.mem import AddressSpace
 from repro.platform import spr_platform
-from repro.runtime.dml import Dml, DmlJob, DmlPath
+from repro.runtime.dml import Dml, DmlJob
 
 KB = 1024
 MB = 1024 * KB

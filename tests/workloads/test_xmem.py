@@ -88,8 +88,6 @@ class TestFig12Timelines:
             duration_s=2.0,
             xmem_window=(0.5, 1.5),
         )
-        times = [t for t, _v in scenario.occupancy_series["xmem0"]]
-        values = dict(scenario.occupancy_series["xmem0"])
         before = [v for t, v in scenario.occupancy_series["xmem0"] if t < 0.45]
         after = [v for t, v in scenario.occupancy_series["xmem0"] if t > 1.6]
         assert max(before) == 0.0
