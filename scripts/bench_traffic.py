@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Traffic serving-mode benchmark: throughput, accounting exactness, tails.
+
+Measures and gates the ``repro.traffic`` subsystem end to end:
+
+* **loadgen throughput** — requests/second of simulated wall through
+  the full path (arrival draw, ENQCMD with retry/backoff, completion,
+  SLO accounting).  Reported ungated: raw speed varies by machine.
+* **p999 envelope** (hard gate) — per-tenant p99.9 read from the
+  constant-memory ``StreamingHistogram`` must sit within its declared
+  1% relative-error envelope of the exact percentile, computed from a
+  ``shadow_exact`` run that also keeps every raw latency.  This is the
+  number docs/TRAFFIC.md tells users to trust for SLO reporting.
+* **attribution exactness** (hard gate) — under a retry storm, the
+  per-source ``<wq>.source.<tenant>.enqcmd_retries`` / ``.rejected``
+  counters must sum *exactly* to the WQ aggregates: every retry is
+  booked to a tenant, none double-booked.
+* **conservation** (hard gate) — offered == completed + dropped on
+  every workload; a lost request is an accounting bug, not noise.
+
+Results are written as JSON (default ``BENCH_traffic.json``)::
+
+    PYTHONPATH=src python scripts/bench_traffic.py --out BENCH_traffic.json
+"""
+
+from __future__ import annotations
+
+import sys
+
+from _bench_common import base_parser, best_of, gate_exit, write_json
+from repro.dsa.config import DeviceConfig, WqMode
+from repro.obs.streaming import DEFAULT_RELATIVE_ERROR
+from repro.sim.stats import Histogram as ExactHistogram
+from repro.traffic import (
+    SizeDist,
+    TrafficProfile,
+    drive_profile,
+    dsa_capacity,
+    make_tenants,
+)
+
+KB = 1024
+#: Finite-sample slack on top of the histogram's per-value guarantee:
+#: exact and streaming percentiles interpolate the same ranks from
+#: slightly different supports, so a hair over the bucket bound is
+#: measurement granularity, not a broken envelope.
+ENVELOPE_SLACK = 0.002
+
+
+def envelope_profile(tenants: int) -> TrafficProfile:
+    """Moderate-load lognormal tenants — a dense, well-sampled tail."""
+    return TrafficProfile(
+        name="bench-envelope",
+        tenants=make_tenants(
+            "t",
+            tenants,
+            0.7 * dsa_capacity(16 * KB),
+            sizes=SizeDist(kind="lognormal", size=8 * KB, sigma=0.7),
+        ),
+    )
+
+
+def storm_profile(tenants: int) -> TrafficProfile:
+    """Overloaded bursty tenants on a small SWQ — a retry storm."""
+    return TrafficProfile(
+        name="bench-storm",
+        tenants=make_tenants(
+            "t",
+            tenants,
+            1.25 * dsa_capacity(8 * KB),
+            arrival="bursty",
+            cv2=9.0,
+            sizes=SizeDist(kind="fixed", size=8 * KB),
+        ),
+    )
+
+
+def bench_throughput(requests: int, tenants: int, repeats: int) -> dict:
+    best = best_of(
+        repeats,
+        lambda _: drive_profile(envelope_profile(tenants), requests),
+    )
+    return {
+        "requests": requests,
+        "tenants": tenants,
+        "best_s": round(best.seconds, 4),
+        "requests_per_sec": round(requests / best.seconds),
+    }
+
+
+def bench_envelope(requests: int, tenants: int) -> dict:
+    """Streaming vs exact p999 per tenant, worst relative error."""
+    generator, totals = drive_profile(
+        envelope_profile(tenants), requests, shadow_exact=True
+    )
+    worst = 0.0
+    measured = 0
+    for spec in generator.profile.tenants:
+        account = generator.accountant.account(spec.name)
+        samples = account.shadow_samples
+        # p999 needs a populated tail to be a meaningful comparison.
+        if samples is None or len(samples) < 1000:
+            continue
+        exact = ExactHistogram()
+        exact.extend(samples)
+        reference = exact.percentile(99.9)
+        error = abs(account.percentile(99.9) - reference) / abs(reference)
+        worst = max(worst, error)
+        measured += 1
+    return {
+        "requests": requests,
+        "tenants": tenants,
+        "tenants_measured": measured,
+        "completed": totals["completed"],
+        "worst_p999_rel_error": round(worst, 6),
+        "bound": DEFAULT_RELATIVE_ERROR + ENVELOPE_SLACK,
+        "pass": measured > 0 and worst <= DEFAULT_RELATIVE_ERROR + ENVELOPE_SLACK,
+    }
+
+
+def bench_attribution(requests: int, tenants: int) -> dict:
+    """Per-source retry/reject counters must sum exactly to aggregates."""
+    generator, totals = drive_profile(
+        storm_profile(tenants),
+        requests,
+        device_config=DeviceConfig.single(
+            wq_size=16, n_engines=4, mode=WqMode.SHARED
+        ),
+    )
+    snapshot = generator.platform.metrics_snapshot()
+
+    def family(suffix: str) -> tuple:
+        aggregate = snapshot.get(f"dsa0.wq0.{suffix}", 0.0)
+        per_source = sum(
+            value
+            for name, value in snapshot.items()
+            if name.startswith("dsa0.wq0.source.") and name.endswith(f".{suffix}")
+        )
+        return aggregate, per_source
+
+    retries_agg, retries_src = family("enqcmd_retries")
+    rejected_agg, rejected_src = family("rejected")
+    ok = (
+        retries_agg > 0
+        and retries_src == retries_agg
+        and rejected_src == rejected_agg
+        and totals["offered"] == totals["completed"] + totals["dropped"]
+    )
+    return {
+        "requests": requests,
+        "tenants": tenants,
+        "aggregate_retries": retries_agg,
+        "per_source_retries": retries_src,
+        "aggregate_rejected": rejected_agg,
+        "per_source_rejected": rejected_src,
+        "offered": totals["offered"],
+        "completed": totals["completed"],
+        "dropped": totals["dropped"],
+        "pass": ok,
+    }
+
+
+def main(argv=None):
+    parser = base_parser(__doc__.splitlines()[0], "BENCH_traffic.json", repeats_default=3)
+    parser.add_argument(
+        "--requests", type=int, default=30_000, help="requests per workload run"
+    )
+    parser.add_argument(
+        "--tenants", type=int, default=16, help="tenant fan-in per workload"
+    )
+    args = parser.parse_args(argv)
+
+    throughput = bench_throughput(
+        min(args.requests, 10_000), args.tenants, args.repeats
+    )
+    envelope = bench_envelope(args.requests, args.tenants)
+    attribution = bench_attribution(args.requests, args.tenants)
+
+    print(f"loadgen   {throughput['requests_per_sec']:,d} req/s (best of {args.repeats})")
+    print(
+        f"envelope  worst p999 rel error {envelope['worst_p999_rel_error']:.5f} "
+        f"over {envelope['tenants_measured']} tenants (bound {envelope['bound']:.3f})"
+    )
+    print(
+        f"attribution  {attribution['per_source_retries']:.0f} per-source vs "
+        f"{attribution['aggregate_retries']:.0f} aggregate retries; "
+        f"{attribution['dropped']} dropped of {attribution['offered']} offered"
+    )
+
+    ok = envelope["pass"] and attribution["pass"]
+    payload = {
+        "benchmark": "repro.traffic open-loop serving mode",
+        "repeats": args.repeats,
+        "throughput": throughput,
+        "envelope": envelope,
+        "attribution": attribution,
+        "pass": ok,
+    }
+    write_json(args.out, payload)
+    print(f"{'PASS' if ok else 'FAIL'} -> {args.out}")
+    return gate_exit(ok, args.require)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,17 @@ the record path (e.g. a forgotten list.append in the tracer, a
 per-sample side list in the histogram, or the sink buffering lines).
 
     PYTHONPATH=src python scripts/check_constant_memory.py
+
+``--traffic`` switches the workload to the real serving mode: a
+64-tenant overloaded ``LoadGenerator`` profile (retries, drops, SLO
+windows, per-source attribution all active) driven end to end at the
+two request counts.  That is the constant-memory claim docs/TRAFFIC.md
+makes for the large tier — request lifetime is bounded (bounded
+retries, bounded queues), per-tenant accounting is streaming, so peak
+memory must not scale with request count:
+
+    PYTHONPATH=src python scripts/check_constant_memory.py \\
+        --traffic --small 20000 --big 200000
 """
 
 from __future__ import annotations
@@ -54,10 +65,46 @@ def drive(n, workdir):
     return len(hist.samples)
 
 
-def measure(n, workdir):
+def drive_traffic(requests, workdir):
+    """Run the serving mode end to end: 64 overloaded bursty tenants.
+
+    ``workdir`` is unused (the traffic path holds no spill files); the
+    signature matches :func:`drive` so :func:`measure` can run either.
+    Aggregate load is 1.15x the device's planning capacity on a small
+    SWQ, so retries, drops, SLO-violation windows, and per-source
+    attribution counters are all live — the full accounting surface.
+    """
+    from repro.dsa.config import DeviceConfig, WqMode
+    from repro.traffic import (
+        SizeDist,
+        TrafficProfile,
+        drive_profile,
+        dsa_capacity,
+        make_tenants,
+    )
+
+    profile = TrafficProfile(
+        name="const-mem",
+        tenants=make_tenants(
+            "t",
+            64,
+            1.15 * dsa_capacity(8192, engines=4),
+            arrival="bursty",
+            cv2=4.0,
+            sizes=SizeDist(kind="fixed", size=8192),
+        ),
+    )
+    drive_profile(
+        profile,
+        requests,
+        device_config=DeviceConfig.single(wq_size=32, n_engines=4, mode=WqMode.SHARED),
+    )
+
+
+def measure(n, workdir, workload=drive):
     tracemalloc.start()
     tracemalloc.reset_peak()
-    drive(n, workdir)
+    workload(n, workdir)
     _, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
     return peak
@@ -73,17 +120,26 @@ def main(argv=None):
         default=0.10,
         help="allowed fractional peak growth from --small to --big",
     )
+    parser.add_argument(
+        "--traffic",
+        action="store_true",
+        help="drive the repro.traffic serving mode (open-loop multi-tenant "
+        "LoadGenerator under overload) instead of the synthetic record "
+        "workload; counts are requests",
+    )
     args = parser.parse_args(argv)
     if args.big <= args.small:
         parser.error("--big must exceed --small")
+    workload = drive_traffic if args.traffic else drive
 
     import pathlib
 
     root = pathlib.Path(tempfile.mkdtemp(prefix="const_mem_"))
     try:
-        drive(min(args.small, 10_000), root / "warmup")  # stabilize allocator caches
-        small_peak = measure(args.small, root / "small")
-        big_peak = measure(args.big, root / "big")
+        # Warm-up run stabilizes allocator/import caches before measuring.
+        workload(min(args.small, 10_000), root / "warmup")
+        small_peak = measure(args.small, root / "small", workload)
+        big_peak = measure(args.big, root / "big", workload)
     finally:
         shutil.rmtree(root, ignore_errors=True)
 

@@ -42,6 +42,7 @@ from repro.obs import (
     write_chrome_trace,
 )
 from repro.sim.calendar import set_default_calendar
+from repro.traffic.tiers import set_default_tier, set_default_traffic
 
 
 def _cmd_list(_args) -> int:
@@ -74,6 +75,8 @@ def _cmd_run(args) -> int:
         install_tracer(tracer)
     set_default_hist_backend(args.hist_backend)
     set_default_calendar(args.calendar)
+    set_default_tier(args.tier)
+    set_default_traffic(args.traffic)
     sink = ResultSink(args.results) if args.results else None
     profiler = None
     if args.profile:
@@ -111,6 +114,8 @@ def _cmd_run(args) -> int:
         hist_backend=args.hist_backend,
         fidelity=args.fidelity,
         calendar=args.calendar,
+        tier=args.tier,
+        traffic=args.traffic,
     )
     summary_rows = []
     failures = 0
@@ -337,6 +342,21 @@ def main(argv=None) -> int:
         "open-loop runs with millions of pending timers), or auto (heap "
         "until 65536 pending entries, then promote to a wheel); both pop "
         "in the identical order, see docs/PERFORMANCE.md section 7",
+    )
+    run_parser.add_argument(
+        "--tier",
+        choices=["small", "medium", "large"],
+        default="small",
+        help="scale tier for the traffic-* experiments: small (~10K "
+        "requests, tier-1 CI), medium (~200K), or large (~2M, the nightly "
+        "constant-memory soak); see docs/TRAFFIC.md for expected timings",
+    )
+    run_parser.add_argument(
+        "--traffic",
+        choices=["default", "poisson", "bursty", "diurnal"],
+        default="default",
+        help="override every traffic tenant's arrival process (default: "
+        "each tenant's declared kind); see docs/TRAFFIC.md",
     )
     run_parser.add_argument(
         "--results",

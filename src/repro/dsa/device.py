@@ -126,16 +126,18 @@ class DsaDevice:
         return dict(self._wqs)
 
     # -- submission ------------------------------------------------------------------
-    def submit(self, descriptor: Descriptor, wq_id: int = 0) -> bool:
+    def submit(self, descriptor: Descriptor, wq_id: int = 0, source: Optional[str] = None) -> bool:
         """Place a descriptor into a WQ (the portal write itself).
 
         Returns False when a shared WQ is full (ENQCMD retry status).
         Instruction-cost accounting (MOVDIR64B vs ENQCMD) lives in
         :mod:`repro.runtime.submit`; this is the device-side effect.
+        ``source`` tags the submitter for per-tenant reject attribution
+        on shared queues (see :meth:`repro.dsa.wq.WorkQueue.submit`).
         """
         if descriptor.completion_event is None:
             descriptor.completion_event = Event(self.env)
-        accepted = self.wq(wq_id).submit(descriptor)
+        accepted = self.wq(wq_id).submit(descriptor, source=source)
         if accepted:
             self._inflight_write_bytes += estimate_write_bytes(descriptor)
             self._update_llc_pressure()

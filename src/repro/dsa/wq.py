@@ -13,6 +13,16 @@ Observability: each queue keeps a time-weighted occupancy gauge and
 enqueue/reject counters under ``<owner>.wq<id>.*`` in the environment's
 metrics registry, and opens a ``queue`` span on the descriptor's trace
 track from enqueue until the arbiter dispatches it.
+
+Per-submitter attribution: SWQs are *shared* — hundreds of tenants can
+ENQCMD into one queue, and a global reject/retry count cannot say who
+a retry storm is punishing.  :meth:`WorkQueue.submit` takes an optional
+``source`` tag and :meth:`WorkQueue.record_retries` is the one place
+retry counters are named, so both the aggregate family
+(``<owner>.wq<id>.enqcmd_retries`` / ``.rejected``) and the per-source
+family (``<owner>.wq<id>.source.<tag>.enqcmd_retries`` / ``.rejected``)
+stay on the OBSERVABILITY.md naming convention instead of being
+re-derived by every submitter.
 """
 
 from __future__ import annotations
@@ -90,8 +100,13 @@ class WorkQueue:
     def is_empty(self) -> bool:
         return not self._items
 
-    def submit(self, descriptor: Descriptor) -> bool:
-        """Enqueue one descriptor; semantics depend on the WQ mode."""
+    def submit(self, descriptor: Descriptor, source: Optional[str] = None) -> bool:
+        """Enqueue one descriptor; semantics depend on the WQ mode.
+
+        ``source`` tags the submitter (a tenant, a core, a runtime
+        layer) so rejects are attributable per submitter on a shared
+        queue; ``None`` keeps the aggregate-only accounting.
+        """
         if self.config.mode is WqMode.SHARED:
             injector = active_injector()
             if injector is not None and injector.swq_reject():
@@ -99,10 +114,16 @@ class WorkQueue:
                 self.rejected += 1
                 self._m_rejected.add()
                 self.env.metrics.counter(f"{self.name}.injected_rejects").add()
+                if source is not None:
+                    self.env.metrics.counter(
+                        f"{self.name}.source.{source}.rejected"
+                    ).add()
                 return False
         if self.is_full:
             self.rejected += 1
             self._m_rejected.add()
+            if source is not None:
+                self.env.metrics.counter(f"{self.name}.source.{source}.rejected").add()
             if self.config.mode is WqMode.DEDICATED:
                 raise SubmissionError(
                     f"MOVDIR64B to full DWQ {self.wq_id} "
@@ -125,6 +146,24 @@ class WorkQueue:
         if self.on_enqueue is not None:
             self.on_enqueue(self)
         return True
+
+    def record_retries(self, retries: int, source: Optional[str] = None) -> None:
+        """Book ``retries`` failed ENQCMDs against this queue.
+
+        The canonical naming choke point for the retry metric family:
+        submitters (``repro.runtime.submit``, the traffic load
+        generator) call this instead of assembling
+        ``<owner>.wq<id>.enqcmd_retries`` strings themselves, and a
+        ``source`` tag adds the per-submitter series alongside the
+        aggregate.  Zero-retry submissions are free — no counter is
+        created.
+        """
+        if retries <= 0:
+            return
+        metrics = self.env.metrics
+        metrics.counter(f"{self.name}.enqcmd_retries").add(retries)
+        if source is not None:
+            metrics.counter(f"{self.name}.source.{source}.enqcmd_retries").add(retries)
 
     def pop(self) -> Descriptor:
         """Remove and return the head descriptor (arbiter only)."""

@@ -53,7 +53,13 @@ DEFAULT_ROOT = ".repro-cache"
 #: Flag values that mean "the default run mode" and are dropped from
 #: the variant salt, so default runs keep their historical (empty
 #: variant) keys across releases that add new flags.
-VARIANT_DEFAULTS = {"fidelity": "des", "hist": "auto", "calendar": "heap"}
+VARIANT_DEFAULTS = {
+    "fidelity": "des",
+    "hist": "auto",
+    "calendar": "heap",
+    "tier": "small",
+    "traffic": "default",
+}
 
 
 def variant_string(**flags) -> str:

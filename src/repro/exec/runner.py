@@ -78,6 +78,8 @@ def _worker(
     hist_backend: Optional[str] = None,
     fidelity: Optional[str] = None,
     calendar: Optional[str] = None,
+    tier: Optional[str] = None,
+    traffic: Optional[str] = None,
 ) -> RunOutcome:
     """Run one experiment in a worker process.
 
@@ -106,6 +108,15 @@ def _worker(
         from repro.sim.calendar import set_default_calendar
 
         set_default_calendar(calendar)
+    if tier is not None or traffic is not None:
+        # --tier / --traffic scale the traffic experiments; same reused-
+        # worker story as the flags above.
+        from repro.traffic.tiers import set_default_tier, set_default_traffic
+
+        if tier is not None:
+            set_default_tier(tier)
+        if traffic is not None:
+            set_default_traffic(traffic)
     registry = MetricsRegistry()
     install_metrics(registry)
     tracer: Optional[Tracer] = None
@@ -180,6 +191,8 @@ class ParallelRunner:
         hist_backend: Optional[str] = None,
         fidelity: Optional[str] = None,
         calendar: Optional[str] = None,
+        tier: Optional[str] = None,
+        traffic: Optional[str] = None,
     ):
         self.jobs = max(1, int(jobs))
         self.quick = bool(quick)
@@ -195,6 +208,10 @@ class ParallelRunner:
         #: ``--calendar`` backend re-installed in every worker; for
         #: ``jobs=1`` the CLI already set the process-wide default.
         self.calendar = calendar
+        #: ``--tier`` / ``--traffic`` scale-and-arrival knobs for the
+        #: traffic experiments; same worker re-install pattern.
+        self.tier = tier
+        self.traffic = traffic
 
     # -- merge ----------------------------------------------------------
     def _merge(self, outcome: RunOutcome) -> None:
@@ -243,7 +260,11 @@ class ParallelRunner:
         flag combinations can never collide.
         """
         return variant_string(
-            hist=self.hist_backend, fidelity=self.fidelity, calendar=self.calendar
+            hist=self.hist_backend,
+            fidelity=self.fidelity,
+            calendar=self.calendar,
+            tier=self.tier,
+            traffic=self.traffic,
         )
 
     def _lookup(self, exp_id: str) -> Optional[RunOutcome]:
@@ -350,7 +371,7 @@ class ParallelRunner:
                     exp_id: pool.submit(
                         _worker, exp_id, self.quick, self.seed, self.trace,
                         shard_path(exp_id), self.hist_backend, self.fidelity,
-                        self.calendar,
+                        self.calendar, self.tier, self.traffic,
                     )
                     for exp_id in misses
                 }

@@ -33,6 +33,9 @@ _EXPERIMENTS: Dict[str, str] = {
     "cbdma": "repro.experiments.cbdma_comparison",
     "ablations": "repro.experiments.ablations",
     "guidelines": "repro.experiments.guidelines_validation",
+    "traffic-crossover": "repro.experiments.traffic_crossover",
+    "traffic-qos": "repro.experiments.traffic_qos",
+    "traffic-retry": "repro.experiments.traffic_retry",
 }
 
 

@@ -57,6 +57,7 @@ def submit(
     descriptor: Descriptor,
     costs: InstructionCosts = DEFAULT_COSTS,
     max_retries: Optional[int] = None,
+    source: Optional[str] = None,
 ) -> Generator:
     """Issue the descriptor through ``portal``; returns retry count.
 
@@ -65,6 +66,11 @@ def submit(
     * SWQ: ENQCMD loop until accepted, each attempt paying the full
       non-posted round trip.  ``max_retries`` bounds the loop for
       tests; ``None`` retries forever like a spinning submitter.
+
+    ``source`` tags the submitter for per-source reject/retry
+    attribution on shared queues; retry counters are booked through
+    :meth:`repro.dsa.wq.WorkQueue.record_retries` (the canonical metric
+    naming) rather than assembled here.
     """
     tracer = env.tracer
     if tracer.enabled and descriptor.trace_track < 0:
@@ -74,31 +80,27 @@ def submit(
     if portal.mode is WqMode.DEDICATED:
         tracer.begin(env.now, "movdir64b", "submit", agent, track)
         yield core.spend(CycleCategory.SUBMIT, costs.movdir64b_ns)
-        portal.device.submit(descriptor, portal.wq_id)
+        portal.device.submit(descriptor, portal.wq_id, source=source)
         tracer.end(env.now, "movdir64b", "submit", agent, track)
         return 0
     retries = 0
+    wq = portal.device.wq(portal.wq_id)
     tracer.begin(env.now, "enqcmd", "submit", agent, track)
     while True:
         yield core.spend(CycleCategory.SUBMIT, costs.enqcmd_ns)
-        if portal.device.submit(descriptor, portal.wq_id):
+        if portal.device.submit(descriptor, portal.wq_id, source=source):
             if tracer.enabled:
                 tracer.end(
                     env.now, "enqcmd", "submit", agent, track, {"retries": retries}
                 )
-            if retries:
-                env.metrics.counter(
-                    f"{portal.device.name}.wq{portal.wq_id}.enqcmd_retries"
-                ).add(retries)
+            wq.record_retries(retries, source=source)
             return retries
         retries += 1
         if max_retries is not None and retries >= max_retries:
             tracer.end(env.now, "enqcmd", "submit", agent, track, {"retries": retries})
             # Failed submissions must still account their retries, or
             # congestion vanishes from the metrics exactly when it bites.
-            env.metrics.counter(
-                f"{portal.device.name}.wq{portal.wq_id}.enqcmd_retries"
-            ).add(retries)
+            wq.record_retries(retries, source=source)
             raise RuntimeError(
                 f"ENQCMD to {portal.device.name} WQ {portal.wq_id} exceeded "
                 f"{max_retries} retries"

@@ -33,7 +33,13 @@ Model code that re-arms a wake timer on every state change (see
 of letting it fire into a version-check no-op.
 """
 
-from repro.sim.arrivals import ArrivalProcess, BurstyProcess, PoissonProcess, open_loop
+from repro.sim.arrivals import (
+    ArrivalProcess,
+    BurstyProcess,
+    DiurnalProcess,
+    PoissonProcess,
+    open_loop,
+)
 from repro.sim.calendar import (
     AUTO_PROMOTE_THRESHOLD,
     CALENDAR_BACKENDS,
@@ -83,6 +89,7 @@ __all__ = [
     "set_default_calendar",
     "ArrivalProcess",
     "BurstyProcess",
+    "DiurnalProcess",
     "PoissonProcess",
     "open_loop",
     "Condition",

@@ -15,7 +15,11 @@ per simulated nanosecond (the repo-wide time unit):
 * :class:`BurstyProcess` — two-phase hyperexponential (H2) gaps fit by
   the balanced-means rule to a target squared coefficient of variation
   ``cv2 > 1``: same mean rate, heavy bursts interleaved with long idle
-  gaps.  ``cv2 == 1`` degenerates to Poisson.
+  gaps.  ``cv2 == 1`` delegates to the exact Poisson gap stream (same
+  derived generator, same draws — no H2 fit round-off).
+* :class:`DiurnalProcess` — a Poisson process under a sinusoidal rate
+  envelope: unit-exponential draws scaled by the instantaneous rate,
+  for tenants whose load breathes over a period (day/night traffic).
 
 Gaps are drawn in vectorized numpy batches from streams ``derive``\\ d
 off the installed seed, and handed out as scalars with an index
@@ -37,10 +41,16 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.sim.engine import Environment, Process
+from repro.sim.engine import Environment, Interrupt, Process
 from repro.sim.rng import DEFAULT_BATCH, derive, make_rng
 
-__all__ = ["ArrivalProcess", "PoissonProcess", "BurstyProcess", "open_loop"]
+__all__ = [
+    "ArrivalProcess",
+    "PoissonProcess",
+    "BurstyProcess",
+    "DiurnalProcess",
+    "open_loop",
+]
 
 
 class ArrivalProcess:
@@ -127,6 +137,13 @@ class BurstyProcess(ArrivalProcess):
     The phase selector and the two exponentials each draw from their
     own derived child stream, which is what keeps the generator
     batch-size invariant (one ``where`` over three aligned arrays).
+
+    ``cv2 == 1`` degenerates to Poisson *exactly*: the root stream
+    itself draws plain exponential gaps, producing the very same values
+    as ``PoissonProcess(rate, rng, stream)`` rather than an H2 fit that
+    merely matches the first two moments.  ``cv2 < 1`` (including NaN)
+    raises — the balanced-means fit would produce phase probabilities
+    outside [0, 1].
     """
 
     __slots__ = ("cv2", "_p", "_scale_fast", "_scale_slow", "_rng_u", "_rng_fast", "_rng_slow")
@@ -140,23 +157,99 @@ class BurstyProcess(ArrivalProcess):
         batch: int = DEFAULT_BATCH,
     ):
         super().__init__(rate, batch)
-        if cv2 < 1.0:
+        # "not >=" (rather than "<") so NaN fails loudly too instead of
+        # flowing into sqrt and producing NaN phase probabilities.
+        if not cv2 >= 1.0:
             raise ValueError(f"H2 requires cv2 >= 1 (got {cv2}); use PoissonProcess below that")
         self.cv2 = cv2
+        root = derive(make_rng(rng), stream)
+        if cv2 == 1.0:
+            # Exact Poisson delegation: same root generator, same draws
+            # as PoissonProcess — the fast/slow children stay unused.
+            self._p = 1.0
+            self._scale_fast = self._scale_slow = 1.0 / rate
+            self._rng_u = root
+            self._rng_fast = self._rng_slow = None
+            return
         p = 0.5 * (1.0 + np.sqrt((cv2 - 1.0) / (cv2 + 1.0)))
         self._p = p
         self._scale_fast = 1.0 / (2.0 * p * rate)
         self._scale_slow = 1.0 / (2.0 * (1.0 - p) * rate)
-        root = derive(make_rng(rng), stream)
         self._rng_u = derive(root, 0)
         self._rng_fast = derive(root, 1)
         self._rng_slow = derive(root, 2)
 
     def gaps(self, n: int) -> np.ndarray:
+        if self._rng_fast is None:  # cv2 == 1: the exact Poisson stream
+            return self._rng_u.exponential(self._scale_fast, size=n)
         u = self._rng_u.uniform(size=n)
         fast = self._rng_fast.exponential(self._scale_fast, size=n)
         slow = self._rng_slow.exponential(self._scale_slow, size=n)
         return np.where(u < self._p, fast, slow)
+
+
+class DiurnalProcess(ArrivalProcess):
+    """Poisson arrivals under a sinusoidal rate envelope.
+
+    The instantaneous rate is::
+
+        r(t) = rate * (1 + amplitude * sin(2*pi*t/period_ns + phase))
+
+    Gaps are unit exponentials scaled by ``1/r(t)`` at the cursor — the
+    standard scaled-gap approximation to an inhomogeneous Poisson
+    process, exact in the limit of gaps short against the period (the
+    serving-mode regime: microsecond gaps, millisecond-plus periods).
+
+    ``amplitude`` must stay below 1 so the rate never reaches zero.
+    Batch-size invariance holds because the unit draws come from one
+    derived stream in order and the envelope cursor advances once per
+    gap regardless of how the draws are batched.
+    """
+
+    __slots__ = ("period_ns", "amplitude", "phase", "_cursor", "_rng")
+
+    def __init__(
+        self,
+        rate: float,
+        period_ns: float,
+        amplitude: float = 0.5,
+        phase: float = 0.0,
+        rng=None,
+        stream: int = 0,
+        batch: int = DEFAULT_BATCH,
+    ):
+        super().__init__(rate, batch)
+        if period_ns <= 0:
+            raise ValueError(f"period_ns must be positive, got {period_ns}")
+        if not 0.0 <= amplitude < 1.0:
+            raise ValueError(
+                f"amplitude must be in [0, 1) so the rate stays positive, got {amplitude}"
+            )
+        self.period_ns = period_ns
+        self.amplitude = amplitude
+        self.phase = phase
+        self._cursor = 0.0
+        self._rng = derive(make_rng(rng), stream)
+
+    def rate_at(self, t: float) -> float:
+        """The envelope's instantaneous rate at absolute time ``t``."""
+        return self.rate * (
+            1.0 + self.amplitude * np.sin(2.0 * np.pi * t / self.period_ns + self.phase)
+        )
+
+    def gaps(self, n: int) -> np.ndarray:
+        units = self._rng.exponential(1.0, size=n)
+        out = np.empty(n)
+        cursor = self._cursor
+        two_pi_over_period = 2.0 * np.pi / self.period_ns
+        rate, amplitude, phase = self.rate, self.amplitude, self.phase
+        for i in range(n):
+            r = rate * (1.0 + amplitude * np.sin(two_pi_over_period * cursor + phase))
+            gap = units[i] / r
+            out[i] = gap
+            cursor += gap
+        self._cursor = cursor
+        return out
 
 
 def open_loop(
@@ -173,23 +266,32 @@ def open_loop(
     arbitrarily long horizon costs O(1) calendar space from the driver
     itself (the *handled* work is what piles up — that is the model's
     business).  Stops after ``count`` arrivals, or at the first arrival
-    strictly past ``until``, whichever comes first; the process event's
+    strictly past ``until`` (an arrival landing *exactly* on ``until``
+    is still delivered), whichever comes first; the process event's
     value is the number of arrivals delivered.
+
+    Interrupting the driver (:meth:`~repro.sim.engine.Process.interrupt`,
+    e.g. from a handler that decides to stop the flood mid-run) is a
+    clean stop, not a failure: the pending timer is abandoned and the
+    process finishes with the arrivals delivered so far.
     """
     if count is None and until is None:
         raise ValueError("open_loop needs a stopping rule: count and/or until")
 
     def _driver():
-        if start > 0.0:
-            yield env.timeout(start)
         delivered = 0
-        while count is None or delivered < count:
-            gap = source.next_gap()
-            if until is not None and env.now + gap > until:
-                break
-            yield env.timeout(gap)
-            handler(delivered, env.now)
-            delivered += 1
+        try:
+            if start > 0.0:
+                yield env.timeout(start)
+            while count is None or delivered < count:
+                gap = source.next_gap()
+                if until is not None and env.now + gap > until:
+                    break
+                yield env.timeout(gap)
+                handler(delivered, env.now)
+                delivered += 1
+        except Interrupt:
+            pass
         return delivered
 
     return env.process(_driver(), name="open_loop")

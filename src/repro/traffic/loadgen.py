@@ -1,0 +1,380 @@
+"""Open-loop multi-tenant load generator over DSA SWQs + a CPU pool.
+
+The serving mode the ROADMAP calls for: hundreds to thousands of
+:class:`~repro.traffic.profile.TenantSpec` tenants, each driven by its
+own arrival process through :func:`repro.sim.arrivals.open_loop`,
+multiplexed onto shared work queues with bounded ENQCMD retry/backoff
+and explicit shed accounting — nothing blocks an open-loop arrival
+stream, requests that exhaust their retry budget are *dropped* and
+counted, exactly like an overloaded server.
+
+Tenants targeting ``"cpu"`` instead run on a :class:`CpuServicePool`:
+``cpu_cores`` workers serving the calibrated software-kernel times from
+a bounded backlog (arrivals beyond ``cpu_queue_limit`` shed).  That
+gives the crossover experiment a CPU completion path with the same
+open-loop drop semantics as the device path.
+
+Memory discipline matches the rest of the repo: per-tenant buffers are
+pre-allocated at the size distribution's ceiling, descriptors recycle
+through a per-tenant :class:`~repro.dsa.descriptor.DescriptorPool`, and
+all accounting streams through the
+:class:`~repro.traffic.slo.SloAccountant` — a 2M-request run holds no
+per-request state beyond what is in flight.
+
+Determinism: tenant ``i`` draws arrivals from derived stream ``i`` and
+sizes from stream ``SIZE_STREAM_BASE + i``, both seeded from the
+installed run seed, so serial and ``--jobs N`` runs (and any request
+batching) are draw-for-draw identical.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.cpu.swlib import SoftwareKernels
+from repro.dsa.config import DeviceConfig, WqMode
+from repro.dsa.descriptor import DescriptorPool, WorkDescriptor
+from repro.dsa.opcodes import Opcode
+from repro.mem.address import AddressSpace
+from repro.platform import Platform, spr_platform
+from repro.sim.arrivals import open_loop
+from repro.sim.engine import Environment, Event, Process
+from repro.traffic.profile import TenantSpec, TrafficProfile
+from repro.traffic.slo import SloAccountant
+
+__all__ = ["CpuServicePool", "LoadGenerator", "drive_profile"]
+
+#: Per-tenant descriptor free-list depth; beyond this, completions in
+#: flight simply allocate (the pool is a fast path, not a correctness
+#: bound).
+TENANT_POOL_LIMIT = 64
+
+
+class CpuServicePool:
+    """Bounded-backlog pool of CPU workers serving software kernels.
+
+    ``try_submit`` is the open-loop admission point: it returns a
+    completion :class:`~repro.sim.engine.Event` or ``None`` when the
+    backlog is at ``queue_limit`` (the request is shed — the caller
+    accounts the drop).  Workers serve FIFO, each request occupying one
+    worker for the calibrated ``kernels.time(opcode, size)``.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        kernels: SoftwareKernels,
+        cores: int = 2,
+        queue_limit: int = 256,
+        name: str = "cpu_pool",
+    ):
+        if cores < 1:
+            raise ValueError(f"need at least one worker core, got {cores}")
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.env = env
+        self.kernels = kernels
+        self.cores = cores
+        self.queue_limit = queue_limit
+        self.name = name
+        self._queue: Deque[Tuple[float, Event]] = deque()
+        self._idle: List[Event] = []
+        self.admitted = 0
+        self.shed = 0
+        self.served = 0
+        self._m_shed = env.metrics.counter(f"{name}.shed")
+        self._m_depth = env.metrics.gauge(f"{name}.depth")
+        for _ in range(cores):
+            env.process(self._worker(), name=f"{name}.worker")
+
+    @property
+    def depth(self) -> int:
+        return len(self._queue)
+
+    def try_submit(self, opcode: Opcode, size: int, in_llc: bool = False) -> Optional[Event]:
+        """Admit one request, or shed it (``None``) when the backlog is full."""
+        if len(self._queue) >= self.queue_limit:
+            self.shed += 1
+            self._m_shed.add()
+            return None
+        done = Event(self.env)
+        self._queue.append((self.kernels.time(opcode, size, in_llc=in_llc), done))
+        self.admitted += 1
+        self._m_depth.update(self.env.now, len(self._queue))
+        if self._idle:
+            self._idle.pop().succeed(None)
+        return done
+
+    def _worker(self):
+        env = self.env
+        while True:
+            while not self._queue:
+                # Park on a fresh one-shot event; try_submit wakes one
+                # parked worker per admission.  A run ends cleanly with
+                # workers parked (untriggered events hold no calendar
+                # entries).
+                wake = Event(env)
+                self._idle.append(wake)
+                yield wake
+            service_ns, done = self._queue.popleft()
+            self._m_depth.update(env.now, len(self._queue))
+            yield env.timeout(service_ns)
+            self.served += 1
+            done.succeed(env.now)
+
+
+class _TenantState:
+    """Runtime companion of one TenantSpec (buffers, pool, samplers)."""
+
+    __slots__ = ("spec", "index", "sizes", "pool", "src", "dst", "device", "wq")
+
+    def __init__(self, spec: TenantSpec, index: int):
+        self.spec = spec
+        self.index = index
+        self.sizes = spec.size_sampler(index)
+        self.pool = DescriptorPool(limit=TENANT_POOL_LIMIT)
+        self.src = None
+        self.dst = None
+        self.device = None
+        self.wq = None
+
+
+class LoadGenerator:
+    """Drives one :class:`TrafficProfile` through a platform, open loop.
+
+    Per-tenant request counts are apportioned from ``requests`` by the
+    largest-remainder rule over tenant rates, so the total is exactly
+    ``requests`` and the split is deterministic.  Call :meth:`start`
+    (or :func:`drive_profile`) and then run the environment; every
+    request ends in exactly one of the accountant's ``completed`` or
+    ``dropped`` ledgers.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        profile: TrafficProfile,
+        requests: int,
+        accountant: Optional[SloAccountant] = None,
+        arrival_override: Optional[str] = None,
+    ):
+        profile.validate()
+        if requests < 1:
+            raise ValueError(f"requests must be >= 1, got {requests}")
+        self.platform = platform
+        self.profile = profile
+        self.requests = requests
+        self.arrival_override = arrival_override
+        # Explicit None test: a fresh SloAccountant has len() == 0 and is
+        # falsy, so ``accountant or ...`` would silently discard it.
+        if accountant is None:
+            accountant = SloAccountant(window_ns=profile.window_ns)
+        self.accountant = accountant
+        self.space = AddressSpace()
+        self.cpu_pool: Optional[CpuServicePool] = None
+        self._states: List[_TenantState] = []
+        self._drivers: List[Process] = []
+        self._finalized_totals: Optional[Dict[str, int]] = None
+
+        env = platform.env
+        needs_cpu = any(t.targets_cpu for t in profile.tenants)
+        if needs_cpu:
+            self.cpu_pool = CpuServicePool(
+                env,
+                platform.kernels,
+                cores=profile.cpu_cores,
+                queue_limit=profile.cpu_queue_limit,
+                name="traffic.cpu_pool",
+            )
+        for index, spec in enumerate(profile.tenants):
+            state = _TenantState(spec, index)
+            self.accountant.register(spec)
+            if not spec.targets_cpu:
+                portal = platform.open_portal(spec.target, spec.wq_id, self.space)
+                state.device = portal.device
+                state.wq = portal.device.wq(spec.wq_id)
+                if state.wq.mode is not WqMode.SHARED:
+                    raise ValueError(
+                        f"tenant {spec.name}: target {spec.target} WQ {spec.wq_id} is "
+                        "dedicated; open-loop multi-tenant traffic needs a shared WQ"
+                    )
+                if (
+                    spec.qos_priority is not None
+                    and state.wq.priority != spec.qos_priority
+                ):
+                    raise ValueError(
+                        f"tenant {spec.name}: declared qos_priority "
+                        f"{spec.qos_priority} but {spec.target} WQ {spec.wq_id} is "
+                        f"configured at priority {state.wq.priority}"
+                    )
+                bound = spec.sizes.resolved_max
+                state.src = self.space.allocate(bound)
+                state.dst = self.space.allocate(bound)
+            self._states.append(state)
+
+    # -- request apportionment -------------------------------------------
+    def request_counts(self) -> List[int]:
+        """Largest-remainder split of ``requests`` proportional to rate."""
+        tenants = self.profile.tenants
+        total_rate = self.profile.total_rate
+        raw = [self.requests * t.rate / total_rate for t in tenants]
+        counts = [int(x) for x in raw]
+        shortfall = self.requests - sum(counts)
+        by_remainder = sorted(
+            range(len(raw)), key=lambda i: raw[i] - counts[i], reverse=True
+        )
+        for i in by_remainder[:shortfall]:
+            counts[i] += 1
+        return counts
+
+    # -- lifecycle --------------------------------------------------------
+    def start(self) -> List[Process]:
+        """Launch one open-loop driver per tenant; returns the drivers."""
+        if self._drivers:
+            raise RuntimeError("LoadGenerator.start called twice")
+        env = self.platform.env
+        for state, count in zip(self._states, self.request_counts()):
+            if count == 0:
+                continue
+            arrivals = state.spec.arrivals(
+                state.index, override=self.arrival_override
+            )
+            handler = self._handler(state)
+            self._drivers.append(
+                open_loop(env, arrivals, handler, count=count)
+            )
+        return self._drivers
+
+    def _handler(self, state: _TenantState):
+        env = self.platform.env
+        if state.spec.targets_cpu:
+            def on_arrival(index: int, now: float) -> None:
+                self._cpu_arrival(state, now)
+        else:
+            def on_arrival(index: int, now: float) -> None:
+                env.process(
+                    self._dsa_request(state, now), name=f"req.{state.spec.name}"
+                )
+        return on_arrival
+
+    # -- CPU completion path ----------------------------------------------
+    def _cpu_arrival(self, state: _TenantState, now: float) -> None:
+        spec = state.spec
+        acct = self.accountant
+        acct.offered(spec.name, now)
+        size = state.sizes.next()
+        done = self.cpu_pool.try_submit(spec.opcode, size)
+        if done is None:
+            acct.dropped(spec.name, now)
+            return
+        self.platform.env.process(
+            self._cpu_wait(spec, now, size, done), name=f"req.{spec.name}"
+        )
+
+    def _cpu_wait(self, spec: TenantSpec, arrived: float, size: int, done: Event):
+        finished = yield done
+        self.accountant.completed(spec.name, finished, finished - arrived, size)
+
+    # -- DSA completion path ----------------------------------------------
+    def _dsa_request(self, state: _TenantState, arrived: float):
+        env = self.platform.env
+        spec = state.spec
+        acct = self.accountant
+        acct.offered(spec.name, arrived)
+        size = state.sizes.next()
+        descriptor = state.pool.acquire()
+        if descriptor is None:
+            descriptor = WorkDescriptor(opcode=spec.opcode)
+        descriptor.opcode = spec.opcode
+        descriptor.pasid = self.space.pasid
+        descriptor.src = state.src.va
+        descriptor.dst = state.dst.va
+        descriptor.size = size
+        enqcmd_ns = state.device.timing.enqcmd_ns
+        attempts = 0
+        while True:
+            # Each attempt pays the full non-posted ENQCMD round trip.
+            yield env.timeout(enqcmd_ns)
+            if state.device.submit(descriptor, spec.wq_id, source=spec.name):
+                break
+            attempts += 1
+            if attempts > spec.max_retries:
+                # Retry budget exhausted: shed the request.  The retries
+                # still hit the WQ's attribution counters — congestion
+                # must not vanish from the metrics when it sheds load.
+                state.wq.record_retries(attempts, source=spec.name)
+                acct.dropped(spec.name, env.now, retries=attempts)
+                state.pool.release(descriptor)
+                return
+            yield env.timeout(
+                min(
+                    spec.backoff_base_ns * (2.0 ** (attempts - 1)),
+                    spec.backoff_cap_ns,
+                )
+            )
+        if attempts:
+            state.wq.record_retries(attempts, source=spec.name)
+        yield descriptor.completion_event
+        acct.completed(
+            spec.name, env.now, env.now - arrived, size, retries=attempts
+        )
+        state.pool.release(descriptor)
+
+    # -- results ----------------------------------------------------------
+    def finalize(self) -> Dict[str, int]:
+        """Close SLO windows and publish ``traffic.*`` metrics (idempotent)."""
+        if self._finalized_totals is None:
+            self._finalized_totals = self.accountant.finalize(
+                self.platform.env.now, self.platform.env.metrics
+            )
+        return self._finalized_totals
+
+
+def drive_profile(
+    profile: TrafficProfile,
+    requests: int,
+    device_config=None,
+    timing=None,
+    n_devices: int = 1,
+    arrival_override: Optional[str] = None,
+    shadow_exact: bool = False,
+) -> Tuple[LoadGenerator, Dict[str, int]]:
+    """Build a platform, run ``profile`` to completion, finalize accounts.
+
+    The one-call harness the experiments and benches use: returns the
+    generator (for accountant/percentile queries) and the finalized
+    totals.  Conservation is asserted here — every offered request must
+    land in exactly one of completed/dropped.  The default device layout
+    is one 128-entry SWQ fed by 4 engines (multi-tenant ENQCMD needs a
+    shared queue; ``DeviceConfig.single()``'s DWQ would reject it).
+    """
+    if device_config is None:
+        device_config = DeviceConfig.single(wq_size=128, n_engines=4, mode=WqMode.SHARED)
+    platform = spr_platform(
+        n_devices=n_devices, device_config=device_config, timing=timing
+    )
+    accountant = SloAccountant(
+        window_ns=profile.window_ns, shadow_exact=shadow_exact
+    )
+    generator = LoadGenerator(
+        platform,
+        profile,
+        requests,
+        accountant=accountant,
+        arrival_override=arrival_override,
+    )
+    generator.start()
+    platform.env.run()
+    totals = generator.finalize()
+    if totals["offered"] != totals["completed"] + totals["dropped"]:
+        raise RuntimeError(
+            f"traffic conservation broken: offered {totals['offered']} != "
+            f"completed {totals['completed']} + dropped {totals['dropped']}"
+        )
+    if totals["offered"] != requests:
+        raise RuntimeError(
+            f"traffic drive incomplete: offered {totals['offered']} of "
+            f"{requests} requested"
+        )
+    return generator, totals

@@ -26,7 +26,9 @@ class TestRegistry:
         assert "cbdma" in experiments
         assert "ablations" in experiments
         assert "guidelines" in experiments
-        assert len(experiments) == 24
+        for traffic in ("traffic-crossover", "traffic-qos", "traffic-retry"):
+            assert traffic in experiments
+        assert len(experiments) == 27
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError, match="unknown experiment"):

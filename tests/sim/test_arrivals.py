@@ -5,6 +5,7 @@ import pytest
 
 from repro.sim import (
     BurstyProcess,
+    DiurnalProcess,
     Environment,
     PoissonProcess,
     open_loop,
@@ -182,3 +183,118 @@ def test_open_loop_identical_across_backends(backend):
     open_loop(ref_env, BurstyProcess(0.05, cv2=4.0, rng=11), lambda i, t: ref.append(t), count=200)
     ref_env.run()
     assert hits == ref
+
+
+# -- satellite edge cases: exact horizon, interruption, interleaving -------
+
+
+def test_open_loop_until_exactly_on_arrival():
+    # An arrival landing exactly at the `until` horizon is delivered:
+    # the stopping rule is t > until, not t >= until.
+    class UnitGaps:
+        def next_gap(self):
+            return 100.0
+
+    env = Environment()
+    hits = []
+    proc = open_loop(env, UnitGaps(), lambda i, t: hits.append(t), until=500.0)
+    env.run()
+    assert hits == [100.0, 200.0, 300.0, 400.0, 500.0]
+    assert proc.value == 5
+
+
+def test_open_loop_handler_interrupts_driver():
+    # A handler interrupting the driver mid-run stops the loop cleanly;
+    # the process value is the count delivered so far (the interrupting
+    # arrival included).
+    env = Environment()
+    hits = []
+    proc = None
+
+    def handler(i, t):
+        hits.append(t)
+        if i == 9:
+            proc.interrupt("enough")
+
+    proc = open_loop(env, PoissonProcess(0.1, rng=0), handler, count=1000)
+    env.run()
+    assert len(hits) == 10
+    assert proc.value == 10
+    # The environment keeps running other work after the interrupt.
+    after = []
+    open_loop(env, PoissonProcess(0.1, rng=1), lambda i, t: after.append(t), count=3)
+    env.run()
+    assert len(after) == 3
+
+
+@pytest.mark.parametrize("make", [
+    lambda: PoissonProcess(0.01, rng=7),
+    lambda: BurstyProcess(0.01, cv2=4.0, rng=7),
+    lambda: DiurnalProcess(0.01, period_ns=1e6, amplitude=0.5, rng=7),
+])
+def test_interleaved_times_and_next_gap_invariant(make):
+    # times(n) and next_gap() draw from one cursor: any interleaving
+    # yields the same absolute arrival instants as scalar-only draws.
+    scalar = make()
+    reference, t = [], 0.0
+    for _ in range(60):
+        t += scalar.next_gap()
+        reference.append(t)
+    mixed = make()
+    got = list(mixed.times(25))
+    t = got[-1]
+    for _ in range(10):
+        t += mixed.next_gap()
+        got.append(t)
+    got.extend(mixed.times(25, start=t))
+    np.testing.assert_allclose(got, reference, rtol=1e-12)
+
+
+# -- BurstyProcess hardening (cv2 == 1 delegation, NaN rejection) ----------
+
+
+def test_bursty_cv2_one_matches_poisson_exactly():
+    poisson = PoissonProcess(0.02, rng=5)
+    bursty = BurstyProcess(0.02, cv2=1.0, rng=5)
+    assert [bursty.next_gap() for _ in range(200)] == [
+        poisson.next_gap() for _ in range(200)
+    ]
+
+
+def test_bursty_rejects_nan_cv2():
+    with pytest.raises(ValueError, match="cv2 >= 1"):
+        BurstyProcess(1.0, cv2=float("nan"))
+
+
+# -- DiurnalProcess ---------------------------------------------------------
+
+
+def test_diurnal_validates_envelope():
+    with pytest.raises(ValueError, match="period_ns"):
+        DiurnalProcess(1.0, period_ns=0.0)
+    with pytest.raises(ValueError, match="amplitude"):
+        DiurnalProcess(1.0, period_ns=1e6, amplitude=1.0)
+    with pytest.raises(ValueError, match="amplitude"):
+        DiurnalProcess(1.0, period_ns=1e6, amplitude=-0.1)
+
+
+@pytest.mark.parametrize("batch", [1, 7, 1000])
+def test_diurnal_batch_invariant(batch):
+    reference = DiurnalProcess(0.01, period_ns=1e5, amplitude=0.8, rng=3, batch=4096)
+    got = DiurnalProcess(0.01, period_ns=1e5, amplitude=0.8, rng=3, batch=batch)
+    ref_gaps = [reference.next_gap() for _ in range(300)]
+    gaps = [got.next_gap() for _ in range(300)]
+    np.testing.assert_allclose(gaps, ref_gaps, rtol=1e-12)
+
+
+def test_diurnal_rate_tracks_envelope():
+    # Arrivals cluster where the sinusoid peaks: the densest
+    # quarter-period must see more arrivals than the sparsest.
+    proc = DiurnalProcess(0.01, period_ns=1e6, amplitude=0.9, rng=9)
+    times = list(proc.times(4000))
+    period = 1e6
+    quarters = [0, 0, 0, 0]
+    for t in times:
+        quarters[int((t % period) / (period / 4))] += 1
+    # sin peaks in the first quarter and troughs in the third.
+    assert quarters[0] > quarters[2] * 1.5

@@ -1,0 +1,204 @@
+"""LoadGenerator / CpuServicePool / drive_profile end-to-end invariants."""
+
+import pytest
+
+from repro.cpu.swlib import SoftwareKernels
+from repro.dsa.config import (
+    DeviceConfig,
+    EngineConfig,
+    GroupConfig,
+    WqConfig,
+    WqMode,
+)
+from repro.platform import spr_platform
+from repro.sim.engine import Environment
+from repro.traffic import (
+    CpuServicePool,
+    LoadGenerator,
+    SizeDist,
+    SloAccountant,
+    TenantSpec,
+    TrafficProfile,
+    drive_profile,
+    dsa_capacity,
+    make_tenants,
+)
+from repro.dsa.opcodes import Opcode
+
+KB = 1024
+
+
+def swq_config(wq_size=64, n_engines=4):
+    return DeviceConfig.single(wq_size=wq_size, n_engines=n_engines, mode=WqMode.SHARED)
+
+
+def small_profile(n=4, rate_factor=0.5, **tenant_common):
+    return TrafficProfile(
+        name="test",
+        tenants=make_tenants(
+            "t", n, rate_factor * dsa_capacity(4 * KB), **tenant_common
+        ),
+    )
+
+
+# -- CpuServicePool ---------------------------------------------------------
+
+
+def test_cpu_pool_sheds_beyond_queue_limit():
+    env = Environment()
+    pool = CpuServicePool(env, SoftwareKernels(), cores=1, queue_limit=2)
+    events = [pool.try_submit(Opcode.MEMMOVE, 4 * KB) for _ in range(5)]
+    admitted = [e for e in events if e is not None]
+    assert len(admitted) == 2 and pool.shed == 3
+    assert env.metrics.snapshot()["cpu_pool.shed"] == 3
+    env.run()
+    assert pool.served == 2
+    assert all(e.triggered for e in admitted)
+
+
+def test_cpu_pool_serves_fifo():
+    env = Environment()
+    pool = CpuServicePool(env, SoftwareKernels(), cores=1, queue_limit=10)
+    first = pool.try_submit(Opcode.MEMMOVE, 64 * KB)
+    second = pool.try_submit(Opcode.MEMMOVE, 1 * KB)
+    env.run()
+    # One worker: the large first request completes before the tiny
+    # second one — admission order, not size order.
+    assert first.value < second.value
+
+
+def test_cpu_pool_validates_shape():
+    env = Environment()
+    with pytest.raises(ValueError, match="core"):
+        CpuServicePool(env, SoftwareKernels(), cores=0)
+    with pytest.raises(ValueError, match="queue_limit"):
+        CpuServicePool(env, SoftwareKernels(), queue_limit=0)
+
+
+# -- LoadGenerator construction --------------------------------------------
+
+
+def test_rejects_dedicated_wq():
+    platform = spr_platform(device_config=DeviceConfig.single(wq_size=32))
+    with pytest.raises(ValueError, match="shared WQ"):
+        LoadGenerator(platform, small_profile(), 100)
+
+
+def test_rejects_qos_priority_mismatch():
+    config = DeviceConfig(
+        wqs=(WqConfig(wq_id=0, size=64, mode=WqMode.SHARED, priority=15),),
+        engines=tuple(EngineConfig(i) for i in range(4)),
+        groups=(GroupConfig(0, wq_ids=(0,), engine_ids=(0, 1, 2, 3)),),
+    )
+    platform = spr_platform(device_config=config)
+    profile = small_profile(qos_priority=1)  # WQ is configured at 15
+    with pytest.raises(ValueError, match="qos_priority"):
+        LoadGenerator(platform, profile, 100)
+
+
+def test_explicit_accountant_is_kept():
+    # Regression: an empty SloAccountant is falsy (len == 0); the
+    # constructor must not replace it with a default via `or`.
+    platform = spr_platform(device_config=swq_config())
+    acct = SloAccountant(window_ns=123.0, shadow_exact=True)
+    generator = LoadGenerator(platform, small_profile(), 100, accountant=acct)
+    assert generator.accountant is acct
+
+
+def test_request_counts_largest_remainder():
+    platform = spr_platform(device_config=swq_config())
+    base = 1e-4
+    tenants = tuple(
+        TenantSpec(name=f"t{i:03d}", rate=base * w) for i, w in enumerate((1, 1, 1, 4))
+    )
+    profile = TrafficProfile(name="p", tenants=tenants)
+    generator = LoadGenerator(platform, profile, 100)
+    counts = generator.request_counts()
+    assert sum(counts) == 100
+    # 100 * 4/7 = 57.14 -> the heavy tenant gets 57, the rest 14-15.
+    assert counts[3] == 57 and sorted(counts[:3]) == [14, 14, 15]
+
+
+# -- end-to-end conservation and determinism -------------------------------
+
+
+def test_drive_profile_conserves_and_totals_match():
+    generator, totals = drive_profile(small_profile(), 1000)
+    assert totals["offered"] == 1000
+    assert totals["offered"] == totals["completed"] + totals["dropped"]
+    acct_totals = generator.accountant.totals()
+    for key in ("offered", "completed", "dropped"):
+        assert acct_totals[key] == totals[key]
+
+
+def test_drive_profile_is_deterministic():
+    profile = small_profile(arrival="bursty", cv2=4.0)
+    gen_a, totals_a = drive_profile(profile, 800)
+    gen_b, totals_b = drive_profile(profile, 800)
+    assert totals_a == totals_b
+    for t in profile.tenants:
+        a, b = gen_a.accountant.account(t.name), gen_b.accountant.account(t.name)
+        assert a.completed == b.completed
+        if a.completed:
+            assert a.percentile(99.0) == b.percentile(99.0)
+
+
+def test_finalize_is_idempotent():
+    generator, totals = drive_profile(small_profile(), 500)
+    assert generator.finalize() is totals
+
+
+def test_overload_sheds_with_bounded_retries():
+    profile = TrafficProfile(
+        name="storm",
+        tenants=make_tenants(
+            "t",
+            8,
+            1.5 * dsa_capacity(8 * KB),
+            arrival="bursty",
+            cv2=9.0,
+            sizes=SizeDist(kind="fixed", size=8 * KB),
+        ),
+    )
+    generator, totals = drive_profile(
+        profile, 3000, device_config=swq_config(wq_size=16)
+    )
+    assert totals["dropped"] > 0
+    assert totals["retries"] > 0
+    snap = generator.platform.metrics_snapshot()
+    # Every retry is attributed: per-source counters sum exactly to the
+    # WQ aggregate.
+    per_source = sum(
+        v
+        for k, v in snap.items()
+        if k.startswith("dsa0.wq0.source.") and k.endswith(".enqcmd_retries")
+    )
+    assert per_source == snap["dsa0.wq0.enqcmd_retries"] > 0
+
+
+def test_cpu_target_uses_pool_and_conserves():
+    profile = TrafficProfile(
+        name="cpu",
+        tenants=make_tenants(
+            "t",
+            4,
+            0.5e-3,
+            target="cpu",
+            sizes=SizeDist(kind="fixed", size=4 * KB),
+        ),
+        cpu_cores=2,
+        cpu_queue_limit=8,
+    )
+    generator, totals = drive_profile(profile, 1000)
+    assert generator.cpu_pool is not None
+    assert totals["offered"] == 1000
+    assert totals["completed"] == generator.cpu_pool.served
+    assert totals["dropped"] == generator.cpu_pool.shed
+
+
+def test_start_twice_raises():
+    platform = spr_platform(device_config=swq_config())
+    generator = LoadGenerator(platform, small_profile(), 100)
+    generator.start()
+    with pytest.raises(RuntimeError, match="start"):
+        generator.start()
