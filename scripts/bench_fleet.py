@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Fleet scheduling benchmark: scaling, placement, failover gates.
+
+Measures and gates the ``repro.fleet`` subsystem end to end:
+
+* **scaling sweep** — aggregate 64 KB copy throughput over
+  ``sockets x devices_per_socket`` topologies (reported, plus a hard
+  monotonicity gate: adding devices must never reduce throughput by
+  more than 5%).
+* **placement** (hard gate) — NUMA-local placement must meet or beat
+  topology-blind round robin at 2x2: a local device avoids the UPI
+  crossing and the remote-IOMMU translation serialization, so losing
+  to round robin means the cost model or the policy is broken.
+* **failover no-loss** (hard gate) — disabling ``dsa0`` while its WQ
+  holds descriptors must lose nothing: every offered descriptor
+  completes on a surviving device or on the software kernels, with at
+  least one descriptor actually re-routed (a vacuous pass where the
+  disable aborts nothing does not count).
+
+Results are written as JSON (default ``BENCH_fleet.json``)::
+
+    PYTHONPATH=src python scripts/bench_fleet.py --out BENCH_fleet.json --require
+"""
+
+from __future__ import annotations
+
+import sys
+
+from _bench_common import base_parser, best_of, gate_exit, write_json
+from repro.fleet import FleetConfig, run_fleet
+
+KB = 1024
+
+TOPOLOGIES = [(1, 1), (1, 2), (2, 1), (2, 2), (2, 4)]
+
+
+def fleet_config(sockets: int, devices: int, placement: str, **overrides) -> FleetConfig:
+    base = dict(
+        transfer_size=64 * KB,
+        queue_depth=4,
+        iterations=24,
+        workers_per_socket=2,
+    )
+    base.update(overrides)
+    return FleetConfig(
+        sockets=sockets,
+        devices_per_socket=devices,
+        placement=placement,
+        **base,
+    )
+
+
+def bench_scaling(repeats: int) -> dict:
+    points = []
+    for sockets, devices in TOPOLOGIES:
+        best = best_of(
+            repeats,
+            lambda _ctx, s=sockets, d=devices: run_fleet(
+                fleet_config(s, d, "numa-local")
+            ),
+        )
+        result = best.value
+        points.append(
+            {
+                "topology": f"{sockets}x{devices}",
+                "devices": sockets * devices,
+                "throughput_gbps": round(result.throughput, 3),
+                "sim_wall_s": round(best.seconds, 4),
+            }
+        )
+    # Monotone within each socket count: more devices may not cost
+    # throughput (5% tolerance for queueing noise at small iteration
+    # counts).
+    monotone = True
+    for sockets in (1, 2):
+        curve = [p["throughput_gbps"] for p in points if p["topology"].startswith(f"{sockets}x")]
+        monotone &= all(b >= 0.95 * a for a, b in zip(curve, curve[1:]))
+    return {"points": points, "monotone": monotone}
+
+
+def bench_placement(repeats: int) -> dict:
+    throughputs = {}
+    for placement in ("numa-local", "round-robin", "least-loaded"):
+        best = best_of(
+            repeats,
+            lambda _ctx, p=placement: run_fleet(fleet_config(2, 2, p)),
+        )
+        throughputs[placement] = round(best.value.throughput, 3)
+    return {
+        "throughput_gbps": throughputs,
+        "numa_local_beats_remote": throughputs["numa-local"]
+        >= throughputs["round-robin"],
+    }
+
+
+def bench_failover(repeats: int) -> dict:
+    best = best_of(
+        repeats,
+        lambda _ctx: run_fleet(
+            fleet_config(
+                2,
+                2,
+                "numa-local",
+                queue_depth=8,
+                workers_per_socket=3,
+                disable_device="dsa0",
+                disable_at_ns=500.0,
+            )
+        ),
+    )
+    result = best.value
+    rerouted_metric = result.metrics.get("fleet.dsa0.failover.rerouted", 0.0)
+    return {
+        "offered": result.offered,
+        "completed": result.completed,
+        "rerouted": result.rerouted,
+        "to_software": result.to_software,
+        "lost": result.lost,
+        "no_loss": result.lost == 0 and result.rerouted > 0,
+        "accounting_exact": rerouted_metric == float(result.rerouted),
+    }
+
+
+def main() -> int:
+    parser = base_parser(
+        "repro.fleet scaling/placement/failover benchmark",
+        out_default="BENCH_fleet.json",
+        repeats_default=3,
+    )
+    args = parser.parse_args()
+
+    scaling = bench_scaling(args.repeats)
+    placement = bench_placement(args.repeats)
+    failover = bench_failover(args.repeats)
+
+    gates = {
+        "scaling_monotone": scaling["monotone"],
+        "numa_local_beats_remote": placement["numa_local_beats_remote"],
+        "failover_no_loss": failover["no_loss"],
+        "failover_accounting_exact": failover["accounting_exact"],
+    }
+    payload = {
+        "bench": "fleet",
+        "scaling": scaling,
+        "placement": placement,
+        "failover": failover,
+        "gates": gates,
+        "ok": all(gates.values()),
+    }
+    write_json(args.out, payload)
+    for name, ok in gates.items():
+        print(f"[{'OK' if ok else 'FAIL'}] {name}")
+    print(f"wrote {args.out}")
+    return gate_exit(payload["ok"], args.require)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,7 @@ from repro.obs import (
     uninstall_tracer,
     write_chrome_trace,
 )
+from repro.fleet import policy_names, set_default_fleet, set_default_placement
 from repro.sim.calendar import set_default_calendar
 from repro.traffic.tiers import set_default_tier, set_default_traffic
 
@@ -77,6 +78,12 @@ def _cmd_run(args) -> int:
     set_default_calendar(args.calendar)
     set_default_tier(args.tier)
     set_default_traffic(args.traffic)
+    set_default_placement(args.placement)
+    try:
+        set_default_fleet(args.fleet)
+    except ValueError as err:
+        print(err.args[0], file=sys.stderr)
+        return 2
     sink = ResultSink(args.results) if args.results else None
     profiler = None
     if args.profile:
@@ -116,6 +123,8 @@ def _cmd_run(args) -> int:
         calendar=args.calendar,
         tier=args.tier,
         traffic=args.traffic,
+        fleet=args.fleet,
+        placement=args.placement,
     )
     summary_rows = []
     failures = 0
@@ -357,6 +366,25 @@ def main(argv=None) -> int:
         default="default",
         help="override every traffic tenant's arrival process (default: "
         "each tenant's declared kind); see docs/TRAFFIC.md",
+    )
+    run_parser.add_argument(
+        "--fleet",
+        metavar="SxD",
+        default=None,
+        help="fleet topology for the traffic experiments: SOCKETSxDEVICES "
+        "(e.g. 2x4 = 2 sockets with 4 DSA instances each); requests are "
+        "placed across the fleet by --placement and disabled devices fail "
+        "over (default: the historical single-device 1x1 layout); see "
+        "docs/ARCHITECTURE.md",
+    )
+    run_parser.add_argument(
+        "--placement",
+        choices=sorted(policy_names()),
+        default="round-robin",
+        help="fleet placement policy: round-robin (topology-blind), "
+        "numa-local (prefer the submitter's socket, no UPI crossing), or "
+        "least-loaded (fewest bytes in flight); only meaningful with "
+        "--fleet",
     )
     run_parser.add_argument(
         "--results",

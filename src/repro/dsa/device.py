@@ -15,6 +15,7 @@ from repro.dsa.atc import DeviceAtc
 from repro.dsa.config import DeviceConfig, DsaTimingParams
 from repro.dsa.descriptor import BatchDescriptor, WorkDescriptor
 from repro.dsa.engine import ProcessingEngine
+from repro.dsa.errors import StatusCode
 from repro.dsa.group import Group
 from repro.dsa.opcodes import Opcode
 from repro.dsa.wq import WorkQueue
@@ -68,6 +69,12 @@ class DsaDevice:
         self.timing.validate()
         self.name = name
         self.socket = socket
+        #: Lifecycle state mirrored by the driver: a directly constructed
+        #: device is live; driver-registered ones stay down until
+        #: :meth:`~repro.runtime.driver.IdxdDriver.enable`.  Schedulers
+        #: (``Dml._next_portal``, ``repro.fleet``) consult this to skip
+        #: dead portals, and engines abort dispatches against it.
+        self.enabled = True
         self.atc = DeviceAtc(
             memsys.iommu,
             entries=self.timing.atc_entries,
@@ -179,6 +186,41 @@ class DsaDevice:
             "wq_rejected": {wq_id: wq.rejected for wq_id, wq in self._wqs.items()},
             "inflight_write_bytes": self._inflight_write_bytes,
         }
+
+    # -- lifecycle (called by the driver) ------------------------------------------------
+    def abort_queued(self, status: StatusCode = StatusCode.DEVICE_DISABLED) -> int:
+        """Abort every descriptor still sitting in a WQ (device disable).
+
+        Queued work never reached an engine, so no bytes moved: each
+        completion record reports ``status`` with ``bytes_completed=0``
+        and its waiters wake immediately — the recovery/fleet layer
+        re-routes them to a surviving device or to software.  Returns
+        the number of aborted descriptors.
+        """
+        aborted = 0
+        for wq in self._wqs.values():
+            while not wq.is_empty:
+                descriptor = wq.pop()
+                self._inflight_write_bytes = max(
+                    0.0, self._inflight_write_bytes - estimate_write_bytes(descriptor)
+                )
+                self._abort_descriptor(descriptor, status)
+                aborted += 1
+        if aborted:
+            self._update_llc_pressure()
+            self.env.metrics.counter(f"{self.name}.disable_aborts").add(aborted)
+        return aborted
+
+    def _abort_descriptor(self, descriptor: Descriptor, status: StatusCode) -> None:
+        if isinstance(descriptor, BatchDescriptor):
+            for member in descriptor.descriptors:
+                self._abort_descriptor(member, status)
+        descriptor.completion.status = status
+        descriptor.completion.bytes_completed = 0
+        descriptor.times.completed = self.env.now
+        event = descriptor.completion_event
+        if event is not None and not event.triggered:
+            event.succeed(descriptor)
 
     # -- completion (called by engines) --------------------------------------------------
     def _complete(self, descriptor: Descriptor) -> None:

@@ -129,6 +129,11 @@ class ProcessingEngine:
             descriptor = yield self.group.arbiter.get()
             descriptor.times.dispatched = self.env.now
             yield self.env.timeout(timing.dispatch_ns)
+            if not self.device.enabled:
+                # The driver disabled the device between enqueue and
+                # dispatch (its WQ drain raced this arbiter pop).
+                yield from self._abort_reset(descriptor, counter="disable_aborts")
+                continue
             injector = active_injector()
             if injector is not None and injector.device_reset(self.env.now):
                 yield from self._abort_reset(descriptor)
@@ -138,8 +143,8 @@ class ProcessingEngine:
             else:
                 yield from self._admit(descriptor, batch_events=None)
 
-    def _abort_reset(self, descriptor) -> Generator:
-        """Injected transient reset: abort mid-flight, drop the ATC.
+    def _abort_reset(self, descriptor, counter: str = "reset_aborts") -> Generator:
+        """Transient reset or driver disable: abort mid-flight, drop the ATC.
 
         Software sees ``DEVICE_DISABLED`` in the completion record and
         is expected to resubmit from scratch (the recovery layer treats
@@ -149,7 +154,7 @@ class ProcessingEngine:
         self.device.atc.flush()
         descriptor.completion.status = StatusCode.DEVICE_DISABLED
         descriptor.completion.bytes_completed = 0
-        self.env.metrics.counter(f"{self.device.name}.reset_aborts").add()
+        self.env.metrics.counter(f"{self.device.name}.{counter}").add()
         if self.env.tracer.enabled and descriptor.trace_track >= 0:
             self.env.tracer.instant(
                 self.env.now, "device_reset", "execute", self.agent, descriptor.trace_track
@@ -266,6 +271,23 @@ class ProcessingEngine:
                 device._complete(work)
                 return
 
+            # Remote-socket operands translate at their home socket's
+            # IOMMU: a UPI round trip plus queueing behind other remote
+            # translations (fleet platforms only — see
+            # MemorySystem.ats_acquire).
+            memsys = device.memsys
+            remote_homes: Tuple[int, ...] = ()
+            if memsys.model_ats_contention and memsys.topology.sockets > 1:
+                homes = {
+                    memsys.topology.socket_of(buffer.node)
+                    for buffer, _va, _nbytes in demand.reads + demand.writes
+                }
+                homes.discard(device.socket)
+                remote_homes = tuple(sorted(homes))
+            ats_ns = (
+                memsys.ats_acquire(device.socket, remote_homes) if remote_homes else 0.0
+            )
+
             # Address translation: first page on the critical path,
             # page faults stall for their full service time (BOF=1) or
             # abort the descriptor with a partial completion (BOF=0).
@@ -293,11 +315,16 @@ class ProcessingEngine:
                             fault_va = first_fault
                 if fault_offset is not None:
                     yield from self._fault_abort(
-                        work, space, demand, translate_ns, fault_offset, fault_va
+                        work, space, demand, translate_ns + ats_ns, fault_offset, fault_va
                     )
+                    if remote_homes:
+                        memsys.ats_release(remote_homes)
                     return
+            translate_ns += ats_ns
             if translate_ns:
                 yield env.timeout(translate_ns)
+            if remote_homes:
+                memsys.ats_release(remote_homes)
             if traced:
                 tracer.end(
                     env.now,

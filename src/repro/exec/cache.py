@@ -59,6 +59,8 @@ VARIANT_DEFAULTS = {
     "calendar": "heap",
     "tier": "small",
     "traffic": "default",
+    "fleet": "1x1",
+    "placement": "round-robin",
 }
 
 

@@ -80,6 +80,8 @@ def _worker(
     calendar: Optional[str] = None,
     tier: Optional[str] = None,
     traffic: Optional[str] = None,
+    fleet: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> RunOutcome:
     """Run one experiment in a worker process.
 
@@ -117,6 +119,14 @@ def _worker(
             set_default_tier(tier)
         if traffic is not None:
             set_default_traffic(traffic)
+    if fleet is not None or placement is not None:
+        # --fleet / --placement install the fleet topology the traffic
+        # harness reads via active_fleet(); same re-install pattern.
+        from repro.fleet.topology import set_default_fleet, set_default_placement
+
+        if placement is not None:
+            set_default_placement(placement)
+        set_default_fleet(fleet)
     registry = MetricsRegistry()
     install_metrics(registry)
     tracer: Optional[Tracer] = None
@@ -193,6 +203,8 @@ class ParallelRunner:
         calendar: Optional[str] = None,
         tier: Optional[str] = None,
         traffic: Optional[str] = None,
+        fleet: Optional[str] = None,
+        placement: Optional[str] = None,
     ):
         self.jobs = max(1, int(jobs))
         self.quick = bool(quick)
@@ -212,6 +224,11 @@ class ParallelRunner:
         #: traffic experiments; same worker re-install pattern.
         self.tier = tier
         self.traffic = traffic
+        #: ``--fleet`` topology (``"2x4"``) and ``--placement`` policy
+        #: the traffic harness reads via ``active_fleet()``; same worker
+        #: re-install pattern.
+        self.fleet = fleet
+        self.placement = placement
 
     # -- merge ----------------------------------------------------------
     def _merge(self, outcome: RunOutcome) -> None:
@@ -265,6 +282,8 @@ class ParallelRunner:
             calendar=self.calendar,
             tier=self.tier,
             traffic=self.traffic,
+            fleet=self.fleet,
+            placement=self.placement,
         )
 
     def _lookup(self, exp_id: str) -> Optional[RunOutcome]:
@@ -372,6 +391,7 @@ class ParallelRunner:
                         _worker, exp_id, self.quick, self.seed, self.trace,
                         shard_path(exp_id), self.hist_backend, self.fidelity,
                         self.calendar, self.tier, self.traffic,
+                        self.fleet, self.placement,
                     )
                     for exp_id in misses
                 }

@@ -32,10 +32,12 @@ MB = 1024 * KB
 
 
 def _platform_with_timing(timing: DsaTimingParams, n_devices: int = 1, wq_mode=WqMode.DEDICATED):
+    # Paper testbed: every measured instance sits on one socket.
     return spr_platform(
         n_devices=n_devices,
         device_config=DeviceConfig.single(wq_size=32, mode=wq_mode),
         timing=timing,
+        socket_of=lambda _index: 0,
     )
 
 
@@ -173,6 +175,7 @@ def run(quick: bool = False) -> ExperimentResult:
                 n_devices=4,
                 device_config=DeviceConfig.single(wq_size=32),
                 timing=timing,
+                socket_of=lambda _index: 0,
             ),
         ).throughput
         table.add_row(f"{amplification:.2f}", leak_results[amplification])

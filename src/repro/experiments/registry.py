@@ -36,6 +36,7 @@ _EXPERIMENTS: Dict[str, str] = {
     "traffic-crossover": "repro.experiments.traffic_crossover",
     "traffic-qos": "repro.experiments.traffic_qos",
     "traffic-retry": "repro.experiments.traffic_retry",
+    "fleet-scaling": "repro.experiments.fleet_scaling",
 }
 
 

@@ -24,6 +24,7 @@ from repro.analysis.series import Series
 from repro.analysis.tables import Table
 from repro.dsa.config import DeviceConfig, WqMode
 from repro.experiments.base import ExperimentResult
+from repro.fleet import DEFAULT_FLEET
 from repro.traffic.loadgen import drive_profile
 from repro.traffic.profile import (
     SizeDist,
@@ -63,6 +64,10 @@ def _drive(fan_in: int, per_tenant_rate: float, requests: int) -> dict:
             wq_size=WQ_SIZE, n_engines=ENGINES, mode=WqMode.SHARED
         ),
         arrival_override=default_traffic(),
+        # The retry storm is calibrated against ONE 16-entry SWQ; a
+        # --fleet topology would spread the fan-in and dissolve the
+        # backpressure the anchors measure, so the layout is pinned.
+        fleet=DEFAULT_FLEET,
     )
     snapshot = generator.platform.metrics_snapshot()
     aggregate = snapshot.get("dsa0.wq0.enqcmd_retries", 0.0)

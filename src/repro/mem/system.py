@@ -36,6 +36,12 @@ _WRITE_BW_FRACTION = 0.45
 #: makes split-location buffers "slightly better" in Fig 6a (sync BS 1).
 SAME_NODE_TURNAROUND_NS = 18.0
 
+#: Serialization at one socket's translation agent per *other* remote
+#: translation already in flight there.  Every device targeting a
+#: socket shares that socket's IOMMU (paper §3.2: the DSA sits behind
+#: the host IOMMU), so concurrent remote-socket descriptors queue.
+ATS_SERIALIZE_NS = 12.0
+
 
 @dataclass
 class MemoryNode:
@@ -72,6 +78,11 @@ class MemorySystem:
         self.iommu.attach_metrics(env.metrics, prefix="mem.iommu")
         self._nodes: Dict[int, MemoryNode] = {}
         self._upi_links: Dict[int, FairShareLink] = {}
+        #: Fleet platforms opt into the remote-translation cost model
+        #: (see :meth:`ats_acquire`); off by default so single-socket
+        #: and legacy multi-device setups keep their exact timings.
+        self.model_ats_contention = False
+        self._ats_inflight: Dict[int, int] = {}
 
     # -- construction -------------------------------------------------------
     def add_dram_node(self, node_id: int, socket: int, params: DramParams) -> MemoryNode:
@@ -189,6 +200,38 @@ class MemorySystem:
         hop, _remote = self.topology.crossing_cost(from_socket, node_id)
         penalty = SAME_NODE_TURNAROUND_NS if same_node_as_read else 0.0
         return node.write_latency + hop + penalty
+
+    # -- remote translation (shared per-socket IOMMU) --------------------------
+    def ats_acquire(self, from_socket: int, home_sockets) -> float:
+        """Begin remote translations; returns the extra latency (ns).
+
+        A descriptor whose operand lives on another socket sends its
+        address-translation request across UPI to the *home* socket's
+        IOMMU: one round trip of hop latency plus queueing behind every
+        remote translation already in flight at that agent
+        (:data:`ATS_SERIALIZE_NS` each).  Callers must pair with
+        :meth:`ats_release` once the translation window closes.  Only
+        active when :attr:`model_ats_contention` is set (fleet
+        platforms); returns 0.0 otherwise.
+        """
+        if not self.model_ats_contention:
+            return 0.0
+        extra = 0.0
+        metrics = self.env.metrics
+        for home in home_sockets:
+            pending = self._ats_inflight.get(home, 0)
+            cost = 2.0 * self.topology.upi.hop_latency + ATS_SERIALIZE_NS * pending
+            extra = max(extra, cost)
+            self._ats_inflight[home] = pending + 1
+            metrics.counter(f"mem.iommu.socket{home}.remote_translations").add()
+        return extra
+
+    def ats_release(self, home_sockets) -> None:
+        """End remote translations begun by :meth:`ats_acquire`."""
+        if not self.model_ats_contention:
+            return
+        for home in home_sockets:
+            self._ats_inflight[home] = max(0, self._ats_inflight.get(home, 0) - 1)
 
     # -- bandwidth flows -------------------------------------------------------
     def read_flow(self, node_id: int, nbytes: float, from_socket: int) -> Event:

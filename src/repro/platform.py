@@ -9,7 +9,7 @@ experiments and tests build identical stacks from one line.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.cpu.core import CpuCore
 from repro.cpu.instructions import InstructionCosts
@@ -84,8 +84,16 @@ def spr_platform(
     with_cxl: bool = False,
     sockets: int = 2,
     timing: Optional[DsaTimingParams] = None,
+    socket_of: Optional[Callable[[int], int]] = None,
 ) -> Platform:
-    """Sapphire Rapids (Table 2): DDR5 x8, 105 MB LLC, n DSA instances."""
+    """Sapphire Rapids (Table 2): DDR5 x8, 105 MB LLC, n DSA instances.
+
+    Devices distribute round-robin across the platform's sockets
+    (``dsa0`` on socket 0, ``dsa1`` on socket 1, ...), matching how a
+    real multi-socket SPR exposes its instances.  ``socket_of`` overrides
+    the placement per device index — e.g. ``lambda i: 0`` pins every
+    instance to socket 0, the paper's single-socket testbed.
+    """
     env = Environment()
     memsys = MemorySystem.spr(env, with_cxl=with_cxl, sockets=sockets)
     platform = Platform(
@@ -96,13 +104,54 @@ def spr_platform(
         costs=InstructionCosts(),
         name="spr",
     )
+    place = socket_of or (lambda index: index % sockets)
     for index in range(n_devices):
+        socket = place(index)
+        if not 0 <= socket < sockets:
+            raise ValueError(
+                f"socket_of({index}) = {socket} out of range [0, {sockets})"
+            )
         platform.add_device(
             f"dsa{index}",
             config=device_config or DeviceConfig.single(),
-            socket=0,
+            socket=socket,
             timing=timing,
         )
+    return platform
+
+
+def fleet_platform(
+    sockets: int = 2,
+    devices_per_socket: int = 1,
+    device_config: Optional[DeviceConfig] = None,
+    with_cxl: bool = False,
+    timing: Optional[DsaTimingParams] = None,
+) -> Platform:
+    """A rack-style SPR host: ``sockets × devices_per_socket`` instances.
+
+    Device ``dsa{i}`` lands on socket ``i // devices_per_socket`` so
+    indices group by socket (``dsa0..dsa{k-1}`` on socket 0, the next
+    ``k`` on socket 1, ...).  Fleet platforms also turn on the shared
+    remote-IOMMU translation model: descriptors whose operands live on
+    another socket pay the UPI round trip plus queueing at the home
+    socket's translation agent (see
+    :meth:`repro.mem.system.MemorySystem.ats_acquire`).
+    """
+    if sockets < 1:
+        raise ValueError(f"sockets must be >= 1, got {sockets}")
+    if devices_per_socket < 1:
+        raise ValueError(
+            f"devices_per_socket must be >= 1, got {devices_per_socket}"
+        )
+    platform = spr_platform(
+        n_devices=sockets * devices_per_socket,
+        device_config=device_config,
+        with_cxl=with_cxl,
+        sockets=sockets,
+        timing=timing,
+        socket_of=lambda index: index // devices_per_socket,
+    )
+    platform.memsys.model_ats_contention = True
     return platform
 
 

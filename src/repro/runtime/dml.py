@@ -11,7 +11,7 @@ inside simulation processes).
 from __future__ import annotations
 
 import enum
-from typing import Generator, List, Optional
+from typing import Collection, Generator, List, Optional
 
 from repro.cpu.core import CpuCore, CycleCategory
 from repro.cpu.instructions import InstructionCosts
@@ -65,6 +65,7 @@ class Dml:
         space: Optional[AddressSpace] = None,
         auto_threshold: int = 4096,
         wait_mode: WaitMode = WaitMode.UMWAIT,
+        scheduler=None,
     ):
         if auto_threshold < 0:
             raise ValueError(f"negative auto threshold: {auto_threshold}")
@@ -75,6 +76,11 @@ class Dml:
         self.space = space
         self.auto_threshold = auto_threshold
         self.wait_mode = wait_mode
+        #: Optional cross-device placement hook: anything with a
+        #: ``select(socket=..., exclude=...) -> Portal`` method (see
+        #: :class:`repro.fleet.FleetScheduler`) replaces the built-in
+        #: round robin for portal selection.
+        self.scheduler = scheduler
         self._round_robin = 0
         self.jobs_hardware = 0
         self.jobs_software = 0
@@ -131,19 +137,42 @@ class Dml:
     def make_batch(descriptors: List[WorkDescriptor]) -> BatchDescriptor:
         if not descriptors:
             raise ValueError("batch needs at least one descriptor")
-        return BatchDescriptor(descriptors=descriptors, pasid=descriptors[0].pasid)
+        pasid = descriptors[0].pasid
+        for position, descriptor in enumerate(descriptors[1:], start=1):
+            if descriptor.pasid != pasid:
+                raise ValueError(
+                    f"mixed-PASID batch: descriptor 0 carries PASID {pasid} but "
+                    f"descriptor {position} carries PASID {descriptor.pasid}; a "
+                    "batch translates under a single address space"
+                )
+        return BatchDescriptor(descriptors=descriptors, pasid=pasid)
 
     # -- load balancing -------------------------------------------------------------
-    def _next_portal(self) -> Portal:
+    def _next_portal(self, exclude: Collection[str] = ()) -> Portal:
+        """Pick the next live portal (round robin over enabled devices).
+
+        Portals whose device was taken down via ``IdxdDriver.disable``
+        are skipped; ``exclude`` additionally masks named devices (the
+        failover path excludes the device that just failed).  Raises
+        ``RuntimeError`` only when *no* portal is live.
+        """
+        if self.scheduler is not None:
+            return self.scheduler.select(exclude=exclude)
         if not self.portals:
             raise RuntimeError("DML instance has no hardware portals")
-        portal = self.portals[self._round_robin % len(self.portals)]
-        self._round_robin += 1
-        return portal
+        count = len(self.portals)
+        for offset in range(count):
+            portal = self.portals[(self._round_robin + offset) % count]
+            if portal.device.enabled and portal.device.name not in exclude:
+                self._round_robin = (self._round_robin + offset + 1) % count
+                return portal
+        raise RuntimeError("no live hardware portal (all devices disabled)")
 
     @property
     def has_hardware(self) -> bool:
-        return bool(self.portals)
+        if self.scheduler is not None:
+            return bool(self.scheduler.live_portals())
+        return any(portal.device.enabled for portal in self.portals)
 
     def _choose_path(self, path: DmlPath, size: int) -> bool:
         """True → hardware."""
@@ -185,10 +214,16 @@ class Dml:
         descriptor: WorkDescriptor,
         path: DmlPath = DmlPath.AUTO,
         in_llc: bool = False,
+        portal: Optional[Portal] = None,
     ) -> Generator:
-        """Synchronous operation; returns the final status code."""
+        """Synchronous operation; returns the final status code.
+
+        ``portal`` pins the submission to one WQ (the failover path
+        re-routes a failed descriptor to a specific surviving device);
+        ``None`` keeps the load-balanced selection.
+        """
         if self._choose_path(path, descriptor.size):
-            job = yield from self.submit_async(core, descriptor)
+            job = yield from self.submit_async(core, descriptor, portal=portal)
             status = yield from self.wait(core, job)
             return status
         return (yield from self.run_software(core, descriptor, in_llc=in_llc))

@@ -13,7 +13,7 @@ applications ``mmap`` (paper §3.3).  The model mirrors the contract:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.dsa.config import DeviceConfig, DsaTimingParams, WqMode
 from repro.dsa.device import DsaDevice
@@ -48,6 +48,7 @@ class IdxdDriver:
         self._devices: Dict[str, DsaDevice] = {}
         self._enabled: Set[str] = set()
         self._dwq_owners: Dict[Tuple[str, int], int] = {}
+        self._listeners: List[Callable[[str, bool], None]] = []
 
     # -- control path -----------------------------------------------------------
     def register_device(
@@ -63,6 +64,7 @@ class IdxdDriver:
         device = DsaDevice(
             self.env, self.memsys, config=config, timing=timing, name=name, socket=socket
         )
+        device.enabled = False
         self._devices[name] = device
         return device
 
@@ -76,21 +78,48 @@ class IdxdDriver:
         return dict(self._devices)
 
     def enable(self, name: str) -> None:
-        self.device(name)  # existence check
+        device = self.device(name)  # existence check
         if name in self._enabled:
             raise DriverError(f"device {name!r} already enabled")
         self._enabled.add(name)
+        device.enabled = True
+        self._notify(name, True)
 
     def disable(self, name: str) -> None:
+        """Take a device offline: abort queued work, notify schedulers.
+
+        Descriptors still waiting in the device's WQs complete with
+        ``DEVICE_DISABLED`` and zero bytes so their waiters wake and can
+        re-route (see :mod:`repro.runtime.recovery` / :mod:`repro.fleet`);
+        work already dispatched to an engine drains normally.
+        """
         if name not in self._enabled:
             raise DriverError(f"device {name!r} not enabled")
+        device = self.device(name)
         self._enabled.discard(name)
+        device.enabled = False
         stale = [key for key in self._dwq_owners if key[0] == name]
         for key in stale:
             del self._dwq_owners[key]
+        device.abort_queued()
+        self._notify(name, False)
 
     def is_enabled(self, name: str) -> bool:
         return name in self._enabled
+
+    def subscribe(self, callback: Callable[[str, bool], None]) -> None:
+        """Register for enable/disable notifications.
+
+        Fleet schedulers subscribe so placement reacts to device loss
+        without polling; callbacks fire as ``callback(name, enabled)``
+        after the lifecycle change (and its queued-work abort) has
+        taken effect.
+        """
+        self._listeners.append(callback)
+
+    def _notify(self, name: str, enabled: bool) -> None:
+        for callback in list(self._listeners):
+            callback(name, enabled)
 
     # -- data-path setup -----------------------------------------------------------
     def open_portal(self, name: str, wq_id: int, space: AddressSpace) -> Portal:

@@ -89,6 +89,9 @@ class RecoveryResult:
     bytes_software: int = 0
     backoff_ns_total: float = 0.0
     degraded: bool = False
+    #: Resubmissions that landed on a *different* device after a
+    #: ``DEVICE_DISABLED`` completion (fleet failover path).
+    reroutes: int = 0
 
 
 def recover(
@@ -98,6 +101,8 @@ def recover(
     policy: RetryPolicy = RetryPolicy(),
     in_llc: bool = False,
     pool: Optional[DescriptorPool] = None,
+    scheduler=None,
+    socket: Optional[int] = None,
 ) -> Generator:
     """Run ``descriptor`` on hardware, resuming across faults.
 
@@ -113,6 +118,15 @@ def recover(
     ever references — the caller polls ``descriptor``) is released
     before the next one is built, so a long fault storm allocates O(1)
     descriptors instead of O(retries).
+
+    With ``scheduler`` (a :class:`repro.fleet.FleetScheduler`), a
+    ``DEVICE_DISABLED`` completion *re-routes* instead of resubmitting
+    to the same dead portal: the next attempt selects a live portal
+    excluding the failed device (``socket`` biases NUMA-aware
+    policies), and per-device ``fleet.<dev>.failover.*`` counters book
+    where each descriptor landed.  When no live portal remains — with
+    or without a scheduler — the tail degrades straight to the software
+    kernels rather than stalling.
     """
     env = dml.env
     metrics = env.metrics
@@ -123,9 +137,58 @@ def recover(
     pending = descriptor
     retries = 0
     tracer = env.tracer
+    last_failed: Optional[str] = None
 
     while True:
-        yield from dml.execute(core, pending, path=DmlPath.HARDWARE, in_llc=in_llc)
+        portal = None
+        no_live = False
+        if scheduler is not None:
+            try:
+                portal = scheduler.select(socket=socket, exclude=(
+                    (last_failed,) if last_failed is not None else ()
+                ))
+            except RuntimeError:
+                no_live = True
+        if not no_live:
+            if scheduler is not None and last_failed is not None:
+                scheduler.record_failover(last_failed, portal.device.name)
+                result.reroutes += 1
+                metrics.counter("recovery.reroutes").add()
+                last_failed = None
+            try:
+                yield from dml.execute(
+                    core, pending, path=DmlPath.HARDWARE, in_llc=in_llc, portal=portal
+                )
+            except RuntimeError:
+                # No live hardware portal (all devices disabled).
+                no_live = True
+        if no_live:
+            metrics.counter("recovery.no_live_portal").add()
+            result.degraded = True
+            metrics.counter("recovery.degraded").add()
+            if scheduler is not None and last_failed is not None:
+                scheduler.record_failover(last_failed, None)
+                last_failed = None
+            if not policy.degrade_to_software:
+                result.status = pending.completion.status
+                _propagate(descriptor, pending, None)
+                if pool is not None and pending is not descriptor:
+                    pool.release(pending)
+                return result
+            if pool is not None and pending is not descriptor:
+                pool.release(pending)
+            tail = (
+                descriptor.clone_range(offset, total - offset, pool=pool)
+                if offset
+                else _fresh_clone(descriptor, pool)
+            )
+            yield from dml.run_software(core, tail, in_llc=in_llc)
+            result.bytes_software += tail.size
+            result.status = tail.completion.status
+            _propagate(descriptor, tail, total)
+            if pool is not None and tail is not descriptor:
+                pool.release(tail)
+            return result
         completion = pending.completion
         if completion.status.is_success:
             result.bytes_hardware += pending.size
@@ -143,6 +206,14 @@ def recover(
 
         result.faults += 1
         metrics.counter("recovery.faults").add()
+        if (
+            scheduler is not None
+            and portal is not None
+            and completion.status is StatusCode.DEVICE_DISABLED
+        ):
+            # Don't resubmit into the dead device: the next attempt
+            # re-routes to a surviving portal (or software).
+            last_failed = portal.device.name
         resumable = (
             completion.status is StatusCode.PAGE_FAULT
             and descriptor.opcode in RESUMABLE_OPCODES
@@ -161,6 +232,9 @@ def recover(
         if exhausted:
             result.degraded = True
             metrics.counter("recovery.degraded").add()
+            if scheduler is not None and last_failed is not None:
+                scheduler.record_failover(last_failed, None)
+                last_failed = None
             if not policy.degrade_to_software:
                 result.status = completion.status
                 _propagate(descriptor, pending, None)

@@ -35,9 +35,13 @@ from typing import Deque, Dict, List, Optional, Tuple
 from repro.cpu.swlib import SoftwareKernels
 from repro.dsa.config import DeviceConfig, WqMode
 from repro.dsa.descriptor import DescriptorPool, WorkDescriptor
+from repro.dsa.errors import StatusCode
 from repro.dsa.opcodes import Opcode
+from repro.fleet.policy import make_policy
+from repro.fleet.scheduler import FleetScheduler
+from repro.fleet.topology import FleetSpec, active_fleet
 from repro.mem.address import AddressSpace
-from repro.platform import Platform, spr_platform
+from repro.platform import Platform, fleet_platform, spr_platform
 from repro.sim.arrivals import open_loop
 from repro.sim.engine import Environment, Event, Process
 from repro.traffic.profile import TenantSpec, TrafficProfile
@@ -127,7 +131,7 @@ class CpuServicePool:
 class _TenantState:
     """Runtime companion of one TenantSpec (buffers, pool, samplers)."""
 
-    __slots__ = ("spec", "index", "sizes", "pool", "src", "dst", "device", "wq")
+    __slots__ = ("spec", "index", "sizes", "pool", "src", "dst", "device", "wq", "socket")
 
     def __init__(self, spec: TenantSpec, index: int):
         self.spec = spec
@@ -138,6 +142,8 @@ class _TenantState:
         self.dst = None
         self.device = None
         self.wq = None
+        #: Submitter socket under fleet placement (NUMA-aware policies).
+        self.socket = 0
 
 
 class LoadGenerator:
@@ -158,6 +164,7 @@ class LoadGenerator:
         requests: int,
         accountant: Optional[SloAccountant] = None,
         arrival_override: Optional[str] = None,
+        fleet: Optional[FleetSpec] = None,
     ):
         profile.validate()
         if requests < 1:
@@ -166,6 +173,7 @@ class LoadGenerator:
         self.profile = profile
         self.requests = requests
         self.arrival_override = arrival_override
+        self.fleet = fleet
         # Explicit None test: a fresh SloAccountant has len() == 0 and is
         # falsy, so ``accountant or ...`` would silently discard it.
         if accountant is None:
@@ -187,10 +195,42 @@ class LoadGenerator:
                 queue_limit=profile.cpu_queue_limit,
                 name="traffic.cpu_pool",
             )
+        self.scheduler: Optional[FleetScheduler] = None
+        fleet_sockets = 1
+        if fleet is not None and not fleet.is_default:
+            # Fleet placement: open one SWQ portal per device and let the
+            # placement policy (not the tenant's static ``target``) route
+            # every request.  Tenants spread round-robin across sockets
+            # so NUMA-aware policies see submitters on every socket.
+            fleet_sockets = platform.memsys.topology.sockets
+            portals = [
+                platform.open_portal(name, 0, self.space)
+                for name in sorted(platform.driver.devices)
+            ]
+            for portal in portals:
+                if portal.device.wq(portal.wq_id).mode is not WqMode.SHARED:
+                    raise ValueError(
+                        f"fleet device {portal.device.name} WQ {portal.wq_id} is "
+                        "dedicated; fleet traffic placement needs shared WQs"
+                    )
+            self.scheduler = FleetScheduler(
+                platform.driver, portals, policy=make_policy(fleet.placement)
+            )
         for index, spec in enumerate(profile.tenants):
             state = _TenantState(spec, index)
             self.accountant.register(spec)
             if not spec.targets_cpu:
+                if self.scheduler is not None and spec.qos_priority is None:
+                    # Fleet-placed tenant: the scheduler routes every
+                    # request; no static portal.  QoS-pinned tenants fall
+                    # through and keep their declared target/WQ — a
+                    # priority contract is device-local by construction.
+                    state.socket = index % fleet_sockets
+                    bound = spec.sizes.resolved_max
+                    state.src = self.space.allocate(bound, node=state.socket)
+                    state.dst = self.space.allocate(bound, node=state.socket)
+                    self._states.append(state)
+                    continue
                 portal = platform.open_portal(spec.target, spec.wq_id, self.space)
                 state.device = portal.device
                 state.wq = portal.device.wq(spec.wq_id)
@@ -291,35 +331,88 @@ class LoadGenerator:
         descriptor.src = state.src.va
         descriptor.dst = state.dst.va
         descriptor.size = size
-        enqcmd_ns = state.device.timing.enqcmd_ns
         attempts = 0
+        failed_device: Optional[str] = None
         while True:
-            # Each attempt pays the full non-posted ENQCMD round trip.
-            yield env.timeout(enqcmd_ns)
-            if state.device.submit(descriptor, spec.wq_id, source=spec.name):
-                break
+            if self.scheduler is not None and state.device is None:
+                try:
+                    portal = self.scheduler.select(
+                        socket=state.socket,
+                        exclude=(failed_device,) if failed_device else (),
+                    )
+                except RuntimeError:
+                    # Fleet-wide device loss: nothing live to place on.
+                    env.metrics.counter("traffic.fleet.no_live_portal").add()
+                    if failed_device is not None:
+                        self.scheduler.record_failover(failed_device, None)
+                    acct.dropped(spec.name, env.now, retries=attempts)
+                    state.pool.release(descriptor)
+                    return
+                if failed_device is not None:
+                    self.scheduler.record_failover(
+                        failed_device, portal.device.name
+                    )
+                    env.metrics.counter("traffic.fleet.reroutes").add()
+                    failed_device = None
+                device = portal.device
+                wq_id = portal.wq_id
+            else:
+                device = state.device
+                wq_id = spec.wq_id
+            wq = device.wq(wq_id)
+            enqcmd_ns = device.timing.enqcmd_ns
+            while True:
+                # Each attempt pays the full non-posted ENQCMD round trip.
+                yield env.timeout(enqcmd_ns)
+                if device.submit(descriptor, wq_id, source=spec.name):
+                    break
+                attempts += 1
+                if attempts > spec.max_retries:
+                    # Retry budget exhausted: shed the request.  The retries
+                    # still hit the WQ's attribution counters — congestion
+                    # must not vanish from the metrics when it sheds load.
+                    wq.record_retries(attempts, source=spec.name)
+                    acct.dropped(spec.name, env.now, retries=attempts)
+                    state.pool.release(descriptor)
+                    return
+                yield env.timeout(
+                    min(
+                        spec.backoff_base_ns * (2.0 ** (attempts - 1)),
+                        spec.backoff_cap_ns,
+                    )
+                )
+            if attempts:
+                wq.record_retries(attempts, source=spec.name)
+            yield descriptor.completion_event
+            status = descriptor.completion.status
+            if status.is_success:
+                acct.completed(
+                    spec.name, env.now, env.now - arrived, size, retries=attempts
+                )
+                state.pool.release(descriptor)
+                return
+            # The device failed the request (DEVICE_DISABLED from a
+            # driver disable or reset window).  Under fleet placement a
+            # disabled device triggers failover: re-place on a survivor
+            # within the tenant's retry budget.  Without a scheduler
+            # there is nowhere else to go — the request is dropped, not
+            # silently counted as completed.
             attempts += 1
-            if attempts > spec.max_retries:
-                # Retry budget exhausted: shed the request.  The retries
-                # still hit the WQ's attribution counters — congestion
-                # must not vanish from the metrics when it sheds load.
-                state.wq.record_retries(attempts, source=spec.name)
+            if (
+                self.scheduler is None
+                or state.device is not None
+                or status is not StatusCode.DEVICE_DISABLED
+                or attempts > spec.max_retries
+            ):
                 acct.dropped(spec.name, env.now, retries=attempts)
                 state.pool.release(descriptor)
                 return
-            yield env.timeout(
-                min(
-                    spec.backoff_base_ns * (2.0 ** (attempts - 1)),
-                    spec.backoff_cap_ns,
-                )
-            )
-        if attempts:
-            state.wq.record_retries(attempts, source=spec.name)
-        yield descriptor.completion_event
-        acct.completed(
-            spec.name, env.now, env.now - arrived, size, retries=attempts
-        )
-        state.pool.release(descriptor)
+            failed_device = device.name
+            # Scrub the consumed completion so resubmission gets a fresh
+            # completion event on the surviving device.
+            descriptor.completion_event = None
+            descriptor.completion.status = StatusCode.NONE
+            descriptor.completion.bytes_completed = 0
 
     # -- results ----------------------------------------------------------
     def finalize(self) -> Dict[str, int]:
@@ -339,6 +432,7 @@ def drive_profile(
     n_devices: int = 1,
     arrival_override: Optional[str] = None,
     shadow_exact: bool = False,
+    fleet: Optional[FleetSpec] = None,
 ) -> Tuple[LoadGenerator, Dict[str, int]]:
     """Build a platform, run ``profile`` to completion, finalize accounts.
 
@@ -348,12 +442,32 @@ def drive_profile(
     land in exactly one of completed/dropped.  The default device layout
     is one 128-entry SWQ fed by 4 engines (multi-tenant ENQCMD needs a
     shared queue; ``DeviceConfig.single()``'s DWQ would reject it).
+
+    ``fleet`` (default: the installed ``--fleet`` topology, see
+    :mod:`repro.fleet.topology`) switches the platform to
+    ``sockets × devices_per_socket`` devices with scheduler-routed
+    placement; the default ``1x1`` spec keeps the historical
+    single-device layout byte-identical.
     """
     if device_config is None:
         device_config = DeviceConfig.single(wq_size=128, n_engines=4, mode=WqMode.SHARED)
-    platform = spr_platform(
-        n_devices=n_devices, device_config=device_config, timing=timing
-    )
+    spec = fleet if fleet is not None else active_fleet()
+    if not spec.is_default:
+        if n_devices != 1:
+            raise ValueError(
+                "pass either n_devices or a fleet topology, not both "
+                f"(n_devices={n_devices}, fleet={spec.key()})"
+            )
+        platform = fleet_platform(
+            sockets=spec.sockets,
+            devices_per_socket=spec.devices_per_socket,
+            device_config=device_config,
+            timing=timing,
+        )
+    else:
+        platform = spr_platform(
+            n_devices=n_devices, device_config=device_config, timing=timing
+        )
     accountant = SloAccountant(
         window_ns=profile.window_ns, shadow_exact=shadow_exact
     )
@@ -363,6 +477,7 @@ def drive_profile(
         requests,
         accountant=accountant,
         arrival_override=arrival_override,
+        fleet=spec if not spec.is_default else None,
     )
     generator.start()
     platform.env.run()

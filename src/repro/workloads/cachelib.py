@@ -154,6 +154,7 @@ def run_cachebench(
         platform = spr_platform(
             n_devices=4,
             device_config=DeviceConfig.single(wq_size=16, mode=WqMode.SHARED),
+            socket_of=lambda _index: 0,
         )
     env = platform.env
     space = AddressSpace()

@@ -233,10 +233,16 @@ def _execute_dsa(
     """
     if platform is None:
         needs_cxl = max(cfg.src_node, cfg.dst_node) >= 2
+        # The paper's testbed (§4, Fig 10) measures 1-4 DSA instances on
+        # ONE socket — a real SPR exposes up to 4 per socket — so the
+        # microbench pins every device to socket 0 regardless of the
+        # platform's round-robin default.  Cross-socket fleets are the
+        # fleet harness's job (repro.fleet).
         platform = spr_platform(
             n_devices=cfg.n_devices,
             device_config=_default_device_config(cfg),
             with_cxl=needs_cxl,
+            socket_of=lambda _index: 0,
         )
     env = platform.env
     result = MicrobenchResult(

@@ -28,7 +28,8 @@ class TestRegistry:
         assert "guidelines" in experiments
         for traffic in ("traffic-crossover", "traffic-qos", "traffic-retry"):
             assert traffic in experiments
-        assert len(experiments) == 27
+        assert "fleet-scaling" in experiments
+        assert len(experiments) == 28
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError, match="unknown experiment"):

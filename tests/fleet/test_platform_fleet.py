@@ -1,0 +1,47 @@
+"""Multi-socket device placement: spr_platform and fleet_platform."""
+
+import pytest
+
+from repro.platform import fleet_platform, spr_platform
+
+
+class TestSprPlacement:
+    def test_devices_distribute_round_robin_across_sockets(self):
+        # The regression this guards: every instance of a multi-device
+        # platform used to land on socket 0, so "remote device" was
+        # unreachable by construction.
+        platform = spr_platform(n_devices=4, sockets=2)
+        sockets = {
+            name: device.socket for name, device in platform.driver.devices.items()
+        }
+        assert sockets == {"dsa0": 0, "dsa1": 1, "dsa2": 0, "dsa3": 1}
+
+    def test_socket_of_override_pins_placement(self):
+        platform = spr_platform(n_devices=2, sockets=2, socket_of=lambda _i: 0)
+        assert all(
+            device.socket == 0 for device in platform.driver.devices.values()
+        )
+
+    def test_socket_of_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="out of range"):
+            spr_platform(n_devices=1, sockets=2, socket_of=lambda _i: 2)
+
+    def test_default_platform_keeps_ats_model_off(self):
+        assert spr_platform().memsys.model_ats_contention is False
+
+
+class TestFleetPlatform:
+    def test_devices_group_by_socket(self):
+        platform = fleet_platform(sockets=2, devices_per_socket=2)
+        sockets = {
+            name: device.socket for name, device in platform.driver.devices.items()
+        }
+        assert sockets == {"dsa0": 0, "dsa1": 0, "dsa2": 1, "dsa3": 1}
+
+    def test_turns_on_shared_iommu_model(self):
+        assert fleet_platform().memsys.model_ats_contention is True
+
+    @pytest.mark.parametrize("kwargs", [{"sockets": 0}, {"devices_per_socket": 0}])
+    def test_rejects_degenerate_shapes(self, kwargs):
+        with pytest.raises(ValueError):
+            fleet_platform(**kwargs)

@@ -1,0 +1,110 @@
+"""Placement policies: determinism, locality preference, load ranking."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.fleet.policy import (
+    POLICIES,
+    LeastLoadedPolicy,
+    NumaLocalPolicy,
+    RoundRobinPolicy,
+    make_policy,
+    policy_names,
+)
+
+
+def portal(name, socket=0, inflight=0.0, wq_id=0):
+    """A portal stand-in with the attributes policies actually read."""
+    device = SimpleNamespace(
+        name=name,
+        socket=socket,
+        enabled=True,
+        port=SimpleNamespace(bytes_inflight=inflight),
+    )
+    return SimpleNamespace(device=device, wq_id=wq_id)
+
+
+class TestRoundRobin:
+    def test_rotates_over_candidates(self):
+        candidates = [portal("dsa0"), portal("dsa1"), portal("dsa2")]
+        policy = RoundRobinPolicy()
+        picks = [policy.choose(candidates).device.name for _ in range(6)]
+        assert picks == ["dsa0", "dsa1", "dsa2", "dsa0", "dsa1", "dsa2"]
+
+    def test_survives_candidate_list_shrinking(self):
+        policy = RoundRobinPolicy()
+        full = [portal("dsa0"), portal("dsa1"), portal("dsa2")]
+        for _ in range(5):
+            policy.choose(full)
+        # A device died: the cursor must still index validly.
+        survivors = full[:2]
+        assert policy.choose(survivors).device.name in {"dsa0", "dsa1"}
+
+
+class TestNumaLocal:
+    def test_prefers_local_and_rotates_within_socket(self):
+        candidates = [
+            portal("dsa0", socket=0),
+            portal("dsa1", socket=0),
+            portal("dsa2", socket=1),
+            portal("dsa3", socket=1),
+        ]
+        policy = NumaLocalPolicy()
+        picks = [policy.choose(candidates, socket=1).device.name for _ in range(4)]
+        assert picks == ["dsa2", "dsa3", "dsa2", "dsa3"]
+
+    def test_falls_back_to_full_set_when_socket_empty(self):
+        candidates = [portal("dsa0", socket=0), portal("dsa1", socket=0)]
+        policy = NumaLocalPolicy()
+        picks = {policy.choose(candidates, socket=1).device.name for _ in range(4)}
+        assert picks == {"dsa0", "dsa1"}
+
+    def test_no_socket_degrades_to_round_robin(self):
+        candidates = [portal("dsa0", socket=0), portal("dsa1", socket=1)]
+        policy = NumaLocalPolicy()
+        picks = [policy.choose(candidates).device.name for _ in range(4)]
+        assert picks == ["dsa0", "dsa1", "dsa0", "dsa1"]
+
+    def test_per_socket_cursors_are_independent(self):
+        candidates = [
+            portal("dsa0", socket=0),
+            portal("dsa1", socket=0),
+            portal("dsa2", socket=1),
+            portal("dsa3", socket=1),
+        ]
+        policy = NumaLocalPolicy()
+        assert policy.choose(candidates, socket=0).device.name == "dsa0"
+        # Socket 1's rotation starts fresh regardless of socket 0's.
+        assert policy.choose(candidates, socket=1).device.name == "dsa2"
+        assert policy.choose(candidates, socket=0).device.name == "dsa1"
+        assert policy.choose(candidates, socket=1).device.name == "dsa3"
+
+
+class TestLeastLoaded:
+    def test_picks_minimum_inflight(self):
+        candidates = [
+            portal("dsa0", inflight=4096.0),
+            portal("dsa1", inflight=512.0),
+            portal("dsa2", inflight=65536.0),
+        ]
+        assert LeastLoadedPolicy().choose(candidates).device.name == "dsa1"
+
+    def test_ties_break_on_device_name(self):
+        candidates = [portal("dsa1", inflight=0.0), portal("dsa0", inflight=0.0)]
+        assert LeastLoadedPolicy().choose(candidates).device.name == "dsa0"
+
+
+class TestRegistry:
+    def test_registry_names_and_factory_agree(self):
+        assert set(policy_names()) == set(POLICIES) == {
+            "round-robin",
+            "numa-local",
+            "least-loaded",
+        }
+        for name in policy_names():
+            assert make_policy(name).name == name
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError, match="unknown placement policy"):
+            make_policy("warmest-device")

@@ -1,0 +1,111 @@
+"""FleetScheduler: live-set tracking, failover masking, accounting."""
+
+import pytest
+
+from repro.fleet.policy import make_policy
+from repro.fleet.scheduler import FleetScheduler
+from repro.mem import AddressSpace
+from repro.platform import fleet_platform
+
+
+def build_fleet(sockets=2, devices=2, placement="round-robin"):
+    platform = fleet_platform(sockets=sockets, devices_per_socket=devices)
+    space = AddressSpace()
+    portals = [
+        platform.open_portal(name, 0, space)
+        for name in sorted(platform.driver.devices)
+    ]
+    scheduler = FleetScheduler(
+        platform.driver, portals, policy=make_policy(placement)
+    )
+    return platform, scheduler
+
+
+class TestConstruction:
+    def test_rejects_empty_portal_list(self):
+        platform = fleet_platform(sockets=1, devices_per_socket=1)
+        with pytest.raises(ValueError, match="at least one portal"):
+            FleetScheduler(platform.driver, [])
+
+    def test_publishes_live_gauge_at_start(self):
+        platform, _scheduler = build_fleet()
+        assert platform.metrics_snapshot()["fleet.devices_live.level"] == 4.0
+
+
+class TestSelection:
+    def test_round_robin_covers_every_device(self):
+        platform, scheduler = build_fleet()
+        picks = [scheduler.select().device.name for _ in range(8)]
+        assert picks == ["dsa0", "dsa1", "dsa2", "dsa3"] * 2
+        snapshot = platform.metrics_snapshot()
+        for name in ("dsa0", "dsa1", "dsa2", "dsa3"):
+            assert snapshot[f"fleet.{name}.selected"] == 2.0
+
+    def test_numa_local_keeps_submitter_on_its_socket(self):
+        _platform, scheduler = build_fleet(placement="numa-local")
+        sockets = {scheduler.select(socket=1).device.socket for _ in range(6)}
+        assert sockets == {1}
+
+    def test_exclude_masks_a_live_device(self):
+        _platform, scheduler = build_fleet(sockets=1, devices=2)
+        picks = {
+            scheduler.select(exclude=("dsa0",)).device.name for _ in range(4)
+        }
+        assert picks == {"dsa1"}
+
+
+class TestDeviceLoss:
+    def test_disable_removes_device_from_candidates(self):
+        platform, scheduler = build_fleet()
+        platform.driver.disable("dsa0")
+        assert {p.device.name for p in scheduler.live_portals()} == {
+            "dsa1",
+            "dsa2",
+            "dsa3",
+        }
+        picks = {scheduler.select().device.name for _ in range(9)}
+        assert "dsa0" not in picks
+        snapshot = platform.metrics_snapshot()
+        assert snapshot["fleet.devices_live.level"] == 3.0
+        assert snapshot["fleet.dsa0.failover.events"] == 1.0
+
+    def test_all_disabled_raises(self):
+        platform, scheduler = build_fleet(sockets=1, devices=2)
+        platform.driver.disable("dsa0")
+        platform.driver.disable("dsa1")
+        with pytest.raises(RuntimeError, match="no live device portal"):
+            scheduler.select()
+
+    def test_reenabled_device_rejoins_rotation(self):
+        platform, scheduler = build_fleet(sockets=1, devices=2)
+        platform.driver.disable("dsa0")
+        assert {scheduler.select().device.name for _ in range(4)} == {"dsa1"}
+        platform.driver.enable("dsa0")
+        assert platform.metrics_snapshot()["fleet.devices_live.level"] == 2.0
+        picks = {scheduler.select().device.name for _ in range(4)}
+        assert picks == {"dsa0", "dsa1"}
+
+    def test_numa_local_fails_over_across_sockets(self):
+        platform, scheduler = build_fleet(placement="numa-local")
+        platform.driver.disable("dsa2")
+        platform.driver.disable("dsa3")
+        # Socket 1 has no live device left: placement crosses the UPI.
+        sockets = {scheduler.select(socket=1).device.socket for _ in range(4)}
+        assert sockets == {0}
+
+
+class TestFailoverAccounting:
+    def test_reroute_books_both_sides(self):
+        platform, scheduler = build_fleet()
+        scheduler.record_failover("dsa0", "dsa1")
+        scheduler.record_failover("dsa0", "dsa1")
+        snapshot = platform.metrics_snapshot()
+        assert snapshot["fleet.dsa0.failover.rerouted"] == 2.0
+        assert snapshot["fleet.dsa1.failover.absorbed"] == 2.0
+
+    def test_software_degradation_books_to_software(self):
+        platform, scheduler = build_fleet()
+        scheduler.record_failover("dsa0", None)
+        snapshot = platform.metrics_snapshot()
+        assert snapshot["fleet.dsa0.failover.to_software"] == 1.0
+        assert "fleet.dsa0.failover.rerouted" not in snapshot

@@ -1,0 +1,105 @@
+"""Multi-device Dml semantics: live-portal rotation, batch PASID guard."""
+
+import pytest
+
+from repro.dsa.opcodes import Opcode
+from repro.mem import AddressSpace
+from repro.platform import spr_platform
+from repro.runtime.dml import Dml, DmlPath
+
+KB = 1024
+
+
+def build_dml(n_devices=2):
+    platform = spr_platform(n_devices=n_devices)
+    space = AddressSpace()
+    portals = [
+        platform.open_portal(f"dsa{i}", 0, space) for i in range(n_devices)
+    ]
+    dml = Dml(
+        platform.env,
+        portals,
+        kernels=platform.kernels,
+        costs=platform.costs,
+        space=space,
+    )
+    return platform, space, dml
+
+
+class TestNextPortal:
+    def test_round_robin_over_live_devices(self):
+        _platform, _space, dml = build_dml()
+        picks = [dml._next_portal().device.name for _ in range(4)]
+        assert picks == ["dsa0", "dsa1", "dsa0", "dsa1"]
+
+    def test_skips_disabled_device(self):
+        # The regression this guards: round robin used to hand out
+        # portals of disabled devices, wedging every other submission.
+        platform, _space, dml = build_dml()
+        platform.driver.disable("dsa0")
+        picks = {dml._next_portal().device.name for _ in range(4)}
+        assert picks == {"dsa1"}
+
+    def test_exclude_masks_by_name(self):
+        _platform, _space, dml = build_dml()
+        picks = {dml._next_portal(exclude=("dsa1",)).device.name for _ in range(4)}
+        assert picks == {"dsa0"}
+
+    def test_raises_only_when_no_device_is_live(self):
+        platform, _space, dml = build_dml()
+        platform.driver.disable("dsa0")
+        platform.driver.disable("dsa1")
+        assert not dml.has_hardware
+        with pytest.raises(RuntimeError, match="all devices disabled"):
+            dml._next_portal()
+
+    def test_reenabled_device_rejoins_rotation(self):
+        platform, _space, dml = build_dml()
+        platform.driver.disable("dsa0")
+        dml._next_portal()
+        platform.driver.enable("dsa0")
+        picks = {dml._next_portal().device.name for _ in range(4)}
+        assert picks == {"dsa0", "dsa1"}
+
+    def test_hardware_path_refuses_when_all_disabled(self):
+        platform, space, dml = build_dml()
+        platform.driver.disable("dsa0")
+        platform.driver.disable("dsa1")
+        with pytest.raises(RuntimeError, match="no portals available"):
+            dml._choose_path(DmlPath.HARDWARE, 16 * KB)
+
+
+class TestMakeBatch:
+    def test_rejects_empty_batch(self):
+        _platform, _space, dml = build_dml()
+        with pytest.raises(ValueError, match="at least one descriptor"):
+            dml.make_batch([])
+
+    def test_rejects_mixed_pasid_batch(self):
+        # The regression this guards: a batch translates under ONE
+        # address space; mixing tenants used to slip through and
+        # translate half the batch in the wrong page table.
+        _platform, space_a, dml = build_dml()
+        space_b = AddressSpace()
+        a_src = space_a.allocate(4 * KB)
+        a_dst = space_a.allocate(4 * KB)
+        b_src = space_b.allocate(4 * KB)
+        b_dst = space_b.allocate(4 * KB)
+        first = dml.make_descriptor(Opcode.MEMMOVE, 4 * KB, src=a_src, dst=a_dst)
+        second = dml.make_descriptor(Opcode.MEMMOVE, 4 * KB, src=b_src, dst=b_dst)
+        with pytest.raises(ValueError, match="mixed-PASID batch"):
+            dml.make_batch([first, second])
+
+    def test_uniform_pasid_batch_carries_the_space(self):
+        _platform, space, dml = build_dml()
+        descriptors = [
+            dml.make_descriptor(
+                Opcode.MEMMOVE,
+                4 * KB,
+                src=space.allocate(4 * KB),
+                dst=space.allocate(4 * KB),
+            )
+            for _ in range(3)
+        ]
+        batch = dml.make_batch(descriptors)
+        assert batch.pasid == space.pasid
